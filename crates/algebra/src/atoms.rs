@@ -1,0 +1,434 @@
+//! Atoms: the basis attributes `SubB(N)` of a nested attribute
+//! (Definition 4.7), realised as positions in the attribute tree.
+//!
+//! `SubB(N)` — the smallest set of subattributes whose joins generate all
+//! of `Sub(N)` — consists of exactly one *atom* per
+//!
+//! * flat-attribute leaf of `N` (e.g. `A(B)`, `A(C[D(E)])`), and
+//! * list node of `N` (the subattribute keeping that list but bottoming
+//!   out its content, e.g. `A(C[λ])`, `A(C[D(F[λ])])`),
+//!
+//! ordered by `b(p) ≤ b(q)` iff the list node `p` is an ancestor of the
+//! position `q`. Under this view, `Sub(N)` is isomorphic to the lattice of
+//! downward-closed atom sets — the representation used by the whole
+//! engine (see [`crate::subset`]).
+//!
+//! [`Algebra`] is built once per ambient attribute `N` and precomputes,
+//! for every atom `a`,
+//!
+//! * `below(a)` = `SubB(b(a))` — `a` plus its list-node ancestors,
+//! * `above(a)` = all atoms `q` with `b(a) ≤ b(q)` — `a` plus every atom
+//!   inside `a`'s content subtree, and
+//! * whether `a` is *maximal* in `SubB(N)` (Definition 4.7).
+
+use nalist_types::attr::NestedAttr;
+use nalist_types::error::TypeError;
+
+use crate::bitset::AtomSet;
+
+/// Identifier of an atom (basis attribute) within an [`Algebra`];
+/// atoms are numbered in depth-first pre-order of the attribute tree.
+pub type AtomId = usize;
+
+/// Whether an atom is a flat leaf or a list node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomKind {
+    /// A flat-attribute leaf.
+    FlatLeaf,
+    /// A list node (its basis attribute bottoms out the list content).
+    ListNode,
+}
+
+/// Per-atom precomputed data.
+#[derive(Debug, Clone)]
+pub struct AtomInfo {
+    /// Leaf or list node.
+    pub kind: AtomKind,
+    /// The name at this position (flat attribute name or list label).
+    pub name: String,
+    /// The basis attribute `b(a)` as a canonical subattribute tree of `N`.
+    pub attr: NestedAttr,
+    /// `SubB(b(a))`: this atom plus its list-node ancestors.
+    pub below: AtomSet,
+    /// All atoms `q` with `b(a) ≤ b(q)`: this atom plus all atoms in its
+    /// content subtree (only list nodes have a non-trivial subtree).
+    pub above: AtomSet,
+    /// Is `b(a)` maximal in `SubB(N)` (no basis attribute strictly above)?
+    pub maximal: bool,
+}
+
+/// The Brouwerian algebra `Sub(N)` of a fixed nested attribute `N`,
+/// realised on bitsets of atoms (Theorem 3.9).
+///
+/// ```
+/// use nalist_algebra::Algebra;
+/// use nalist_types::parser::parse_attr;
+///
+/// // Example 4.8 of the paper
+/// let n = parse_attr("A'(B, C[D(E, F[G])])").unwrap();
+/// let alg = Algebra::new(&n);
+/// assert_eq!(alg.atom_count(), 5);          // |SubB(N)|
+/// assert_eq!(alg.maximal_atom_ids().count(), 3); // |MaxB(N)|
+/// ```
+#[derive(Debug, Clone)]
+pub struct Algebra {
+    attr: NestedAttr,
+    atoms: Vec<AtomInfo>,
+    max_mask: AtomSet,
+}
+
+impl Algebra {
+    /// Builds the algebra for the ambient attribute `n`.
+    pub fn new(n: &NestedAttr) -> Self {
+        let mut collected: Vec<(AtomKind, String, Vec<AtomId>)> = Vec::new();
+        collect_atoms(n, &mut Vec::new(), &mut collected);
+        let count = collected.len();
+        let mut atoms: Vec<AtomInfo> = Vec::with_capacity(count);
+        for (id, (kind, name, ancestors)) in collected.iter().enumerate() {
+            let mut below = AtomSet::empty(count);
+            below.insert(id);
+            for &p in ancestors {
+                below.insert(p);
+            }
+            atoms.push(AtomInfo {
+                kind: *kind,
+                name: name.clone(),
+                attr: NestedAttr::Null, // filled below once `above` is known
+                below,
+                above: AtomSet::empty(count),
+                maximal: false,
+            });
+        }
+        // above masks: every atom contributes itself to all its ancestors
+        for (id, (_, _, ancestors)) in collected.iter().enumerate() {
+            atoms[id].above.insert(id);
+            for &p in ancestors {
+                atoms[p].above.insert(id);
+            }
+        }
+        let mut max_mask = AtomSet::empty(count);
+        for (id, a) in atoms.iter_mut().enumerate() {
+            a.maximal = a.above.count() == 1;
+            if a.maximal {
+                max_mask.insert(id);
+            }
+        }
+        let mut alg = Algebra {
+            attr: n.clone(),
+            atoms,
+            max_mask,
+        };
+        // basis attribute trees: b(a) = to_attr(below(a))
+        for id in 0..count {
+            let below = alg.atoms[id].below.clone();
+            alg.atoms[id].attr = alg.to_attr(&below);
+        }
+        alg
+    }
+
+    /// The ambient attribute `N`.
+    pub fn attr(&self) -> &NestedAttr {
+        &self.attr
+    }
+
+    /// `|N| = |SubB(N)|`, the paper's size measure.
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Per-atom data.
+    pub fn atom(&self, id: AtomId) -> &AtomInfo {
+        &self.atoms[id]
+    }
+
+    /// All atoms.
+    pub fn atoms(&self) -> &[AtomInfo] {
+        &self.atoms
+    }
+
+    /// Mask of the maximal atoms `MaxB(N)`.
+    pub fn max_mask(&self) -> &AtomSet {
+        &self.max_mask
+    }
+
+    /// Ids of the maximal atoms.
+    pub fn maximal_atom_ids(&self) -> impl Iterator<Item = AtomId> + '_ {
+        self.max_mask.iter()
+    }
+
+    /// Converts a downward-closed atom set back into the canonical
+    /// subattribute tree of `N` it denotes (`X = ⊔ SubB(X)`).
+    pub fn to_attr(&self, set: &AtomSet) -> NestedAttr {
+        debug_assert!(
+            self.is_downward_closed(set),
+            "atom set must be downward closed"
+        );
+        let mut cursor = 0;
+        to_attr_walk(&self.attr, set, &mut cursor)
+    }
+
+    /// Converts a subattribute `x ≤ N` into its atom set `SubB(x)`.
+    ///
+    /// Fails with [`TypeError::NotSubattribute`] if `x ≰ N`.
+    pub fn from_attr(&self, x: &NestedAttr) -> Result<AtomSet, TypeError> {
+        let mut set = AtomSet::empty(self.atom_count());
+        let mut cursor = 0;
+        if from_attr_walk(&self.attr, x, &mut cursor, &mut set) {
+            Ok(set)
+        } else {
+            Err(TypeError::NotSubattribute {
+                sub: x.to_string(),
+                sup: self.attr.to_string(),
+            })
+        }
+    }
+
+    /// Is the set downward closed (a valid element of `Sub(N)`)?
+    pub fn is_downward_closed(&self, set: &AtomSet) -> bool {
+        set.iter().all(|a| self.atoms[a].below.is_subset(set))
+    }
+
+    /// Downward closure: the least element of `Sub(N)` containing `set`.
+    pub fn downward_closure(&self, set: &AtomSet) -> AtomSet {
+        let mut out = AtomSet::empty(self.atom_count());
+        for a in set.iter() {
+            out.union_with(&self.atoms[a].below);
+        }
+        out
+    }
+}
+
+fn collect_atoms(
+    n: &NestedAttr,
+    list_ancestors: &mut Vec<AtomId>,
+    out: &mut Vec<(AtomKind, String, Vec<AtomId>)>,
+) {
+    match n {
+        NestedAttr::Null => {}
+        NestedAttr::Flat(name) => {
+            out.push((AtomKind::FlatLeaf, name.clone(), list_ancestors.clone()));
+        }
+        NestedAttr::Record(_, children) => {
+            for c in children {
+                collect_atoms(c, list_ancestors, out);
+            }
+        }
+        NestedAttr::List(label, inner) => {
+            let id = out.len();
+            out.push((AtomKind::ListNode, label.clone(), list_ancestors.clone()));
+            list_ancestors.push(id);
+            collect_atoms(inner, list_ancestors, out);
+            list_ancestors.pop();
+        }
+    }
+}
+
+fn to_attr_walk(n: &NestedAttr, set: &AtomSet, cursor: &mut usize) -> NestedAttr {
+    match n {
+        NestedAttr::Null => NestedAttr::Null,
+        NestedAttr::Flat(name) => {
+            let present = set.contains(*cursor);
+            *cursor += 1;
+            if present {
+                NestedAttr::Flat(name.clone())
+            } else {
+                NestedAttr::Null
+            }
+        }
+        NestedAttr::Record(l, children) => NestedAttr::Record(
+            l.clone(),
+            children
+                .iter()
+                .map(|c| to_attr_walk(c, set, cursor))
+                .collect(),
+        ),
+        NestedAttr::List(l, inner) => {
+            let present = set.contains(*cursor);
+            *cursor += 1;
+            if present {
+                NestedAttr::List(l.clone(), Box::new(to_attr_walk(inner, set, cursor)))
+            } else {
+                *cursor += inner.basis_size();
+                NestedAttr::Null
+            }
+        }
+    }
+}
+
+fn from_attr_walk(n: &NestedAttr, x: &NestedAttr, cursor: &mut usize, set: &mut AtomSet) -> bool {
+    match (n, x) {
+        (NestedAttr::Null, NestedAttr::Null) => true,
+        (NestedAttr::Flat(a), NestedAttr::Flat(b)) if a == b => {
+            set.insert(*cursor);
+            *cursor += 1;
+            true
+        }
+        (NestedAttr::Flat(_), NestedAttr::Null) => {
+            *cursor += 1;
+            true
+        }
+        (NestedAttr::Record(l, ncs), NestedAttr::Record(k, xcs))
+            if l == k && ncs.len() == xcs.len() =>
+        {
+            ncs.iter()
+                .zip(xcs)
+                .all(|(nc, xc)| from_attr_walk(nc, xc, cursor, set))
+        }
+        (NestedAttr::List(l, ni), NestedAttr::List(k, xi)) if l == k => {
+            set.insert(*cursor);
+            *cursor += 1;
+            from_attr_walk(ni, xi, cursor, set)
+        }
+        (NestedAttr::List(_, ni), NestedAttr::Null) => {
+            *cursor += 1 + ni.basis_size();
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nalist_types::parser::{parse_attr, parse_subattr_of};
+
+    fn ex48() -> (NestedAttr, Algebra) {
+        let n = parse_attr("A'(B, C[D(E, F[G])])").unwrap();
+        let alg = Algebra::new(&n);
+        (n, alg)
+    }
+
+    #[test]
+    fn atom_enumeration_example_48() {
+        let (_, alg) = ex48();
+        // atoms in pre-order: B(leaf), C(list), E(leaf), F(list), G(leaf)
+        assert_eq!(alg.atom_count(), 5);
+        let kinds: Vec<_> = alg.atoms().iter().map(|a| a.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                AtomKind::FlatLeaf,
+                AtomKind::ListNode,
+                AtomKind::FlatLeaf,
+                AtomKind::ListNode,
+                AtomKind::FlatLeaf
+            ]
+        );
+        let names: Vec<_> = alg.atoms().iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, vec!["B", "C", "E", "F", "G"]);
+    }
+
+    #[test]
+    fn basis_attributes_match_paper_example_48() {
+        // SubB(N) = {A(B), A(C[λ]), A(C[D(F[λ])]), A(C[D(E)]), A(C[D(F[G])])}
+        let (n, alg) = ex48();
+        let rendered: Vec<String> = alg
+            .atoms()
+            .iter()
+            .map(|a| nalist_types::display::abbreviate(&a.attr, &n))
+            .collect();
+        assert_eq!(
+            rendered,
+            vec![
+                "A'(B)",
+                "A'(C[λ])",
+                "A'(C[D(E)])",
+                "A'(C[D(F[λ])])",
+                "A'(C[D(F[G])])"
+            ]
+        );
+    }
+
+    #[test]
+    fn maximality_example_48() {
+        let (_, alg) = ex48();
+        // maximal: B, E, G (leaves); non-maximal: C, F (lists with content atoms)
+        let maximal: Vec<bool> = alg.atoms().iter().map(|a| a.maximal).collect();
+        assert_eq!(maximal, vec![true, false, true, false, true]);
+        assert_eq!(alg.max_mask().count(), 3);
+    }
+
+    #[test]
+    fn below_and_above_masks() {
+        let (_, alg) = ex48();
+        // atom ids: 0=B, 1=C, 2=E, 3=F, 4=G
+        assert_eq!(alg.atom(0).below, AtomSet::from_indices(5, [0]));
+        assert_eq!(alg.atom(2).below, AtomSet::from_indices(5, [1, 2]));
+        assert_eq!(alg.atom(4).below, AtomSet::from_indices(5, [1, 3, 4]));
+        assert_eq!(alg.atom(1).above, AtomSet::from_indices(5, [1, 2, 3, 4]));
+        assert_eq!(alg.atom(3).above, AtomSet::from_indices(5, [3, 4]));
+        assert_eq!(alg.atom(0).above, AtomSet::from_indices(5, [0]));
+    }
+
+    #[test]
+    fn round_trip_from_attr_to_attr() {
+        let (n, alg) = ex48();
+        for s in [
+            "A'(B)",
+            "A'(C[λ])",
+            "A'(C[D(E)])",
+            "A'(B, C[D(E, F[λ])])",
+            "λ",
+            "A'(B, C[D(E, F[G])])",
+        ] {
+            let x = parse_subattr_of(&n, s).unwrap();
+            let set = alg.from_attr(&x).unwrap();
+            assert!(alg.is_downward_closed(&set), "{s}");
+            assert_eq!(alg.to_attr(&set), x, "{s}");
+        }
+    }
+
+    #[test]
+    fn from_attr_rejects_non_subattribute() {
+        let (_, alg) = ex48();
+        assert!(alg.from_attr(&NestedAttr::flat("Z")).is_err());
+        let other = parse_attr("A'(B)").unwrap(); // wrong arity record
+        assert!(alg.from_attr(&other).is_err());
+    }
+
+    #[test]
+    fn downward_closure_adds_list_ancestors() {
+        let (_, alg) = ex48();
+        // {G} closes to {C, F, G}
+        let s = AtomSet::from_indices(5, [4]);
+        assert!(!alg.is_downward_closed(&s));
+        assert_eq!(
+            alg.downward_closure(&s),
+            AtomSet::from_indices(5, [1, 3, 4])
+        );
+    }
+
+    #[test]
+    fn lambda_inside_top_level_list() {
+        // N = K[L(M[N'(A, B)], C)] — Example 4.12's attribute
+        let n = parse_attr("K[L(M[N'(A, B)], C)]").unwrap();
+        let alg = Algebra::new(&n);
+        // atoms: K(list), M(list), A, B, C
+        assert_eq!(alg.atom_count(), 5);
+        assert_eq!(alg.atom(0).kind, AtomKind::ListNode);
+        assert_eq!(alg.atom(0).name, "K");
+        // b(K) = K[λ]
+        assert_eq!(
+            nalist_types::display::abbreviate(&alg.atom(0).attr, &n),
+            "K[λ]"
+        );
+        // everything is above the root list atom
+        assert_eq!(alg.atom(0).above.count(), 5);
+    }
+
+    #[test]
+    fn empty_algebra_for_lambda() {
+        let alg = Algebra::new(&NestedAttr::Null);
+        assert_eq!(alg.atom_count(), 0);
+        assert_eq!(alg.to_attr(&AtomSet::empty(0)), NestedAttr::Null);
+    }
+
+    #[test]
+    fn basis_size_agrees() {
+        let n = parse_attr("L1(L2[L3[L4(A, B, C)]], L5[L6(D, E)], L7(F, L8[L9(G, L10[H])], I))")
+            .unwrap();
+        let alg = Algebra::new(&n);
+        assert_eq!(alg.atom_count(), n.basis_size());
+        assert_eq!(alg.atom_count(), 14);
+    }
+}

@@ -1,0 +1,233 @@
+//! A compact fixed-capacity bitset used to represent sets of basis
+//! attributes (atoms).
+//!
+//! The membership algorithm's complexity analysis (Section 6 of the paper)
+//! treats nested attributes as their sets of basis attributes; `AtomSet`
+//! makes the lattice operations `⊔`/`⊓` single-pass word operations.
+
+use std::fmt;
+
+/// A set of atom indices `0..len`, backed by `u64` words.
+///
+/// Equality, hashing and ordering are structural, so `AtomSet` can key
+/// hash maps and ordered sets (the dependency-basis blocks are kept
+/// deduplicated this way). All binary operations require both operands to
+/// have the same capacity.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AtomSet {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl AtomSet {
+    /// The empty set with capacity for `len` atoms.
+    pub fn empty(len: usize) -> Self {
+        AtomSet {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// The full set `{0, …, len-1}`.
+    pub fn full(len: usize) -> Self {
+        let mut s = Self::empty(len);
+        for i in 0..len {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Builds a set from an iterator of indices.
+    pub fn from_indices(len: usize, iter: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = Self::empty(len);
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Capacity (number of atoms in the universe, *not* the cardinality).
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts index `i`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Removes index `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Does the set contain `i`?
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of elements.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &AtomSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &AtomSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    pub fn difference_with(&mut self, other: &AtomSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Union, by value.
+    #[must_use]
+    pub fn union(&self, other: &AtomSet) -> AtomSet {
+        let mut s = self.clone();
+        s.union_with(other);
+        s
+    }
+
+    /// Intersection, by value.
+    #[must_use]
+    pub fn intersect(&self, other: &AtomSet) -> AtomSet {
+        let mut s = self.clone();
+        s.intersect_with(other);
+        s
+    }
+
+    /// Difference, by value.
+    #[must_use]
+    pub fn difference(&self, other: &AtomSet) -> AtomSet {
+        let mut s = self.clone();
+        s.difference_with(other);
+        s
+    }
+
+    /// Is `self ⊆ other`?
+    pub fn is_subset(&self, other: &AtomSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Do the sets intersect?
+    pub fn intersects(&self, other: &AtomSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterates over the contained indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + bit)
+            })
+        })
+    }
+}
+
+impl fmt::Debug for AtomSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, i) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let mut s = AtomSet::empty(130);
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        assert_eq!(s.count(), 3);
+        assert!(s.contains(64) && !s.contains(63));
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 129]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = AtomSet::from_indices(10, [1, 2, 3]);
+        let b = AtomSet::from_indices(10, [3, 4]);
+        assert_eq!(a.union(&b), AtomSet::from_indices(10, [1, 2, 3, 4]));
+        assert_eq!(a.intersect(&b), AtomSet::from_indices(10, [3]));
+        assert_eq!(a.difference(&b), AtomSet::from_indices(10, [1, 2]));
+        assert!(AtomSet::from_indices(10, [1, 3]).is_subset(&a));
+        assert!(!a.is_subset(&b));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&AtomSet::from_indices(10, [5])));
+    }
+
+    #[test]
+    fn full_and_empty() {
+        let f = AtomSet::full(65);
+        assert_eq!(f.count(), 65);
+        assert!(AtomSet::empty(65).is_subset(&f));
+        let e = AtomSet::empty(0);
+        assert!(e.is_empty());
+        assert_eq!(e.count(), 0);
+    }
+
+    #[test]
+    fn ordering_is_deterministic() {
+        let a = AtomSet::from_indices(8, [1]);
+        let b = AtomSet::from_indices(8, [2]);
+        assert!(a < b);
+        let mut v = vec![b.clone(), a.clone()];
+        v.sort();
+        assert_eq!(v, vec![a, b]);
+    }
+
+    #[test]
+    fn debug_format() {
+        let a = AtomSet::from_indices(8, [1, 5]);
+        assert_eq!(format!("{a:?}"), "{1, 5}");
+    }
+}

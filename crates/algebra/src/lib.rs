@@ -1,0 +1,46 @@
+//! # nalist-algebra
+//!
+//! The Brouwerian algebra `(Sub(N), ≤, ⊔, ⊓, ∸, N)` of subattributes of a
+//! nested attribute (Section 3.3 and Theorem 3.9 of Hartmann & Link,
+//! ENTCS 91, 2004), together with the basis-attribute machinery of
+//! Section 4.2 (subattribute basis `SubB(N)`, maximal basis attributes
+//! `MaxB(N)`, *possessed* basis attributes).
+//!
+//! ## Representation
+//!
+//! `Sub(N)` is isomorphic to the lattice of downward-closed sets of
+//! *atoms*, where atoms are the basis attributes: one per flat leaf and
+//! one per list node of `N` (see `DESIGN.md`). [`Algebra`] precomputes the
+//! atom structure once per ambient attribute; the lattice elements are
+//! then plain bitsets ([`AtomSet`]) with word-parallel operations:
+//!
+//! ```
+//! use nalist_algebra::Algebra;
+//! use nalist_types::parser::{parse_attr, parse_subattr_of};
+//!
+//! let n = parse_attr("A'(B, C[D(E, F[G])])").unwrap();
+//! let alg = Algebra::new(&n);
+//! let x = alg.from_attr(&parse_subattr_of(&n, "A'(B, C[λ])").unwrap()).unwrap();
+//! let xc = alg.compl(&x);
+//! assert_eq!(alg.render(&xc), "A'(C[D(E, F[G])])");
+//! ```
+//!
+//! A second, structurally recursive implementation of the same operations
+//! ([`treealg`]) follows Definition 3.8 literally and serves as the
+//! cross-validation reference. [`laws::verify_brouwerian`] checks the
+//! algebra laws exhaustively on small lattices, and [`lattice`]/[`render`]
+//! regenerate the paper's Figures 1 and 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atoms;
+pub mod bitset;
+pub mod lattice;
+pub mod laws;
+pub mod render;
+pub mod subset;
+pub mod treealg;
+
+pub use atoms::{Algebra, AtomId, AtomInfo, AtomKind};
+pub use bitset::AtomSet;

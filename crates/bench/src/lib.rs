@@ -1,0 +1,194 @@
+//! # nalist-bench
+//!
+//! Shared workload builders and measurement helpers for the benchmark
+//! suite and the `experiments` binary (see the per-experiment index in
+//! DESIGN.md). Criterion benches handle statistically careful timing;
+//! the helpers here provide the deterministic workloads both consume, a
+//! simple median-of-runs timer for the `experiments` tables, and a
+//! log-log slope fit for empirical complexity exponents.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use nalist::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic closure workload: ambient algebra, `Σ`, and a list of
+/// query left-hand sides.
+pub struct Workload {
+    /// The ambient attribute.
+    pub attr: NestedAttr,
+    /// Its algebra.
+    pub alg: Algebra,
+    /// The dependency set.
+    pub sigma: Vec<CompiledDep>,
+    /// LHS inputs for closure/dependency-basis queries.
+    pub queries: Vec<AtomSet>,
+}
+
+/// Builds a nested workload with exactly `atoms` atoms and `sigma_count`
+/// non-trivial dependencies, deterministic in `seed`.
+pub fn nested_workload(seed: u64, atoms: usize, sigma_count: usize) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let attr = nalist::gen::attr_with_atoms(&mut rng, atoms);
+    let alg = Algebra::new(&attr);
+    let sigma = nalist::gen::random_sigma(
+        &mut rng,
+        &alg,
+        &nalist::gen::SigmaConfig {
+            count: sigma_count,
+            ..Default::default()
+        },
+    );
+    let queries: Vec<AtomSet> = (0..8)
+        .map(|_| nalist::gen::random_subattr(&mut rng, &alg, 0.3))
+        .collect();
+    Workload {
+        attr,
+        alg,
+        sigma,
+        queries,
+    }
+}
+
+/// Builds a flat (relational) workload of the given width.
+pub fn flat_workload(seed: u64, width: usize, sigma_count: usize) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let attr = nalist::gen::flat_attr(width);
+    let alg = Algebra::new(&attr);
+    let sigma = nalist::gen::random_sigma(
+        &mut rng,
+        &alg,
+        &nalist::gen::SigmaConfig {
+            count: sigma_count,
+            ..Default::default()
+        },
+    );
+    let queries: Vec<AtomSet> = (0..8)
+        .map(|_| nalist::gen::random_subattr(&mut rng, &alg, 0.3))
+        .collect();
+    Workload {
+        attr,
+        alg,
+        sigma,
+        queries,
+    }
+}
+
+/// An adversarial workload for the worst-case pass count of
+/// Algorithm 5.1: a flat FD chain `A0 → A1, …, A{n-2} → A{n-1}` listed in
+/// *reverse* order, so each REPEAT-UNTIL pass can absorb only one more
+/// link when closing `{A0}` — forcing `Θ(|N|)` passes of `Θ(|Σ|)` steps.
+pub fn chain_workload(atoms: usize) -> Workload {
+    let attr = nalist::gen::flat_attr(atoms);
+    let alg = Algebra::new(&attr);
+    let mut sigma = Vec::with_capacity(atoms.saturating_sub(1));
+    for i in (0..atoms - 1).rev() {
+        let mut lhs = alg.bottom_set();
+        lhs.insert(i);
+        let mut rhs = alg.bottom_set();
+        rhs.insert(i + 1);
+        sigma.push(CompiledDep::fd(lhs, rhs));
+    }
+    let mut x = alg.bottom_set();
+    x.insert(0);
+    Workload {
+        attr,
+        alg,
+        sigma,
+        queries: vec![x],
+    }
+}
+
+/// Runs every query's closure + dependency basis once (the unit of work
+/// all scaling benches measure).
+pub fn run_closures(w: &Workload) -> usize {
+    let mut acc = 0usize;
+    for q in &w.queries {
+        let b = closure_and_basis(&w.alg, &w.sigma, q);
+        acc += b.closure.count() + b.blocks.len();
+    }
+    acc
+}
+
+/// Median wall-clock time of `runs` executions of `f`, in nanoseconds.
+pub fn median_nanos(runs: usize, mut f: impl FnMut()) -> u128 {
+    assert!(runs >= 1);
+    let mut samples: Vec<u128> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Least-squares slope of `ln(y)` against `ln(x)` — the empirical
+/// complexity exponent of a measurement series.
+pub fn loglog_slope(points: &[(f64, f64)]) -> f64 {
+    assert!(points.len() >= 2);
+    let logs: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x.ln(), y.ln())).collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|p| p.0).sum();
+    let sy: f64 = logs.iter().map(|p| p.1).sum();
+    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Formats nanoseconds human-readably.
+pub fn fmt_nanos(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = nested_workload(1, 12, 4);
+        let b = nested_workload(1, 12, 4);
+        assert_eq!(a.attr, b.attr);
+        assert_eq!(a.sigma, b.sigma);
+        assert_eq!(run_closures(&a), run_closures(&b));
+    }
+
+    #[test]
+    fn slope_of_cubic_is_three() {
+        let pts: Vec<(f64, f64)> = (1..=6)
+            .map(|i| (i as f64, (i as f64).powi(3) * 7.0))
+            .collect();
+        let s = loglog_slope(&pts);
+        assert!((s - 3.0).abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    fn fmt_nanos_ranges() {
+        assert_eq!(fmt_nanos(500), "500 ns");
+        assert_eq!(fmt_nanos(2_500), "2.50 µs");
+        assert_eq!(fmt_nanos(2_500_000), "2.50 ms");
+        assert_eq!(fmt_nanos(2_500_000_000), "2.50 s");
+    }
+
+    #[test]
+    fn median_is_stable() {
+        let mut calls = 0;
+        let m = median_nanos(5, || calls += 1);
+        assert_eq!(calls, 5);
+        assert!(m > 0);
+    }
+}

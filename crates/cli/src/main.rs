@@ -1,0 +1,12 @@
+//! Thin binary wrapper around [`nalist_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match nalist_cli::run(&args, &nalist_cli::OsFiles) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("{}", e.message);
+            std::process::exit(e.code);
+        }
+    }
+}

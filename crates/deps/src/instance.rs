@@ -1,0 +1,343 @@
+//! Finite instances `r ⊆ dom(N)` and the satisfaction of FDs and MVDs
+//! (Definition 4.1).
+//!
+//! An FD `X → Y` is satisfied when any two tuples agreeing on `X` (under
+//! `π^N_X`) also agree on `Y`. An MVD `X ↠ Y` is satisfied when for all
+//! `t1, t2` agreeing on `X` there is a `t ∈ r` combining `t1`'s
+//! `X ⊔ Y`-projection with `t2`'s `X ⊔ Y^C`-projection — equivalently,
+//! within every `X`-group the observed
+//! `(π_{X⊔Y}, π_{X⊔Y^C})` pairs form a full cross product.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use nalist_algebra::{Algebra, AtomSet};
+use nalist_types::attr::NestedAttr;
+use nalist_types::error::{ParseError, TypeError};
+use nalist_types::parser::parse_value;
+use nalist_types::projection::project_unchecked;
+use nalist_types::value::Value;
+
+use crate::dependency::{CompiledDep, Dependency};
+use nalist_types::parser::DepKind;
+
+/// A finite set of values over a fixed nested attribute `N`
+/// (set semantics, deterministic iteration order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    attr: NestedAttr,
+    tuples: BTreeSet<Value>,
+}
+
+impl Instance {
+    /// Creates an empty instance over `n`.
+    pub fn new(n: NestedAttr) -> Self {
+        Instance {
+            attr: n,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// The ambient attribute `N`.
+    pub fn attr(&self) -> &NestedAttr {
+        &self.attr
+    }
+
+    /// Inserts a tuple after checking `t ∈ dom(N)`.
+    pub fn insert(&mut self, t: Value) -> Result<bool, TypeError> {
+        if !t.conforms(&self.attr) {
+            return Err(TypeError::ValueMismatch {
+                attr: self.attr.to_string(),
+                value: t.to_string(),
+            });
+        }
+        Ok(self.tuples.insert(t))
+    }
+
+    /// Inserts a tuple written in the paper's value notation.
+    pub fn insert_str(&mut self, src: &str) -> Result<bool, InstanceError> {
+        let v = parse_value(src).map_err(InstanceError::Parse)?;
+        self.insert(v).map_err(InstanceError::Type)
+    }
+
+    /// Builds an instance from parsed value literals.
+    pub fn from_strs(n: NestedAttr, rows: &[&str]) -> Result<Self, InstanceError> {
+        let mut r = Instance::new(n);
+        for row in rows {
+            r.insert_str(row)?;
+        }
+        Ok(r)
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the instance empty?
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterates over the tuples in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = &Value> {
+        self.tuples.iter()
+    }
+
+    /// Does the instance contain `t`?
+    pub fn contains(&self, t: &Value) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// The projection `π_X(r) = {π^N_X(t) | t ∈ r}` onto a subattribute
+    /// `x ≤ N` (set semantics — duplicates collapse).
+    pub fn project(&self, x: &NestedAttr) -> Result<Instance, TypeError> {
+        if !nalist_types::subattr::is_subattr(x, &self.attr) {
+            return Err(TypeError::NotSubattribute {
+                sub: x.to_string(),
+                sup: self.attr.to_string(),
+            });
+        }
+        let mut out = Instance::new(x.clone());
+        for t in &self.tuples {
+            out.tuples.insert(project_unchecked(&self.attr, x, t)?);
+        }
+        Ok(out)
+    }
+
+    /// Does the instance satisfy the FD `X → Y` (Definition 4.1)?
+    pub fn satisfies_fd(&self, alg: &Algebra, x: &AtomSet, y: &AtomSet) -> bool {
+        let xa = alg.to_attr(x);
+        let ya = alg.to_attr(y);
+        let mut seen: BTreeMap<Value, Value> = BTreeMap::new();
+        for t in &self.tuples {
+            let px = project_unchecked(&self.attr, &xa, t).expect("tuples conform");
+            let py = project_unchecked(&self.attr, &ya, t).expect("tuples conform");
+            if let Some(prev) = seen.get(&px) {
+                if *prev != py {
+                    return false;
+                }
+            } else {
+                seen.insert(px, py);
+            }
+        }
+        true
+    }
+
+    /// Does the instance satisfy the MVD `X ↠ Y` (Definition 4.1)?
+    pub fn satisfies_mvd(&self, alg: &Algebra, x: &AtomSet, y: &AtomSet) -> bool {
+        let xy = alg.to_attr(&alg.join(x, y));
+        let xyc = alg.to_attr(&alg.join(x, &alg.compl(y)));
+        let xa = alg.to_attr(x);
+        // group tuples by π_X, collecting the (π_{X⊔Y}, π_{X⊔Y^C}) pairs
+        let mut groups: BTreeMap<Value, BTreeSet<(Value, Value)>> = BTreeMap::new();
+        for t in &self.tuples {
+            let px = project_unchecked(&self.attr, &xa, t).expect("tuples conform");
+            let pl = project_unchecked(&self.attr, &xy, t).expect("tuples conform");
+            let pr = project_unchecked(&self.attr, &xyc, t).expect("tuples conform");
+            groups.entry(px).or_default().insert((pl, pr));
+        }
+        // the MVD holds iff every group's pair set is a full cross product
+        for pairs in groups.values() {
+            let lefts: BTreeSet<&Value> = pairs.iter().map(|(l, _)| l).collect();
+            let rights: BTreeSet<&Value> = pairs.iter().map(|(_, r)| r).collect();
+            if lefts.len() * rights.len() != pairs.len() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Does the instance satisfy the given compiled dependency?
+    pub fn satisfies(&self, alg: &Algebra, dep: &CompiledDep) -> bool {
+        match dep.kind {
+            DepKind::Fd => self.satisfies_fd(alg, &dep.lhs, &dep.rhs),
+            DepKind::Mvd => self.satisfies_mvd(alg, &dep.lhs, &dep.rhs),
+        }
+    }
+
+    /// Does the instance satisfy the tree-level dependency?
+    pub fn satisfies_dep(&self, alg: &Algebra, dep: &Dependency) -> Result<bool, TypeError> {
+        Ok(self.satisfies(alg, &dep.compile(alg)?))
+    }
+
+    /// Does the instance satisfy every dependency in `sigma`?
+    pub fn satisfies_all(&self, alg: &Algebra, sigma: &[CompiledDep]) -> bool {
+        sigma.iter().all(|d| self.satisfies(alg, d))
+    }
+}
+
+impl std::fmt::Display for Instance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{{")?;
+        for t in &self.tuples {
+            writeln!(f, "  {t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Errors while building instances from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceError {
+    /// Value literal failed to parse.
+    Parse(ParseError),
+    /// Value does not conform to the instance's attribute.
+    Type(TypeError),
+}
+
+impl std::fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstanceError::Parse(e) => write!(f, "parse error: {e}"),
+            InstanceError::Type(e) => write!(f, "type error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nalist_types::parser::parse_attr;
+
+    /// The paper's Example 4.2 snapshot.
+    pub fn pubcrawl_instance() -> (NestedAttr, Algebra, Instance) {
+        let n = parse_attr("Pubcrawl(Person, Visit[Drink(Beer, Pub)])").unwrap();
+        let alg = Algebra::new(&n);
+        let r = Instance::from_strs(
+            n.clone(),
+            &[
+                "(Sven, [(Lübzer, Deanos), (Kindl, Highflyers)])",
+                "(Sven, [(Kindl, Deanos), (Lübzer, Highflyers)])",
+                "(Klaus-Dieter, [(Guiness, Irish Pub), (Speights, 3Bar), (Guiness, Irish Pub)])",
+                "(Klaus-Dieter, [(Kölsch, Irish Pub), (Bönnsch, 3Bar), (Guiness, Irish Pub)])",
+                "(Klaus-Dieter, [(Guiness, Highflyers), (Speights, Deanos), (Guiness, 3Bar)])",
+                "(Klaus-Dieter, [(Kölsch, Highflyers), (Bönnsch, Deanos), (Guiness, 3Bar)])",
+                "(Sebastian, [])",
+            ],
+        )
+        .unwrap();
+        (n, alg, r)
+    }
+
+    fn compile(n: &NestedAttr, alg: &Algebra, s: &str) -> CompiledDep {
+        Dependency::parse(n, s).unwrap().compile(alg).unwrap()
+    }
+
+    #[test]
+    fn example_42_verdicts() {
+        let (n, alg, r) = pubcrawl_instance();
+        assert_eq!(r.len(), 7);
+        // FD Person -> Visit[Drink(Pub)] is NOT satisfied
+        let fd_pub = compile(&n, &alg, "Pubcrawl(Person) -> Pubcrawl(Visit[Drink(Pub)])");
+        assert!(!r.satisfies(&alg, &fd_pub));
+        // FD Person -> Visit[Drink(Beer)] is NOT satisfied
+        let fd_beer = compile(&n, &alg, "Pubcrawl(Person) -> Pubcrawl(Visit[Drink(Beer)])");
+        assert!(!r.satisfies(&alg, &fd_beer));
+        // MVD Person ->> Visit[Drink(Pub)] IS satisfied
+        let mvd_pub = compile(&n, &alg, "Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])");
+        assert!(r.satisfies(&alg, &mvd_pub));
+        // FD Person -> Visit[λ] IS satisfied ("person determines the number
+        // of bars visited")
+        let fd_len = compile(&n, &alg, "Pubcrawl(Person) -> Pubcrawl(Visit[λ])");
+        assert!(r.satisfies(&alg, &fd_len));
+    }
+
+    #[test]
+    fn mvd_symmetric_side_also_holds() {
+        // X ↠ Y implies X ↠ Y^C; check the Beer side explicitly.
+        let (n, alg, r) = pubcrawl_instance();
+        let mvd_beer = compile(
+            &n,
+            &alg,
+            "Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Beer)])",
+        );
+        assert!(r.satisfies(&alg, &mvd_beer));
+    }
+
+    #[test]
+    fn fd_violation_needs_two_tuples() {
+        let n = parse_attr("L(A, B)").unwrap();
+        let alg = Algebra::new(&n);
+        let mut r = Instance::new(n.clone());
+        r.insert_str("(a, b1)").unwrap();
+        let fd = compile(&n, &alg, "L(A) -> L(B)");
+        assert!(r.satisfies(&alg, &fd));
+        r.insert_str("(a, b2)").unwrap();
+        assert!(!r.satisfies(&alg, &fd));
+        // but the MVD A ->> B is trivially satisfied (X ⊔ Y = N)
+        let mvd = compile(&n, &alg, "L(A) ->> L(B)");
+        assert!(r.satisfies(&alg, &mvd));
+    }
+
+    #[test]
+    fn mvd_cross_product_check() {
+        let n = parse_attr("L(A, B, C)").unwrap();
+        let alg = Algebra::new(&n);
+        let mvd = compile(&n, &alg, "L(A) ->> L(B)");
+        // full cross product on (B, C) for A = a: satisfied
+        let r = Instance::from_strs(
+            n.clone(),
+            &["(a, b1, c1)", "(a, b1, c2)", "(a, b2, c1)", "(a, b2, c2)"],
+        )
+        .unwrap();
+        assert!(r.satisfies(&alg, &mvd));
+        // remove one combination: violated
+        let r2 =
+            Instance::from_strs(n.clone(), &["(a, b1, c1)", "(a, b1, c2)", "(a, b2, c1)"]).unwrap();
+        assert!(!r2.satisfies(&alg, &mvd));
+        // different A-groups do not interact
+        let r3 = Instance::from_strs(n.clone(), &["(a, b1, c1)", "(a2, b2, c2)"]).unwrap();
+        assert!(r3.satisfies(&alg, &mvd));
+    }
+
+    #[test]
+    fn empty_and_singleton_satisfy_everything() {
+        let (n, alg, _) = pubcrawl_instance();
+        let deps = [
+            compile(&n, &alg, "Pubcrawl(Person) -> Pubcrawl(Visit[Drink(Pub)])"),
+            compile(&n, &alg, "λ ->> Pubcrawl(Visit[Drink(Beer)])"),
+        ];
+        let empty = Instance::new(n.clone());
+        let mut single = Instance::new(n.clone());
+        single.insert_str("(Sven, [])").unwrap();
+        for d in &deps {
+            assert!(empty.satisfies(&alg, d));
+            assert!(single.satisfies(&alg, d));
+        }
+    }
+
+    #[test]
+    fn projection_collapses_duplicates() {
+        let (n, _, r) = pubcrawl_instance();
+        let person = nalist_types::parser::parse_subattr_of(&n, "Pubcrawl(Person)").unwrap();
+        let p = r.project(&person).unwrap();
+        assert_eq!(p.len(), 3); // Sven, Klaus-Dieter, Sebastian
+    }
+
+    #[test]
+    fn insert_rejects_ill_typed() {
+        let n = parse_attr("L(A, B)").unwrap();
+        let mut r = Instance::new(n);
+        assert!(r.insert(Value::str("flat")).is_err());
+        assert!(r.insert_str("(a)").is_err());
+        assert!(matches!(r.insert_str("(a,"), Err(InstanceError::Parse(_))));
+    }
+
+    #[test]
+    fn projection_rejects_non_subattribute() {
+        let (_, _, r) = pubcrawl_instance();
+        assert!(r.project(&parse_attr("Z").unwrap()).is_err());
+    }
+
+    #[test]
+    fn empty_list_groups_correctly() {
+        // Sebastian's [] must not break grouping/projection machinery.
+        let (n, alg, r) = pubcrawl_instance();
+        let fd = compile(&n, &alg, "Pubcrawl(Visit[λ]) -> Pubcrawl(Person)");
+        // list-shape π: Sven's lists have length 2, Klaus-Dieter's length 3,
+        // Sebastian's 0 — so shape determines person here.
+        assert!(r.satisfies(&alg, &fd));
+    }
+}

@@ -1,0 +1,24 @@
+//! # nalist-gen
+//!
+//! Workload generation for the evaluation (DESIGN.md experiments):
+//!
+//! * [`attr_gen`] — random nested attributes with exact atom counts
+//!   (`|N| = |SubB(N)|` sweeps for the complexity experiments);
+//! * [`sigma_gen`] — random subattributes and dependency sets;
+//! * [`instance_gen`] — random values/instances and Σ-satisfying
+//!   instances via the completeness construction;
+//! * [`scenarios`] — fixed named workloads: the paper's pub-crawl
+//!   example, a genomic sequence database, and an XML-style order store.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attr_gen;
+pub mod instance_gen;
+pub mod scenarios;
+pub mod sigma_gen;
+
+pub use attr_gen::{attr_with_atoms, flat_attr, random_attr, AttrConfig};
+pub use instance_gen::{random_instance, random_value, satisfying_instance, InstanceConfig};
+pub use scenarios::Scenario;
+pub use sigma_gen::{random_dep, random_sigma, random_subattr, SigmaConfig};

@@ -1,0 +1,254 @@
+//! Fixed, named workload scenarios: the paper's running example plus two
+//! domains its introduction motivates (genomic sequence databases and
+//! XML-style documents).
+
+use nalist_deps::{parse_sigma, Dependency, Instance};
+use nalist_types::attr::NestedAttr;
+use nalist_types::parser::parse_attr;
+
+/// A named scenario: ambient attribute, dependency set, sample instance.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name.
+    pub name: &'static str,
+    /// The ambient nested attribute `N`.
+    pub attr: NestedAttr,
+    /// The dependency set `Σ`.
+    pub sigma: Vec<Dependency>,
+    /// A sample instance over `N`.
+    pub instance: Instance,
+}
+
+/// The paper's Example 4.2: `Pubcrawl(Person, Visit[Drink(Beer, Pub)])`
+/// with the exact seven-tuple snapshot.
+pub fn pubcrawl() -> Scenario {
+    let attr = parse_attr("Pubcrawl(Person, Visit[Drink(Beer, Pub)])").expect("static schema");
+    let sigma = parse_sigma(
+        &attr,
+        "Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])\n\
+         Pubcrawl(Person) -> Pubcrawl(Visit[λ])",
+    )
+    .expect("static dependencies");
+    let instance = Instance::from_strs(
+        attr.clone(),
+        &[
+            "(Sven, [(Lübzer, Deanos), (Kindl, Highflyers)])",
+            "(Sven, [(Kindl, Deanos), (Lübzer, Highflyers)])",
+            "(Klaus-Dieter, [(Guiness, Irish Pub), (Speights, 3Bar), (Guiness, Irish Pub)])",
+            "(Klaus-Dieter, [(Kölsch, Irish Pub), (Bönnsch, 3Bar), (Guiness, Irish Pub)])",
+            "(Klaus-Dieter, [(Guiness, Highflyers), (Speights, Deanos), (Guiness, 3Bar)])",
+            "(Klaus-Dieter, [(Kölsch, Highflyers), (Bönnsch, Deanos), (Guiness, 3Bar)])",
+            "(Sebastian, [])",
+        ],
+    )
+    .expect("static instance");
+    Scenario {
+        name: "pubcrawl",
+        attr,
+        sigma,
+        instance,
+    }
+}
+
+/// A genomic sequence database (the paper cites sequence databases as a
+/// natural home for lists): a gene carries an ordered list of exons and
+/// an ordered residue list of its protein product.
+pub fn genomic() -> Scenario {
+    let attr = parse_attr("Gene(Locus, Exons[Exon(Start, End)], Product(Protein, Residues[Acid]))")
+        .expect("static schema");
+    let sigma = parse_sigma(
+        &attr,
+        "# the locus determines the exon structure\n\
+         Gene(Locus) -> Gene(Exons[Exon(Start, End)])\n\
+         # the protein name determines its residue sequence\n\
+         Gene(Product(Protein)) -> Gene(Product(Residues[Acid]))\n\
+         # exon structure and protein vary independently per locus\n\
+         Gene(Locus) ->> Gene(Product(Protein, Residues[Acid]))",
+    )
+    .expect("static dependencies");
+    let instance = Instance::from_strs(
+        attr.clone(),
+        &[
+            "(BRCA1, [(100, 200), (300, 400)], (P38398, [M, D, L, S]))",
+            "(TP53, [(50, 150)], (P04637, [M, E, E, P]))",
+            "(MDM2, [(10, 60), (80, 120), (140, 160)], (Q00987, [M, C, N]))",
+        ],
+    )
+    .expect("static instance");
+    Scenario {
+        name: "genomic",
+        attr,
+        sigma,
+        instance,
+    }
+}
+
+/// An XML-ish order document (the paper names XML as a key consumer of
+/// list types): an order holds an ordered line-item list; the customer
+/// determines the shipping route list; items and route are independent.
+pub fn xml_orders() -> Scenario {
+    let attr = parse_attr("Order(Customer, Items[Item(Sku, Qty)], Route[Hop], Priority)")
+        .expect("static schema");
+    let sigma = parse_sigma(
+        &attr,
+        "Order(Customer) -> Order(Route[Hop])\n\
+         # the item list (and the priority it implies) is independent of the route\n\
+         Order(Customer) ->> Order(Items[Item(Sku, Qty)], Priority)\n\
+         Order(Customer, Items[λ]) -> Order(Priority)",
+    )
+    .expect("static dependencies");
+    let instance = Instance::from_strs(
+        attr.clone(),
+        &[
+            "(acme, [(widget, 2), (bolt, 10)], [hub1, hub2], express)",
+            "(acme, [(nut, 5)], [hub1, hub2], standard)",
+            "(globex, [], [hub3], standard)",
+        ],
+    )
+    .expect("static instance");
+    Scenario {
+        name: "xml_orders",
+        attr,
+        sigma,
+        instance,
+    }
+}
+
+/// A sensor time-series store (the paper names time-series data among
+/// the motivations for list types): a sensor keeps an ordered window of
+/// readings plus calibration metadata.
+pub fn timeseries() -> Scenario {
+    let attr = parse_attr("Stream(Sensor, Window[Reading(Ts, Val)], Calib(Gain, Offset))")
+        .expect("static schema");
+    let sigma = parse_sigma(
+        &attr,
+        "# a sensor's calibration is fixed\n\
+         Stream(Sensor) -> Stream(Calib(Gain, Offset))\n\
+         # the sensor determines the sampling timestamps of its window\n\
+         Stream(Sensor) -> Stream(Window[Reading(Ts)])\n\
+         # measured values vary independently of the calibration record\n\
+         Stream(Sensor) ->> Stream(Window[Reading(Val)])",
+    )
+    .expect("static dependencies");
+    let instance = Instance::from_strs(
+        attr.clone(),
+        &[
+            "(s1, [(0, 17), (10, 18)], (2, 1))",
+            "(s1, [(0, 21), (10, 16)], (2, 1))",
+            "(s2, [(5, 99)], (1, 0))",
+        ],
+    )
+    .expect("static instance");
+    Scenario {
+        name: "timeseries",
+        attr,
+        sigma,
+        instance,
+    }
+}
+
+/// All named scenarios.
+pub fn all() -> Vec<Scenario> {
+    vec![pubcrawl(), genomic(), xml_orders(), timeseries()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nalist_algebra::Algebra;
+
+    #[test]
+    fn scenarios_are_well_formed() {
+        for s in all() {
+            s.attr.validate().unwrap();
+            let alg = Algebra::new(&s.attr);
+            assert!(!s.sigma.is_empty(), "{}", s.name);
+            for d in &s.sigma {
+                d.compile(&alg)
+                    .unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            }
+            assert!(!s.instance.is_empty());
+        }
+    }
+
+    #[test]
+    fn pubcrawl_instance_satisfies_sigma() {
+        let s = pubcrawl();
+        let alg = Algebra::new(&s.attr);
+        for d in &s.sigma {
+            assert!(
+                s.instance.satisfies_dep(&alg, d).unwrap(),
+                "{}",
+                d.display_in(&s.attr)
+            );
+        }
+    }
+
+    #[test]
+    fn genomic_instance_satisfies_sigma() {
+        let s = genomic();
+        let alg = Algebra::new(&s.attr);
+        for d in &s.sigma {
+            assert!(
+                s.instance.satisfies_dep(&alg, d).unwrap(),
+                "{}",
+                d.display_in(&s.attr)
+            );
+        }
+    }
+
+    #[test]
+    fn xml_instance_satisfies_sigma() {
+        let s = xml_orders();
+        let alg = Algebra::new(&s.attr);
+        for d in &s.sigma {
+            assert!(
+                s.instance.satisfies_dep(&alg, d).unwrap(),
+                "{}",
+                d.display_in(&s.attr)
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_atom_counts() {
+        assert_eq!(pubcrawl().attr.basis_size(), 4);
+        assert_eq!(genomic().attr.basis_size(), 7);
+        assert_eq!(xml_orders().attr.basis_size(), 7);
+        assert_eq!(timeseries().attr.basis_size(), 6);
+    }
+
+    #[test]
+    fn timeseries_instance_satisfies_sigma() {
+        let s = timeseries();
+        let alg = Algebra::new(&s.attr);
+        for d in &s.sigma {
+            assert!(
+                s.instance.satisfies_dep(&alg, d).unwrap(),
+                "{}",
+                d.display_in(&s.attr)
+            );
+        }
+        // the shape FD follows from the timestamp FD (a weaker projection)
+        let shape = Dependency::parse(&s.attr, "Stream(Sensor) -> Stream(Window[λ])").unwrap();
+        assert!(s.instance.satisfies_dep(&alg, &shape).unwrap());
+    }
+
+    #[test]
+    fn timeseries_with_typed_universe() {
+        use nalist_types::universe::{DomainKind, Universe};
+        let s = timeseries();
+        let mut u = Universe::from_attr(&s.attr).unwrap();
+        // tighten the numeric domains
+        u.add_flat("Ts", DomainKind::Integer).unwrap();
+        u.add_flat("Val", DomainKind::Integer).unwrap();
+        u.add_flat("Gain", DomainKind::Integer).unwrap();
+        u.add_flat("Offset", DomainKind::Integer).unwrap();
+        for t in s.instance.iter() {
+            assert!(t.conforms_in(&s.attr, &u), "{t}");
+        }
+        // a string where an integer is required is rejected
+        let bad = nalist_types::parser::parse_value("(s1, [(zero, 17)], (2, 1))").unwrap();
+        assert!(!bad.conforms_in(&s.attr, &u));
+    }
+}

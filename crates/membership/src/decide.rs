@@ -1,0 +1,294 @@
+//! The membership decision `Σ ⊨ σ` (Theorem 6.4): run Algorithm 5.1 for
+//! `σ`'s left-hand side and apply Proposition 4.10.
+
+use nalist_algebra::{Algebra, AtomSet};
+use nalist_deps::{CompiledDep, DepKind, Dependency};
+use nalist_types::attr::NestedAttr;
+use nalist_types::error::{ParseError, TypeError};
+
+use crate::closure::{closure_and_basis, DependencyBasis};
+
+/// Decides `Σ ⊨ σ` on compiled inputs.
+pub fn implies(alg: &Algebra, sigma: &[CompiledDep], dep: &CompiledDep) -> bool {
+    let basis = closure_and_basis(alg, sigma, &dep.lhs);
+    match dep.kind {
+        DepKind::Fd => basis.fd_derivable(&dep.rhs),
+        DepKind::Mvd => basis.mvd_derivable(&dep.rhs),
+    }
+}
+
+/// A convenience engine bundling an ambient attribute, its algebra and a
+/// compiled `Σ`, with string-level entry points.
+///
+/// ```
+/// use nalist_membership::Reasoner;
+/// use nalist_types::parser::parse_attr;
+///
+/// let n = parse_attr("Pubcrawl(Person, Visit[Drink(Beer, Pub)])").unwrap();
+/// let mut r = Reasoner::new(&n);
+/// r.add_str("Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])").unwrap();
+/// // the mixed meet rule yields: Person determines the visit list shape
+/// assert!(r.implies_str("Pubcrawl(Person) -> Pubcrawl(Visit[λ])").unwrap());
+/// assert!(!r.implies_str("Pubcrawl(Person) -> Pubcrawl(Visit[Drink(Pub)])").unwrap());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Reasoner {
+    attr: NestedAttr,
+    alg: Algebra,
+    sigma: Vec<Dependency>,
+    compiled: Vec<CompiledDep>,
+    /// per-LHS dependency-basis cache, invalidated when Σ changes
+    cache: std::cell::RefCell<std::collections::HashMap<AtomSet, DependencyBasis>>,
+}
+
+/// Errors from the string-level [`Reasoner`] API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReasonerError {
+    /// Dependency text failed to parse or resolve.
+    Parse(ParseError),
+    /// Dependency sides are not subattributes of the ambient attribute.
+    Type(TypeError),
+}
+
+impl std::fmt::Display for ReasonerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReasonerError::Parse(e) => write!(f, "parse error: {e}"),
+            ReasonerError::Type(e) => write!(f, "type error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReasonerError {}
+
+impl Reasoner {
+    /// Creates a reasoner over the ambient attribute `n` with empty `Σ`.
+    pub fn new(n: &NestedAttr) -> Self {
+        Reasoner {
+            attr: n.clone(),
+            alg: Algebra::new(n),
+            sigma: Vec::new(),
+            compiled: Vec::new(),
+            cache: std::cell::RefCell::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// The ambient attribute.
+    pub fn attr(&self) -> &NestedAttr {
+        &self.attr
+    }
+
+    /// The underlying algebra.
+    pub fn algebra(&self) -> &Algebra {
+        &self.alg
+    }
+
+    /// The current `Σ`.
+    pub fn sigma(&self) -> &[Dependency] {
+        &self.sigma
+    }
+
+    /// The current `Σ`, compiled.
+    pub fn compiled_sigma(&self) -> &[CompiledDep] {
+        &self.compiled
+    }
+
+    /// Adds a dependency to `Σ`.
+    pub fn add(&mut self, dep: Dependency) -> Result<(), ReasonerError> {
+        let c = dep.compile(&self.alg).map_err(ReasonerError::Type)?;
+        self.cache.borrow_mut().clear();
+        self.sigma.push(dep);
+        self.compiled.push(c);
+        Ok(())
+    }
+
+    /// Adds a dependency written as `"X -> Y"` / `"X ->> Y"`.
+    pub fn add_str(&mut self, src: &str) -> Result<(), ReasonerError> {
+        let dep = Dependency::parse(&self.attr, src).map_err(ReasonerError::Parse)?;
+        self.add(dep)
+    }
+
+    /// Decides `Σ ⊨ σ` (using the per-LHS basis cache).
+    pub fn implies(&self, dep: &Dependency) -> Result<bool, ReasonerError> {
+        let c = dep.compile(&self.alg).map_err(ReasonerError::Type)?;
+        let basis = self.dependency_basis(&c.lhs);
+        Ok(match c.kind {
+            nalist_deps::DepKind::Fd => basis.fd_derivable(&c.rhs),
+            nalist_deps::DepKind::Mvd => basis.mvd_derivable(&c.rhs),
+        })
+    }
+
+    /// Decides `Σ ⊨ σ` for a dependency written as text.
+    pub fn implies_str(&self, src: &str) -> Result<bool, ReasonerError> {
+        let dep = Dependency::parse(&self.attr, src).map_err(ReasonerError::Parse)?;
+        self.implies(&dep)
+    }
+
+    /// Attribute-set closure `X⁺` of a subattribute given as text.
+    pub fn closure_str(&self, src: &str) -> Result<NestedAttr, ReasonerError> {
+        let x = nalist_types::parser::parse_subattr_of(&self.attr, src)
+            .map_err(ReasonerError::Parse)?;
+        let xs = self.alg.from_attr(&x).map_err(ReasonerError::Type)?;
+        let b = closure_and_basis(&self.alg, &self.compiled, &xs);
+        Ok(self.alg.to_attr(&b.closure))
+    }
+
+    /// Full dependency basis for a subattribute `X`. Results are cached
+    /// per left-hand side until `Σ` changes, so repeated queries with the
+    /// same `X` (common in cover/normal-form workloads) pay once.
+    pub fn dependency_basis(&self, x: &AtomSet) -> DependencyBasis {
+        if let Some(hit) = self.cache.borrow().get(x) {
+            return hit.clone();
+        }
+        let basis = closure_and_basis(&self.alg, &self.compiled, x);
+        self.cache.borrow_mut().insert(x.clone(), basis.clone());
+        basis
+    }
+
+    /// Dependency basis for a subattribute given in abbreviated notation.
+    pub fn dependency_basis_str(&self, src: &str) -> Result<DependencyBasis, ReasonerError> {
+        let x = nalist_types::parser::parse_subattr_of(&self.attr, src)
+            .map_err(ReasonerError::Parse)?;
+        let xs = self.alg.from_attr(&x).map_err(ReasonerError::Type)?;
+        Ok(self.dependency_basis(&xs))
+    }
+
+    /// Decides `Σ ⊨ σ` and returns evidence: a checkable derivation DAG
+    /// when implied, a verified counterexample instance when not.
+    pub fn decide_with_evidence(&self, src: &str) -> Result<Evidence, ReasonerError> {
+        let dep = Dependency::parse(&self.attr, src).map_err(ReasonerError::Parse)?;
+        let c = dep.compile(&self.alg).map_err(ReasonerError::Type)?;
+        match crate::certify::certify(&self.alg, &self.compiled, &c) {
+            Some(proof) => Ok(Evidence::Implied { proof }),
+            None => {
+                let witness = crate::witness::refute(&self.alg, &self.compiled, &c)
+                    .map_err(|e| {
+                        ReasonerError::Type(nalist_types::error::TypeError::ValueMismatch {
+                            attr: self.attr.to_string(),
+                            value: e.to_string(),
+                        })
+                    })?
+                    .expect("not implied implies a witness exists");
+                Ok(Evidence::NotImplied {
+                    witness: Box::new(witness),
+                })
+            }
+        }
+    }
+}
+
+/// Evidence accompanying a membership verdict (see
+/// [`Reasoner::decide_with_evidence`]).
+#[derive(Debug, Clone)]
+pub enum Evidence {
+    /// The dependency is implied; the proof DAG re-verifies against `Σ`.
+    Implied {
+        /// A machine-checkable derivation over the 14 rules.
+        proof: nalist_deps::ProofDag,
+    },
+    /// The dependency is not implied; the witness satisfies `Σ` and
+    /// violates the dependency.
+    NotImplied {
+        /// The verified counterexample.
+        witness: Box<crate::witness::Witness>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nalist_types::parser::parse_attr;
+
+    #[test]
+    fn reasoner_end_to_end() {
+        let n = parse_attr("L(A, B, C)").unwrap();
+        let mut r = Reasoner::new(&n);
+        r.add_str("L(A) -> L(B)").unwrap();
+        r.add_str("L(B) ->> L(C)").unwrap();
+        assert!(r.implies_str("L(A) -> L(B)").unwrap());
+        assert!(r.implies_str("L(A) ->> L(B)").unwrap());
+        assert!(!r.implies_str("L(B) -> L(A)").unwrap());
+        assert_eq!(r.closure_str("L(A)").unwrap().to_string(), "L(A, B, λ)");
+        assert_eq!(r.sigma().len(), 2);
+    }
+
+    #[test]
+    fn equivalence_of_fd_and_derived_mvd() {
+        // FD implies MVD (implication rule), checked through the decision
+        // procedure rather than the rules.
+        let n = parse_attr("L(A, B, C)").unwrap();
+        let mut r = Reasoner::new(&n);
+        r.add_str("L(A) -> L(B, C)").unwrap();
+        assert!(r.implies_str("L(A) ->> L(B)").unwrap());
+        assert!(r.implies_str("L(A) ->> L(C)").unwrap());
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let n = parse_attr("L(A, B)").unwrap();
+        let mut r = Reasoner::new(&n);
+        assert!(matches!(
+            r.add_str("L(Z) -> L(A)"),
+            Err(ReasonerError::Parse(_))
+        ));
+        assert!(matches!(
+            r.implies_str("garbage"),
+            Err(ReasonerError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn evidence_api() {
+        let n = parse_attr("L(A, B, C)").unwrap();
+        let mut r = Reasoner::new(&n);
+        r.add_str("L(A) -> L(B)").unwrap();
+        match r.decide_with_evidence("L(A) ->> L(B)").unwrap() {
+            Evidence::Implied { proof } => {
+                proof.check(r.algebra(), r.compiled_sigma()).unwrap();
+            }
+            Evidence::NotImplied { .. } => panic!("should be implied"),
+        }
+        match r.decide_with_evidence("L(A) -> L(C)").unwrap() {
+            Evidence::NotImplied { witness } => {
+                assert!(witness
+                    .instance
+                    .satisfies_all(r.algebra(), r.compiled_sigma()));
+            }
+            Evidence::Implied { .. } => panic!("should not be implied"),
+        }
+        let basis = r.dependency_basis_str("L(A)").unwrap();
+        assert!(basis.fd_derivable(&basis.closure));
+    }
+
+    #[test]
+    fn basis_cache_invalidated_on_add() {
+        let n = parse_attr("L(A, B, C)").unwrap();
+        let mut r = Reasoner::new(&n);
+        r.add_str("L(A) -> L(B)").unwrap();
+        // query once (fills the cache), then change Σ and re-query
+        assert!(!r.implies_str("L(A) -> L(C)").unwrap());
+        r.add_str("L(B) -> L(C)").unwrap();
+        assert!(r.implies_str("L(A) -> L(C)").unwrap());
+        // repeated queries hit the cache and stay consistent
+        for _ in 0..3 {
+            assert!(r.implies_str("L(A) -> L(C)").unwrap());
+        }
+        // clones carry the cache but remain independent
+        let r2 = r.clone();
+        assert!(r2.implies_str("L(A) -> L(C)").unwrap());
+    }
+
+    #[test]
+    fn trivial_dependencies_always_implied() {
+        let n = parse_attr("Pubcrawl(Person, Visit[Drink(Beer, Pub)])").unwrap();
+        let r = Reasoner::new(&n);
+        assert!(r.implies_str("Pubcrawl(Person) -> λ").unwrap());
+        assert!(r
+            .implies_str("Pubcrawl(Person) -> Pubcrawl(Person)")
+            .unwrap());
+        assert!(r
+            .implies_str("Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Beer, Pub)])")
+            .unwrap());
+        assert!(!r.implies_str("λ -> Pubcrawl(Person)").unwrap());
+    }
+}

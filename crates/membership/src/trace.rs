@@ -1,0 +1,93 @@
+//! Human-readable rendering of Algorithm 5.1 traces — regenerates the
+//! initialisation (Figure 3), the per-pass intermediate results of
+//! Example 5.1, and the final state (Figure 4) in the paper's notation.
+
+use nalist_algebra::{Algebra, AtomSet};
+use nalist_deps::CompiledDep;
+
+use crate::closure::{DependencyBasis, Trace};
+
+fn render_db(alg: &Algebra, db: &[AtomSet]) -> String {
+    db.iter()
+        .map(|w| alg.render(w))
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+/// Renders a full trace, one line per dependency-processing step.
+pub fn render_trace(alg: &Algebra, sigma: &[CompiledDep], trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "initialisation:\n  X_new = {}\n  DB_new = {{{}}}\n",
+        alg.render(&trace.init_x),
+        render_db(alg, &trace.init_db)
+    ));
+    for (p, pass) in trace.passes.iter().enumerate() {
+        out.push_str(&format!("pass {}:\n", p + 1));
+        for step in pass {
+            let sigma_index = trace.order[step.dep_index];
+            let dep = &sigma[sigma_index];
+            out.push_str(&format!(
+                "  [{}] {}\n    Ū = {}, Ṽ = {}\n",
+                sigma_index + 1,
+                dep.render(alg),
+                alg.render(&step.ubar),
+                alg.render(&step.vtilde),
+            ));
+            if step.changed {
+                out.push_str(&format!(
+                    "    X_new = {}\n    DB_new = {{{}}}\n",
+                    alg.render(&step.x_after),
+                    render_db(alg, &step.db_after)
+                ));
+            } else {
+                out.push_str("    no changes\n");
+            }
+        }
+    }
+    out
+}
+
+/// Renders the final output (`X⁺` and `DepB(X)`) in the paper's notation.
+pub fn render_result(alg: &Algebra, basis: &DependencyBasis) -> String {
+    format!(
+        "X+ = {}\nDepB(X) = {{{}}}\n",
+        alg.render(&basis.closure),
+        basis
+            .basis
+            .iter()
+            .map(|w| alg.render(w))
+            .collect::<Vec<_>>()
+            .join("; ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::closure_and_basis_traced;
+    use nalist_deps::Dependency;
+    use nalist_types::parser::{parse_attr, parse_subattr_of};
+
+    #[test]
+    fn trace_render_contains_states() {
+        let n = parse_attr("L(A, B, C)").unwrap();
+        let alg = Algebra::new(&n);
+        let sigma: Vec<CompiledDep> = ["L(A) -> L(B)", "L(B) ->> L(C)"]
+            .iter()
+            .map(|s| Dependency::parse(&n, s).unwrap().compile(&alg).unwrap())
+            .collect();
+        let x = alg
+            .from_attr(&parse_subattr_of(&n, "L(A)").unwrap())
+            .unwrap();
+        let (basis, trace) = closure_and_basis_traced(&alg, &sigma, &x);
+        let rendered = render_trace(&alg, &sigma, &trace);
+        assert!(rendered.contains("initialisation:"));
+        assert!(rendered.contains("X_new = L(A)"));
+        assert!(rendered.contains("pass 1:"));
+        assert!(rendered.contains("no changes"));
+        let result = render_result(&alg, &basis);
+        assert!(result.starts_with("X+ = L(A, B)"));
+        assert!(result.contains("DepB(X)"));
+    }
+}

@@ -1,0 +1,30 @@
+//! # nalist-schema
+//!
+//! Schema-design applications built on the membership algorithm — the
+//! use cases the paper's introduction motivates ("deciding the
+//! equivalence of two sets of dependencies or the redundancy of a given
+//! set … a significant step towards automated database schema design"):
+//!
+//! * [`cover`] — Σ-equivalence, redundancy detection, non-redundant and
+//!   minimal covers;
+//! * [`keys`] — superkeys, candidate keys, key minimisation;
+//! * [`normalform`] — 4NF-with-lists and BCNF-with-lists checking;
+//! * [`decompose`] — lossless binary splits along MVDs (Theorem 4.4),
+//!   recursive 4NF decomposition, and instance-level losslessness
+//!   verification.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cover;
+pub mod decompose;
+pub mod keys;
+pub mod normalform;
+
+pub use cover::{equivalent, minimal_cover, nonredundant_cover, redundant_indices};
+pub use decompose::{
+    binary_split, decompose_4nf, is_dependency_preserving, lost_dependencies, verify_lossless,
+    Component,
+};
+pub use keys::{candidate_keys, is_candidate_key, is_superkey, minimize_superkey};
+pub use normalform::{is_bcnf, is_fourth_nf, Violation};

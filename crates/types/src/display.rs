@@ -1,0 +1,436 @@
+//! Rendering of nested attributes, including the paper's `λ`-omission
+//! abbreviation convention (Section 3.3).
+//!
+//! Two notations are provided:
+//!
+//! * the **canonical** notation via [`std::fmt::Display`]: every record
+//!   component is printed, `λ` included — e.g.
+//!   `L1(A, λ, L2[L3(λ, λ)])`;
+//! * the **abbreviated** notation via [`abbreviate`]: components that are
+//!   the bottom `λ_{N_j}` of their position are omitted, a record that is
+//!   entirely bottom collapses to `λ`, and a list whose content is the
+//!   bottom of the content type prints as `L[λ]` — e.g. the same attribute
+//!   prints as `L1(A, L2[λ])`. Following the paper, the abbreviation is
+//!   only used when it is unambiguous: `L(A, λ) ≤ L(A, A)` is *not*
+//!   abbreviated to `L(A)` "since this may also refer to `L(λ, A)`";
+//!   instead the full form is printed.
+//!
+//! The intermediate [`Loose`] representation (an abbreviated attribute
+//! whose record components are a subsequence of the context's components)
+//! is shared with the parser, which resolves user-written abbreviated
+//! forms back into canonical subattributes.
+
+use std::fmt;
+
+use crate::attr::NestedAttr;
+use crate::subattr::is_subattr;
+
+impl fmt::Display for NestedAttr {
+    /// Canonical (unabbreviated) paper notation; `λ` is printed for the
+    /// null attribute.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NestedAttr::Null => write!(f, "λ"),
+            NestedAttr::Flat(a) => write!(f, "{a}"),
+            NestedAttr::Record(l, children) => {
+                write!(f, "{l}(")?;
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            NestedAttr::List(l, inner) => write!(f, "{l}[{inner}]"),
+        }
+    }
+}
+
+/// An *abbreviated* nested attribute: record components are a subsequence
+/// of the components of the context attribute, `λ` stands for an omitted
+/// bottom. Produced by the parser and by [`to_loose`]; resolved against a
+/// context attribute by [`resolutions`]/[`count_resolutions`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Loose {
+    /// `λ` — resolves to the bottom `λ_N` of the context.
+    Lambda,
+    /// A flat attribute name.
+    Flat(String),
+    /// `L(d1, …, dm)` where the `di` match a subsequence of the context's
+    /// components (omitted components are bottom).
+    Record(String, Vec<Loose>),
+    /// `L[d]`.
+    List(String, Box<Loose>),
+}
+
+impl fmt::Display for Loose {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Loose::Lambda => write!(f, "λ"),
+            Loose::Flat(a) => write!(f, "{a}"),
+            Loose::Record(l, ds) => {
+                write!(f, "{l}(")?;
+                for (i, d) in ds.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                write!(f, ")")
+            }
+            Loose::List(l, d) => write!(f, "{l}[{d}]"),
+        }
+    }
+}
+
+/// Maximally abbreviated loose form of `x ≤ n` (may be ambiguous; see
+/// [`loose_unambiguous`]).
+pub fn to_loose(x: &NestedAttr, n: &NestedAttr) -> Loose {
+    debug_assert!(is_subattr(x, n), "to_loose requires x ≤ n");
+    if x.is_bottom() {
+        return Loose::Lambda;
+    }
+    match (x, n) {
+        (NestedAttr::Flat(a), _) => Loose::Flat(a.clone()),
+        (NestedAttr::Record(l, xcs), NestedAttr::Record(_, ncs)) => {
+            let kept: Vec<Loose> = xcs
+                .iter()
+                .zip(ncs)
+                .filter(|(xc, nc)| **xc != nc.bottom())
+                .map(|(xc, nc)| to_loose(xc, nc))
+                .collect();
+            Loose::Record(l.clone(), kept)
+        }
+        (NestedAttr::List(l, xi), NestedAttr::List(_, ni)) => {
+            if **xi == ni.bottom() {
+                Loose::List(l.clone(), Box::new(Loose::Lambda))
+            } else {
+                Loose::List(l.clone(), Box::new(to_loose(xi, ni)))
+            }
+        }
+        _ => unreachable!("x ≤ n guarantees matching shapes for non-bottom x"),
+    }
+}
+
+/// Counts the subattributes of `n` whose abbreviated form matches `d`
+/// (saturating at `u64::MAX`).
+pub fn count_resolutions(d: &Loose, n: &NestedAttr) -> u64 {
+    match (d, n) {
+        (Loose::Lambda, _) => 1, // resolves to bottom(n)
+        (Loose::Flat(a), NestedAttr::Flat(b)) => u64::from(a == b),
+        (Loose::Record(l, ds), NestedAttr::Record(k, ncs)) if l == k => count_assignments(ds, ncs),
+        (Loose::List(l, di), NestedAttr::List(k, ni)) if l == k => count_resolutions(di, ni),
+        _ => 0,
+    }
+}
+
+/// DP over subsequence assignments: the number of ways to resolve the
+/// component list `ds` against the context components `ns`, where skipped
+/// positions become bottoms.
+fn count_assignments(ds: &[Loose], ns: &[NestedAttr]) -> u64 {
+    // f[i][j]: ways to match ds[i..] against ns[j..].
+    let m = ds.len();
+    let k = ns.len();
+    if m > k {
+        return 0;
+    }
+    let mut f = vec![vec![0u64; k + 1]; m + 1];
+    for cell in f[m].iter_mut() {
+        *cell = 1; // remaining positions all become bottom
+    }
+    for i in (0..m).rev() {
+        for j in (0..k).rev() {
+            let skip = f[i][j + 1];
+            let here = count_resolutions(&ds[i], &ns[j]).saturating_mul(f[i + 1][j + 1]);
+            f[i][j] = skip.saturating_add(here);
+        }
+    }
+    f[0][0]
+}
+
+/// All subattributes of `n` matching the loose form `d`, in deterministic
+/// order. Used by the parser; bounded callers only (the count can be
+/// exponential for adversarial inputs — use [`count_resolutions`] first).
+pub fn resolutions(d: &Loose, n: &NestedAttr) -> Vec<NestedAttr> {
+    match (d, n) {
+        (Loose::Lambda, _) => vec![n.bottom()],
+        (Loose::Flat(a), NestedAttr::Flat(b)) if a == b => vec![n.clone()],
+        (Loose::Record(l, ds), NestedAttr::Record(k, ncs)) if l == k => {
+            let mut out = Vec::new();
+            assign(ds, ncs, 0, 0, &mut Vec::new(), &mut out);
+            out.into_iter()
+                .map(|components| NestedAttr::Record(l.clone(), components))
+                .collect()
+        }
+        (Loose::List(l, di), NestedAttr::List(k, ni)) if l == k => resolutions(di, ni)
+            .into_iter()
+            .map(|inner| NestedAttr::List(l.clone(), Box::new(inner)))
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn assign(
+    ds: &[Loose],
+    ns: &[NestedAttr],
+    i: usize,
+    j: usize,
+    acc: &mut Vec<NestedAttr>,
+    out: &mut Vec<Vec<NestedAttr>>,
+) {
+    if i == ds.len() {
+        let mut full = acc.clone();
+        full.extend(ns[j..].iter().map(NestedAttr::bottom));
+        out.push(full);
+        return;
+    }
+    if j == ns.len() {
+        return;
+    }
+    // match ds[i] at position j
+    for r in resolutions(&ds[i], &ns[j]) {
+        acc.push(r);
+        assign(ds, ns, i + 1, j + 1, acc, out);
+        acc.pop();
+    }
+    // skip position j (it becomes bottom)
+    acc.push(ns[j].bottom());
+    assign(ds, ns, i, j + 1, acc, out);
+    acc.pop();
+}
+
+/// Abbreviated loose form of `x ≤ n` that is guaranteed to resolve
+/// uniquely: where maximal omission would be ambiguous (the paper's
+/// `L(A, A)` case), the record is printed with all components explicit.
+pub fn loose_unambiguous(x: &NestedAttr, n: &NestedAttr) -> Loose {
+    debug_assert!(is_subattr(x, n), "loose_unambiguous requires x ≤ n");
+    if x.is_bottom() {
+        return Loose::Lambda;
+    }
+    match (x, n) {
+        (NestedAttr::Flat(a), _) => Loose::Flat(a.clone()),
+        (NestedAttr::Record(l, xcs), NestedAttr::Record(_, ncs)) => {
+            let kept: Vec<Loose> = xcs
+                .iter()
+                .zip(ncs)
+                .filter(|(xc, nc)| **xc != nc.bottom())
+                .map(|(xc, nc)| loose_unambiguous(xc, nc))
+                .collect();
+            let candidate = Loose::Record(l.clone(), kept);
+            if count_resolutions(&candidate, n) == 1 {
+                candidate
+            } else {
+                // fall back to full arity: assignment is then forced.
+                let explicit: Vec<Loose> = xcs
+                    .iter()
+                    .zip(ncs)
+                    .map(|(xc, nc)| {
+                        if *xc == nc.bottom() {
+                            Loose::Lambda
+                        } else {
+                            loose_unambiguous(xc, nc)
+                        }
+                    })
+                    .collect();
+                Loose::Record(l.clone(), explicit)
+            }
+        }
+        (NestedAttr::List(l, xi), NestedAttr::List(_, ni)) => {
+            if **xi == ni.bottom() {
+                Loose::List(l.clone(), Box::new(Loose::Lambda))
+            } else {
+                Loose::List(l.clone(), Box::new(loose_unambiguous(xi, ni)))
+            }
+        }
+        _ => unreachable!("x ≤ n guarantees matching shapes for non-bottom x"),
+    }
+}
+
+/// Paper-style abbreviated rendering of a subattribute `x ≤ n`
+/// (Section 3.3).
+///
+/// ```
+/// use nalist_types::{display::abbreviate, NestedAttr as A};
+///
+/// // L1(A, λ, L2[L3(λ, λ)]) ≤ L1(A, B, L2[L3(C, D)]) prints as L1(A, L2[λ])
+/// let n = A::record("L1", vec![
+///     A::flat("A"),
+///     A::flat("B"),
+///     A::list("L2", A::record("L3", vec![A::flat("C"), A::flat("D")]).unwrap()),
+/// ]).unwrap();
+/// let x = A::record("L1", vec![
+///     A::flat("A"),
+///     A::Null,
+///     A::list("L2", A::record("L3", vec![A::Null, A::Null]).unwrap()),
+/// ]).unwrap();
+/// assert_eq!(abbreviate(&x, &n), "L1(A, L2[λ])");
+/// ```
+pub fn abbreviate(x: &NestedAttr, n: &NestedAttr) -> String {
+    loose_unambiguous(x, n).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::NestedAttr as A;
+
+    fn rec(l: &str, ch: Vec<A>) -> A {
+        A::record(l, ch).unwrap()
+    }
+
+    #[test]
+    fn canonical_display() {
+        let n = rec(
+            "L1",
+            vec![
+                A::flat("A"),
+                A::Null,
+                A::list("L2", rec("L3", vec![A::Null, A::Null])),
+            ],
+        );
+        assert_eq!(n.to_string(), "L1(A, λ, L2[L3(λ, λ)])");
+    }
+
+    #[test]
+    fn paper_abbreviation_example() {
+        // Section 3.3: L1(A, λ, L2[L3(λ, λ)]) of L1(A, B, L2[L3(C, D)])
+        // is abbreviated L1(A, L2[λ]).
+        let n = rec(
+            "L1",
+            vec![
+                A::flat("A"),
+                A::flat("B"),
+                A::list("L2", rec("L3", vec![A::flat("C"), A::flat("D")])),
+            ],
+        );
+        let x = rec(
+            "L1",
+            vec![
+                A::flat("A"),
+                A::Null,
+                A::list("L2", rec("L3", vec![A::Null, A::Null])),
+            ],
+        );
+        assert_eq!(abbreviate(&x, &n), "L1(A, L2[λ])");
+    }
+
+    #[test]
+    fn bottom_abbreviates_to_lambda() {
+        let n = rec("L", vec![A::flat("A"), A::flat("B")]);
+        assert_eq!(abbreviate(&n.bottom(), &n), "λ");
+        assert_eq!(abbreviate(&A::Null, &A::flat("A")), "λ");
+    }
+
+    #[test]
+    fn ambiguous_case_stays_explicit() {
+        // Section 3.3: L(A, λ) ≤ L(A, A) cannot be abbreviated to L(A).
+        let n = rec("L", vec![A::flat("A"), A::flat("A")]);
+        let x = rec("L", vec![A::flat("A"), A::Null]);
+        assert_eq!(abbreviate(&x, &n), "L(A, λ)");
+        let y = rec("L", vec![A::Null, A::flat("A")]);
+        assert_eq!(abbreviate(&y, &n), "L(λ, A)");
+    }
+
+    #[test]
+    fn nested_ambiguity_falls_back_to_full_form() {
+        // N = L(M(A), M(A)): omitting the bottom second component would
+        // print L(M(A)), which has two resolutions — so the full form is
+        // used, with the bottom record displayed as λ.
+        let inner = rec("M", vec![A::flat("A")]);
+        let n = rec("L", vec![inner.clone(), inner.clone()]);
+        let x = rec("L", vec![inner.clone(), inner.bottom()]);
+        assert_eq!(abbreviate(&x, &n), "L(M(A), λ)");
+        let y = rec("L", vec![inner.bottom(), inner]);
+        assert_eq!(abbreviate(&y, &n), "L(λ, M(A))");
+    }
+
+    #[test]
+    fn identical_list_siblings_ambiguity() {
+        // two identical list components: same fallback logic applies
+        let inner = A::list("M", A::flat("A"));
+        let n = rec("L", vec![inner.clone(), inner.clone()]);
+        let x = rec("L", vec![inner.clone(), A::Null]);
+        assert_eq!(abbreviate(&x, &n), "L(M[A], λ)");
+        // and the abbreviation round-trips through the parser
+        let printed = abbreviate(&x, &n);
+        let reparsed = crate::parser::parse_subattr_of(&n, &printed).unwrap();
+        assert_eq!(reparsed, x);
+    }
+
+    #[test]
+    fn count_resolutions_detects_ambiguity() {
+        let n = rec("L", vec![A::flat("A"), A::flat("A")]);
+        let d = Loose::Record("L".into(), vec![Loose::Flat("A".into())]);
+        assert_eq!(count_resolutions(&d, &n), 2);
+        let rs = resolutions(&d, &n);
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn unique_resolution_round_trips() {
+        let n = rec(
+            "L1",
+            vec![
+                A::flat("A"),
+                A::flat("B"),
+                A::list("L2", rec("L3", vec![A::flat("C"), A::flat("D")])),
+            ],
+        );
+        let x = rec(
+            "L1",
+            vec![
+                A::Null,
+                A::flat("B"),
+                A::list("L2", rec("L3", vec![A::flat("C"), A::Null])),
+            ],
+        );
+        let d = loose_unambiguous(&x, &n);
+        let rs = resolutions(&d, &n);
+        assert_eq!(rs, vec![x]);
+    }
+
+    #[test]
+    fn list_content_bottom_prints_bracket_lambda() {
+        // the paper's A(C[λ]) — distinct from plain λ
+        let n = rec(
+            "A'",
+            vec![A::list("C", rec("D", vec![A::flat("E"), A::flat("F")]))],
+        );
+        let x = rec("A'", vec![A::list("C", rec("D", vec![A::Null, A::Null]))]);
+        assert_eq!(abbreviate(&x, &n), "A'(C[λ])");
+        // plain bottom is λ, not C[λ]
+        assert_eq!(abbreviate(&n.bottom(), &n), "λ");
+    }
+
+    #[test]
+    fn lambda_resolves_to_bottom() {
+        let n = rec("L", vec![A::flat("A"), A::flat("B")]);
+        assert_eq!(resolutions(&Loose::Lambda, &n), vec![n.bottom()]);
+        assert_eq!(count_resolutions(&Loose::Lambda, &n), 1);
+    }
+
+    #[test]
+    fn no_match_counts_zero() {
+        let d = Loose::Flat("Z".into());
+        assert_eq!(count_resolutions(&d, &A::flat("A")), 0);
+        assert!(resolutions(&d, &A::flat("A")).is_empty());
+    }
+
+    #[test]
+    fn deep_list_lambda_display() {
+        // X = L1(L2[L3[λ]]) inside L1(L2[L3[L4(A, B, C)]], F)
+        let l4 = rec("L4", vec![A::flat("A"), A::flat("B"), A::flat("C")]);
+        let n = rec(
+            "L1",
+            vec![A::list("L2", A::list("L3", l4.clone())), A::flat("F")],
+        );
+        let x = rec(
+            "L1",
+            vec![A::list("L2", A::list("L3", l4.bottom())), A::Null],
+        );
+        assert_eq!(abbreviate(&x, &n), "L1(L2[L3[λ]])");
+        let y = rec("L1", vec![A::list("L2", A::Null), A::Null]);
+        assert_eq!(abbreviate(&y, &n), "L1(L2[λ])");
+    }
+}

@@ -1,0 +1,188 @@
+//! Error types shared across the crate.
+
+use std::fmt;
+
+/// Errors raised when constructing or combining nested attributes and
+/// values in ways that violate the definitions of Section 3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A record-valued attribute `L(N1, …, Nk)` requires `k ≥ 1`
+    /// (Definition 3.2).
+    EmptyRecord {
+        /// The offending record label.
+        label: String,
+    },
+    /// An operation required `M ≤ N` but the subattribute relation does not
+    /// hold (Definition 3.4).
+    NotSubattribute {
+        /// Rendering of the would-be subattribute `M`.
+        sub: String,
+        /// Rendering of the ambient attribute `N`.
+        sup: String,
+    },
+    /// A value does not belong to `dom(N)` (Definition 3.3).
+    ValueMismatch {
+        /// Rendering of the attribute whose domain was expected.
+        attr: String,
+        /// Rendering of the offending value.
+        value: String,
+    },
+    /// A name is used both as a flat attribute and as a label, violating
+    /// `U ∩ L = ∅` (Definition 3.2), or `λ` was used as a name.
+    NameClash {
+        /// The clashing name.
+        name: String,
+    },
+    /// Two attributes that were expected to live in the same `Sub(N)` have
+    /// incompatible shapes.
+    IncompatibleShapes {
+        /// Rendering of the first attribute.
+        left: String,
+        /// Rendering of the second attribute.
+        right: String,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::EmptyRecord { label } => {
+                write!(
+                    f,
+                    "record-valued attribute {label}(…) requires at least one component"
+                )
+            }
+            TypeError::NotSubattribute { sub, sup } => {
+                write!(f, "{sub} is not a subattribute of {sup}")
+            }
+            TypeError::ValueMismatch { attr, value } => {
+                write!(f, "value {value} does not belong to dom({attr})")
+            }
+            TypeError::NameClash { name } => {
+                write!(
+                    f,
+                    "name {name:?} used both as flat attribute and label (or is reserved)"
+                )
+            }
+            TypeError::IncompatibleShapes { left, right } => {
+                write!(
+                    f,
+                    "attributes {left} and {right} do not live in a common Sub(N)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Errors raised by the text parser ([`crate::parser`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Unexpected character or token at the given byte offset.
+    Unexpected {
+        /// Byte offset into the input.
+        at: usize,
+        /// Human-readable description of what was found.
+        found: String,
+        /// Human-readable description of what was expected.
+        expected: String,
+    },
+    /// Input ended before the construct was complete.
+    UnexpectedEnd {
+        /// Human-readable description of what was expected.
+        expected: String,
+    },
+    /// An abbreviated subattribute could not be resolved against its
+    /// context attribute.
+    NoMatch {
+        /// Rendering of the abbreviated input.
+        input: String,
+        /// Rendering of the context attribute `N`.
+        context: String,
+    },
+    /// An abbreviated subattribute resolves against its context in more
+    /// than one way (the paper's `L(A)` vs `L(A, A)` situation).
+    Ambiguous {
+        /// Rendering of the abbreviated input.
+        input: String,
+        /// Rendering of the context attribute `N`.
+        context: String,
+        /// Number of distinct resolutions found.
+        count: usize,
+    },
+    /// Trailing input after a complete construct.
+    TrailingInput {
+        /// Byte offset of the first trailing character.
+        at: usize,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Unexpected {
+                at,
+                found,
+                expected,
+            } => {
+                write!(f, "at byte {at}: found {found}, expected {expected}")
+            }
+            ParseError::UnexpectedEnd { expected } => {
+                write!(f, "unexpected end of input, expected {expected}")
+            }
+            ParseError::NoMatch { input, context } => {
+                write!(f, "{input} does not denote a subattribute of {context}")
+            }
+            ParseError::Ambiguous {
+                input,
+                context,
+                count,
+            } => {
+                write!(
+                    f,
+                    "{input} is ambiguous in {context}: {count} distinct resolutions"
+                )
+            }
+            ParseError::TrailingInput { at } => {
+                write!(f, "trailing input starting at byte {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_error_display_mentions_parts() {
+        let e = TypeError::NotSubattribute {
+            sub: "L(A)".into(),
+            sup: "L(B)".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("L(A)") && s.contains("L(B)"));
+    }
+
+    #[test]
+    fn parse_error_display_mentions_offset() {
+        let e = ParseError::Unexpected {
+            at: 7,
+            found: "']'".into(),
+            expected: "')'".into(),
+        };
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn takes_err<E: std::error::Error>(_: E) {}
+        takes_err(TypeError::EmptyRecord { label: "L".into() });
+        takes_err(ParseError::UnexpectedEnd {
+            expected: "attribute".into(),
+        });
+    }
+}

@@ -1,0 +1,503 @@
+//! Text parser for the paper's notation.
+//!
+//! Three layers are supported:
+//!
+//! * **Attributes** ([`parse_attr`]): the literal notation of
+//!   Definition 3.2, e.g.
+//!   `L1(L2[L3[L4(A, B, C)]], L5[L6(D, E)], L7(F, L8[L9(G, L10[H])], I))`.
+//!   `λ` (or the ASCII spelling `lambda`) denotes the null attribute.
+//! * **Subattributes in context** ([`parse_subattr_of`]): the abbreviated
+//!   notation of Section 3.3, resolved against a context attribute `N` —
+//!   `L1(L5[λ], L7(F))` names a canonical element of `Sub(N)` with all
+//!   omitted components restored as bottoms. Ambiguous abbreviations are
+//!   rejected with [`ParseError::Ambiguous`].
+//! * **Dependencies** ([`parse_dependency_of`]): `X -> Y` (FD) and
+//!   `X ->> Y` (MVD), with `→` and `↠` accepted as well.
+//! * **Values** ([`parse_value`]): `ok`, integers, booleans, bare or
+//!   quoted strings, tuples `( … )` and lists `[ … ]`, e.g. the paper's
+//!   `(Sven, [(Lübzer, Deanos), (Kindl, Highflyers)])`.
+
+use crate::attr::NestedAttr;
+use crate::display::{count_resolutions, resolutions, Loose};
+use crate::error::ParseError;
+use crate::value::Value;
+
+/// The two dependency classes of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DepKind {
+    /// Functional dependency `X → Y`.
+    Fd,
+    /// Multi-valued dependency `X ↠ Y`.
+    Mvd,
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor { src, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.src.len() - trimmed.len();
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("'{c}'")))
+        }
+    }
+
+    fn unexpected(&self, expected: &str) -> ParseError {
+        match self.peek() {
+            Some(c) => ParseError::Unexpected {
+                at: self.pos,
+                found: format!("'{c}'"),
+                expected: expected.to_owned(),
+            },
+            None => ParseError::UnexpectedEnd {
+                expected: expected.to_owned(),
+            },
+        }
+    }
+
+    /// An identifier: a run of alphanumerics, `_`, `'`, `-`, `.`.
+    fn ident(&mut self) -> Result<&'a str, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || matches!(c, '_' | '\'' | '-' | '.') {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            Err(self.unexpected("identifier"))
+        } else {
+            Ok(&self.src[start..self.pos])
+        }
+    }
+
+    fn done(&mut self) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.pos == self.src.len() {
+            Ok(())
+        } else {
+            Err(ParseError::TrailingInput { at: self.pos })
+        }
+    }
+}
+
+fn is_lambda_name(s: &str) -> bool {
+    s == "λ" || s == "lambda"
+}
+
+fn parse_loose_inner(cur: &mut Cursor<'_>) -> Result<Loose, ParseError> {
+    cur.skip_ws();
+    if cur.peek() == Some('λ') {
+        cur.bump();
+        return Ok(Loose::Lambda);
+    }
+    let name = cur.ident()?;
+    if is_lambda_name(name) {
+        return Ok(Loose::Lambda);
+    }
+    cur.skip_ws();
+    match cur.peek() {
+        Some('(') => {
+            cur.bump();
+            let mut components = Vec::new();
+            loop {
+                components.push(parse_loose_inner(cur)?);
+                cur.skip_ws();
+                if cur.eat(',') {
+                    continue;
+                }
+                cur.expect(')')?;
+                break;
+            }
+            Ok(Loose::Record(name.to_owned(), components))
+        }
+        Some('[') => {
+            cur.bump();
+            let inner = parse_loose_inner(cur)?;
+            cur.expect(']')?;
+            Ok(Loose::List(name.to_owned(), Box::new(inner)))
+        }
+        _ => Ok(Loose::Flat(name.to_owned())),
+    }
+}
+
+/// Parses a loose (possibly abbreviated) attribute term without resolving
+/// it against a context.
+pub fn parse_loose(src: &str) -> Result<Loose, ParseError> {
+    let mut cur = Cursor::new(src);
+    let d = parse_loose_inner(&mut cur)?;
+    cur.done()?;
+    Ok(d)
+}
+
+fn loose_to_attr(d: &Loose) -> Result<NestedAttr, ParseError> {
+    match d {
+        Loose::Lambda => Ok(NestedAttr::Null),
+        Loose::Flat(a) => Ok(NestedAttr::Flat(a.clone())),
+        Loose::Record(l, ds) => {
+            let children = ds
+                .iter()
+                .map(loose_to_attr)
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(NestedAttr::Record(l.clone(), children))
+        }
+        Loose::List(l, di) => Ok(NestedAttr::List(l.clone(), Box::new(loose_to_attr(di)?))),
+    }
+}
+
+/// Parses a full nested attribute in the literal notation of
+/// Definition 3.2 (components positional, nothing omitted).
+///
+/// ```
+/// use nalist_types::parser::parse_attr;
+///
+/// let n = parse_attr("Pubcrawl(Person, Visit[Drink(Beer, Pub)])").unwrap();
+/// assert_eq!(n.to_string(), "Pubcrawl(Person, Visit[Drink(Beer, Pub)])");
+/// ```
+pub fn parse_attr(src: &str) -> Result<NestedAttr, ParseError> {
+    let d = parse_loose(src)?;
+    loose_to_attr(&d)
+}
+
+/// Parses an abbreviated subattribute term and resolves it against the
+/// context attribute `n`, returning the canonical element of `Sub(n)`.
+///
+/// ```
+/// use nalist_types::parser::{parse_attr, parse_subattr_of};
+///
+/// let n = parse_attr("L1(A, B, L2[L3(C, D)])").unwrap();
+/// let x = parse_subattr_of(&n, "L1(A, L2[λ])").unwrap();
+/// assert_eq!(x.to_string(), "L1(A, λ, L2[L3(λ, λ)])");
+/// ```
+pub fn parse_subattr_of(n: &NestedAttr, src: &str) -> Result<NestedAttr, ParseError> {
+    let d = parse_loose(src)?;
+    resolve_loose(n, &d, src)
+}
+
+/// Resolves an already-parsed loose term against `n`.
+pub fn resolve_loose(n: &NestedAttr, d: &Loose, src: &str) -> Result<NestedAttr, ParseError> {
+    match count_resolutions(d, n) {
+        0 => Err(ParseError::NoMatch {
+            input: src.to_owned(),
+            context: n.to_string(),
+        }),
+        1 => Ok(resolutions(d, n)
+            .pop()
+            .expect("count said one resolution exists")),
+        c => Err(ParseError::Ambiguous {
+            input: src.to_owned(),
+            context: n.to_string(),
+            count: c as usize,
+        }),
+    }
+}
+
+/// Parses a dependency `X -> Y` (FD) or `X ->> Y` (MVD) whose sides are
+/// abbreviated subattributes of `n`. The Unicode arrows `→` and `↠` are
+/// also accepted.
+///
+/// ```
+/// use nalist_types::parser::{parse_attr, parse_dependency_of, DepKind};
+///
+/// let n = parse_attr("Pubcrawl(Person, Visit[Drink(Beer, Pub)])").unwrap();
+/// let (kind, x, y) =
+///     parse_dependency_of(&n, "Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])").unwrap();
+/// assert_eq!(kind, DepKind::Mvd);
+/// assert_eq!(x.to_string(), "Pubcrawl(Person, λ)");
+/// assert_eq!(y.to_string(), "Pubcrawl(λ, Visit[Drink(λ, Pub)])");
+/// ```
+pub fn parse_dependency_of(
+    n: &NestedAttr,
+    src: &str,
+) -> Result<(DepKind, NestedAttr, NestedAttr), ParseError> {
+    let mut cur = Cursor::new(src);
+    let lhs = parse_loose_inner(&mut cur)?;
+    cur.skip_ws();
+    let kind = if cur.eat('→') {
+        DepKind::Fd
+    } else if cur.eat('↠') {
+        DepKind::Mvd
+    } else if cur.eat('-') {
+        cur.expect('>')?;
+        if cur.eat('>') {
+            DepKind::Mvd
+        } else {
+            DepKind::Fd
+        }
+    } else {
+        return Err(cur.unexpected("'->', '->>', '→' or '↠'"));
+    };
+    let rhs = parse_loose_inner(&mut cur)?;
+    cur.done()?;
+    let x = resolve_loose(n, &lhs, src)?;
+    let y = resolve_loose(n, &rhs, src)?;
+    Ok((kind, x, y))
+}
+
+fn parse_value_inner(cur: &mut Cursor<'_>) -> Result<Value, ParseError> {
+    cur.skip_ws();
+    match cur.peek() {
+        Some('(') => {
+            cur.bump();
+            let mut items = Vec::new();
+            loop {
+                items.push(parse_value_inner(cur)?);
+                cur.skip_ws();
+                if cur.eat(',') {
+                    continue;
+                }
+                cur.expect(')')?;
+                break;
+            }
+            Ok(Value::Tuple(items))
+        }
+        Some('[') => {
+            cur.bump();
+            cur.skip_ws();
+            let mut items = Vec::new();
+            if !cur.eat(']') {
+                loop {
+                    items.push(parse_value_inner(cur)?);
+                    cur.skip_ws();
+                    if cur.eat(',') {
+                        continue;
+                    }
+                    cur.expect(']')?;
+                    break;
+                }
+            }
+            Ok(Value::List(items))
+        }
+        Some('"') => {
+            cur.bump();
+            let start = cur.pos;
+            while let Some(c) = cur.peek() {
+                if c == '"' {
+                    let s = cur.src[start..cur.pos].to_owned();
+                    cur.bump();
+                    return Ok(Value::str(s));
+                }
+                cur.bump();
+            }
+            Err(ParseError::UnexpectedEnd {
+                expected: "closing '\"'".to_owned(),
+            })
+        }
+        Some(_) => {
+            // bare token: run of characters excluding delimiters
+            let start = cur.pos;
+            while let Some(c) = cur.peek() {
+                if matches!(c, ',' | '(' | ')' | '[' | ']' | '"') {
+                    break;
+                }
+                cur.bump();
+            }
+            let tok = cur.src[start..cur.pos].trim();
+            if tok.is_empty() {
+                return Err(cur.unexpected("value"));
+            }
+            if tok == "ok" {
+                Ok(Value::Ok)
+            } else if tok == "true" {
+                Ok(Value::bool(true))
+            } else if tok == "false" {
+                Ok(Value::bool(false))
+            } else if let Ok(i) = tok.parse::<i64>() {
+                Ok(Value::int(i))
+            } else {
+                Ok(Value::str(tok))
+            }
+        }
+        None => Err(ParseError::UnexpectedEnd {
+            expected: "value".to_owned(),
+        }),
+    }
+}
+
+/// Parses a value in the paper's tuple/list notation.
+///
+/// ```
+/// use nalist_types::parser::parse_value;
+/// use nalist_types::Value;
+///
+/// let v = parse_value("(Klaus-Dieter, [(Guiness, Irish Pub), (Speights, 3Bar)])").unwrap();
+/// assert_eq!(v.to_string(), "(Klaus-Dieter, [(Guiness, Irish Pub), (Speights, 3Bar)])");
+/// assert_eq!(parse_value("[]").unwrap(), Value::empty_list());
+/// ```
+pub fn parse_value(src: &str) -> Result<Value, ParseError> {
+    let mut cur = Cursor::new(src);
+    let v = parse_value_inner(&mut cur)?;
+    cur.done()?;
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::NestedAttr as A;
+
+    #[test]
+    fn parse_flat_and_lambda() {
+        assert_eq!(parse_attr("A").unwrap(), A::flat("A"));
+        assert_eq!(parse_attr("λ").unwrap(), A::Null);
+        assert_eq!(parse_attr("lambda").unwrap(), A::Null);
+    }
+
+    #[test]
+    fn parse_example_51_attribute() {
+        let s = "L1(L2[L3[L4(A, B, C)]], L5[L6(D, E)], L7(F, L8[L9(G, L10[H])], I))";
+        let n = parse_attr(s).unwrap();
+        assert_eq!(n.to_string(), s);
+        assert_eq!(n.basis_size(), 14); // 9 flats + 5 list nodes
+        assert_eq!(n.flat_leaf_count(), 9);
+        assert_eq!(n.list_node_count(), 5);
+    }
+
+    #[test]
+    fn parse_subattr_restores_bottoms() {
+        let n = parse_attr("L1(L2[L3[L4(A, B, C)]], L5[L6(D, E)], L7(F))").unwrap();
+        let x = parse_subattr_of(&n, "L1(L5[λ], L7(F))").unwrap();
+        assert_eq!(x.to_string(), "L1(λ, L5[L6(λ, λ)], L7(F))");
+        // round-trip through the abbreviation
+        assert_eq!(crate::display::abbreviate(&x, &n), "L1(L5[λ], L7(F))");
+    }
+
+    #[test]
+    fn ambiguous_subattr_rejected() {
+        let n = parse_attr("L(A, A)").unwrap();
+        assert!(matches!(
+            parse_subattr_of(&n, "L(A)"),
+            Err(ParseError::Ambiguous { count: 2, .. })
+        ));
+        // explicit forms resolve
+        assert!(parse_subattr_of(&n, "L(A, λ)").is_ok());
+        assert!(parse_subattr_of(&n, "L(λ, A)").is_ok());
+    }
+
+    #[test]
+    fn no_match_rejected() {
+        let n = parse_attr("L(A, B)").unwrap();
+        assert!(matches!(
+            parse_subattr_of(&n, "L(Z)"),
+            Err(ParseError::NoMatch { .. })
+        ));
+        assert!(matches!(
+            parse_subattr_of(&n, "M(A)"),
+            Err(ParseError::NoMatch { .. })
+        ));
+    }
+
+    #[test]
+    fn lambda_resolves_to_bottom_of_context() {
+        let n = parse_attr("L(A, B)").unwrap();
+        assert_eq!(parse_subattr_of(&n, "λ").unwrap(), n.bottom());
+    }
+
+    #[test]
+    fn parse_fd_and_mvd() {
+        let n = parse_attr("Pubcrawl(Person, Visit[Drink(Beer, Pub)])").unwrap();
+        let (k1, x1, y1) =
+            parse_dependency_of(&n, "Pubcrawl(Person) -> Pubcrawl(Visit[λ])").unwrap();
+        assert_eq!(k1, DepKind::Fd);
+        assert_eq!(x1.to_string(), "Pubcrawl(Person, λ)");
+        assert_eq!(y1.to_string(), "Pubcrawl(λ, Visit[Drink(λ, λ)])");
+        let (k2, _, _) =
+            parse_dependency_of(&n, "Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])").unwrap();
+        assert_eq!(k2, DepKind::Mvd);
+        let (k3, _, _) =
+            parse_dependency_of(&n, "Pubcrawl(Person) ↠ Pubcrawl(Visit[Drink(Beer)])").unwrap();
+        assert_eq!(k3, DepKind::Mvd);
+        let (k4, _, _) = parse_dependency_of(&n, "λ → Pubcrawl(Person)").unwrap();
+        assert_eq!(k4, DepKind::Fd);
+    }
+
+    #[test]
+    fn parse_value_notation() {
+        let v = parse_value("(Sven, [(Lübzer, Deanos), (Kindl, Highflyers)])").unwrap();
+        assert_eq!(
+            v.to_string(),
+            "(Sven, [(Lübzer, Deanos), (Kindl, Highflyers)])"
+        );
+        assert_eq!(parse_value("ok").unwrap(), Value::Ok);
+        assert_eq!(parse_value("42").unwrap(), Value::int(42));
+        assert_eq!(parse_value("true").unwrap(), Value::bool(true));
+        assert_eq!(
+            parse_value("\"Irish Pub\"").unwrap(),
+            Value::str("Irish Pub")
+        );
+        assert_eq!(parse_value("Irish Pub").unwrap(), Value::str("Irish Pub"));
+        assert_eq!(
+            parse_value("(Sebastian, [])").unwrap().to_string(),
+            "(Sebastian, [])"
+        );
+    }
+
+    #[test]
+    fn parse_errors_report_position() {
+        assert!(matches!(
+            parse_attr("L(A,"),
+            Err(ParseError::UnexpectedEnd { .. })
+        ));
+        assert!(matches!(
+            parse_attr("L(A) junk"),
+            Err(ParseError::TrailingInput { .. })
+        ));
+        assert!(matches!(
+            parse_attr("L[A)"),
+            Err(ParseError::Unexpected { .. })
+        ));
+        assert!(matches!(
+            parse_value("(a,"),
+            Err(ParseError::UnexpectedEnd { .. })
+        ));
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let n = parse_attr("  L1 ( A ,  B , L2 [ C ] ) ").unwrap();
+        assert_eq!(n.to_string(), "L1(A, B, L2[C])");
+    }
+
+    #[test]
+    fn empty_record_syntax_rejected() {
+        assert!(parse_attr("L()").is_err());
+    }
+}

@@ -1,0 +1,262 @@
+//! Projection functions `π^N_M : dom(N) → dom(M)` for `M ≤ N`
+//! (Definition 3.6).
+//!
+//! * `π^N_N` is the identity,
+//! * `π^N_λ` is the constant function mapping everything to `ok`,
+//! * on records, projection works componentwise, and
+//! * on lists, projection maps the element projection over the list
+//!   (preserving length and order — this is what makes the list-bottom
+//!   subattribute `L[λ]` carry the *length* of the list as information).
+
+use crate::attr::NestedAttr;
+use crate::error::TypeError;
+use crate::subattr::is_subattr;
+use crate::value::Value;
+
+/// Computes `π^N_M(v)` for `M ≤ N` and `v ∈ dom(N)`.
+///
+/// Returns [`TypeError::NotSubattribute`] if `M ≰ N` and
+/// [`TypeError::ValueMismatch`] if `v ∉ dom(N)`.
+///
+/// ```
+/// use nalist_types::{projection::project, NestedAttr as A, Value};
+///
+/// let n = A::list("L", A::flat("A"));
+/// let m = A::list("L", A::Null);
+/// let v = Value::list(vec![Value::str("x"), Value::str("y")]);
+/// // π to L[λ] keeps only the list shape: [ok, ok]
+/// assert_eq!(project(&n, &m, &v).unwrap(), Value::list(vec![Value::Ok, Value::Ok]));
+/// ```
+pub fn project(n: &NestedAttr, m: &NestedAttr, v: &Value) -> Result<Value, TypeError> {
+    if !is_subattr(m, n) {
+        return Err(TypeError::NotSubattribute {
+            sub: m.to_string(),
+            sup: n.to_string(),
+        });
+    }
+    project_unchecked(n, m, v)
+}
+
+/// Like [`project`] but skips the `M ≤ N` check (the caller guarantees it).
+///
+/// Still validates the value shape as it recurses.
+pub fn project_unchecked(n: &NestedAttr, m: &NestedAttr, v: &Value) -> Result<Value, TypeError> {
+    match (n, m, v) {
+        // π^N_λ: constant ok. (Checked before identity so π^λ_λ also hits it.)
+        (_, NestedAttr::Null, _) => Ok(Value::Ok),
+        (NestedAttr::Flat(_), NestedAttr::Flat(_), Value::Base(_)) => Ok(v.clone()),
+        (NestedAttr::Record(_, ncs), NestedAttr::Record(_, mcs), Value::Tuple(vs)) => {
+            if vs.len() != ncs.len() {
+                return Err(value_mismatch(n, v));
+            }
+            let mut out = Vec::with_capacity(vs.len());
+            for ((nc, mc), vc) in ncs.iter().zip(mcs).zip(vs) {
+                out.push(project_unchecked(nc, mc, vc)?);
+            }
+            Ok(Value::Tuple(out))
+        }
+        (NestedAttr::List(_, ni), NestedAttr::List(_, mi), Value::List(vs)) => {
+            let mut out = Vec::with_capacity(vs.len());
+            for vc in vs {
+                out.push(project_unchecked(ni, mi, vc)?);
+            }
+            Ok(Value::List(out))
+        }
+        _ => Err(value_mismatch(n, v)),
+    }
+}
+
+fn value_mismatch(n: &NestedAttr, v: &Value) -> TypeError {
+    TypeError::ValueMismatch {
+        attr: n.to_string(),
+        value: v.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::NestedAttr as A;
+
+    fn pubcrawl() -> A {
+        A::record(
+            "Pubcrawl",
+            vec![
+                A::flat("Person"),
+                A::list(
+                    "Visit",
+                    A::record("Drink", vec![A::flat("Beer"), A::flat("Pub")]).unwrap(),
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn sven() -> Value {
+        Value::tuple(vec![
+            Value::str("Sven"),
+            Value::list(vec![
+                Value::tuple(vec![Value::str("Lübzer"), Value::str("Deanos")]),
+                Value::tuple(vec![Value::str("Kindl"), Value::str("Highflyers")]),
+            ]),
+        ])
+    }
+
+    #[test]
+    fn identity_projection() {
+        let n = pubcrawl();
+        assert_eq!(project(&n, &n, &sven()).unwrap(), sven());
+    }
+
+    #[test]
+    fn lambda_projection_is_constant() {
+        // λ itself is not ≤ a record-valued attribute; the bottom of
+        // Sub(Pubcrawl(…)) is Pubcrawl(λ, λ), which projects every tuple to
+        // the same constant (ok, ok).
+        let n = pubcrawl();
+        assert!(project(&n, &A::Null, &sven()).is_err());
+        let bottom = n.bottom();
+        assert_eq!(
+            project(&n, &bottom, &sven()).unwrap(),
+            Value::tuple(vec![Value::Ok, Value::Ok])
+        );
+        // for flat and list-valued attributes λ is the bottom and projects to ok
+        let flat = A::flat("A");
+        assert_eq!(
+            project(&flat, &A::Null, &Value::str("x")).unwrap(),
+            Value::Ok
+        );
+    }
+
+    #[test]
+    fn project_to_person() {
+        let n = pubcrawl();
+        // Pubcrawl(Person, λ)
+        let m = A::record("Pubcrawl", vec![A::flat("Person"), A::Null]).unwrap();
+        assert_eq!(
+            project(&n, &m, &sven()).unwrap(),
+            Value::tuple(vec![Value::str("Sven"), Value::Ok])
+        );
+    }
+
+    #[test]
+    fn project_to_pub_list() {
+        let n = pubcrawl();
+        // Pubcrawl(λ, Visit[Drink(λ, Pub)])
+        let m = A::record(
+            "Pubcrawl",
+            vec![
+                A::Null,
+                A::list(
+                    "Visit",
+                    A::record("Drink", vec![A::Null, A::flat("Pub")]).unwrap(),
+                ),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            project(&n, &m, &sven()).unwrap(),
+            Value::tuple(vec![
+                Value::Ok,
+                Value::list(vec![
+                    Value::tuple(vec![Value::Ok, Value::str("Deanos")]),
+                    Value::tuple(vec![Value::Ok, Value::str("Highflyers")]),
+                ]),
+            ])
+        );
+    }
+
+    #[test]
+    fn list_shape_projection_preserves_length() {
+        let n = pubcrawl();
+        // Pubcrawl(λ, Visit[Drink(λ, λ)]) — the "number of bars visited"
+        let m = A::record(
+            "Pubcrawl",
+            vec![
+                A::Null,
+                A::list("Visit", A::record("Drink", vec![A::Null, A::Null]).unwrap()),
+            ],
+        )
+        .unwrap();
+        let p = project(&n, &m, &sven()).unwrap();
+        match p {
+            Value::Tuple(vs) => match &vs[1] {
+                Value::List(items) => assert_eq!(items.len(), 2),
+                _ => panic!("expected list"),
+            },
+            _ => panic!("expected tuple"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_subattribute() {
+        let n = A::flat("A");
+        let m = A::flat("B");
+        assert!(matches!(
+            project(&n, &m, &Value::str("x")),
+            Err(TypeError::NotSubattribute { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_ill_typed_value() {
+        let n = pubcrawl();
+        assert!(matches!(
+            project(&n, &n, &Value::str("oops")),
+            Err(TypeError::ValueMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn projection_composes() {
+        // K ≤ M ≤ N: π^N_K = π^M_K ∘ π^N_M
+        let n = pubcrawl();
+        let m = A::record(
+            "Pubcrawl",
+            vec![
+                A::flat("Person"),
+                A::list(
+                    "Visit",
+                    A::record("Drink", vec![A::flat("Beer"), A::Null]).unwrap(),
+                ),
+            ],
+        )
+        .unwrap();
+        let k = A::record(
+            "Pubcrawl",
+            vec![
+                A::Null,
+                A::list(
+                    "Visit",
+                    A::record("Drink", vec![A::flat("Beer"), A::Null]).unwrap(),
+                ),
+            ],
+        )
+        .unwrap();
+        let v = sven();
+        let direct = project(&n, &k, &v).unwrap();
+        let via = project(&m, &k, &project(&n, &m, &v).unwrap()).unwrap();
+        assert_eq!(direct, via);
+    }
+
+    #[test]
+    fn empty_list_projects_to_empty_list() {
+        let n = pubcrawl();
+        let m = A::record(
+            "Pubcrawl",
+            vec![
+                A::Null,
+                A::list(
+                    "Visit",
+                    A::record("Drink", vec![A::Null, A::flat("Pub")]).unwrap(),
+                ),
+            ],
+        )
+        .unwrap();
+        let sebastian = Value::tuple(vec![Value::str("Sebastian"), Value::empty_list()]);
+        assert_eq!(
+            project(&n, &m, &sebastian).unwrap(),
+            Value::tuple(vec![Value::Ok, Value::empty_list()])
+        );
+    }
+}

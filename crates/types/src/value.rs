@@ -1,0 +1,257 @@
+//! Values and domains (Definition 3.3).
+//!
+//! * `dom(λ) = {ok}`,
+//! * `dom(A)` is the base domain of the flat attribute `A`,
+//! * `dom(L(N1,…,Nk))` is the set of `k`-tuples over the component domains,
+//! * `dom(L[N])` is the set of finite lists over `dom(N)` (including the
+//!   empty list `[]`).
+
+use std::fmt;
+
+use crate::attr::NestedAttr;
+use crate::universe::{DomainKind, Universe};
+
+/// A base (scalar) value for flat attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BaseValue {
+    /// A string value.
+    Str(String),
+    /// An integer value.
+    Int(i64),
+    /// A boolean value.
+    Bool(bool),
+}
+
+impl fmt::Display for BaseValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaseValue::Str(s) => write!(f, "{s}"),
+            BaseValue::Int(i) => write!(f, "{i}"),
+            BaseValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// A value of some `dom(N)` (Definition 3.3).
+///
+/// ```
+/// use nalist_types::{NestedAttr as A, Value};
+///
+/// // (Sven, [(Lübzer, Deanos)]) ∈ dom(Pubcrawl(Person, Visit[Drink(Beer, Pub)]))
+/// let n = A::record("Pubcrawl", vec![
+///     A::flat("Person"),
+///     A::list("Visit", A::record("Drink", vec![A::flat("Beer"), A::flat("Pub")]).unwrap()),
+/// ]).unwrap();
+/// let v = Value::tuple(vec![
+///     Value::str("Sven"),
+///     Value::list(vec![Value::tuple(vec![Value::str("Lübzer"), Value::str("Deanos")])]),
+/// ]);
+/// assert!(v.conforms(&n));
+/// assert_eq!(v.to_string(), "(Sven, [(Lübzer, Deanos)])");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// The constant `ok`, the single element of `dom(λ)`.
+    Ok,
+    /// A base value for a flat attribute.
+    Base(BaseValue),
+    /// A `k`-tuple for a record-valued attribute.
+    Tuple(Vec<Value>),
+    /// A finite list for a list-valued attribute.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// String base value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Base(BaseValue::Str(s.into()))
+    }
+
+    /// Integer base value.
+    pub fn int(i: i64) -> Self {
+        Value::Base(BaseValue::Int(i))
+    }
+
+    /// Boolean base value.
+    pub fn bool(b: bool) -> Self {
+        Value::Base(BaseValue::Bool(b))
+    }
+
+    /// Tuple value.
+    pub fn tuple(vs: Vec<Value>) -> Self {
+        Value::Tuple(vs)
+    }
+
+    /// List value.
+    pub fn list(vs: Vec<Value>) -> Self {
+        Value::List(vs)
+    }
+
+    /// The empty list `[]`.
+    pub fn empty_list() -> Self {
+        Value::List(Vec::new())
+    }
+
+    /// Does this value belong to `dom(n)` (with untyped base domains)?
+    pub fn conforms(&self, n: &NestedAttr) -> bool {
+        match (self, n) {
+            (Value::Ok, NestedAttr::Null) => true,
+            (Value::Base(_), NestedAttr::Flat(_)) => true,
+            (Value::Tuple(vs), NestedAttr::Record(_, children)) => {
+                vs.len() == children.len() && vs.iter().zip(children).all(|(v, c)| v.conforms(c))
+            }
+            (Value::List(vs), NestedAttr::List(_, inner)) => vs.iter().all(|v| v.conforms(inner)),
+            _ => false,
+        }
+    }
+
+    /// Does this value belong to `dom(n)` with base domains checked against
+    /// the universe's [`DomainKind`]s?
+    ///
+    /// Flat attributes not registered in `u` are treated as
+    /// [`DomainKind::Any`].
+    pub fn conforms_in(&self, n: &NestedAttr, u: &Universe) -> bool {
+        match (self, n) {
+            (Value::Ok, NestedAttr::Null) => true,
+            (Value::Base(b), NestedAttr::Flat(a)) => {
+                u.domain_of(a).unwrap_or(DomainKind::Any).admits(b)
+            }
+            (Value::Tuple(vs), NestedAttr::Record(_, children)) => {
+                vs.len() == children.len()
+                    && vs.iter().zip(children).all(|(v, c)| v.conforms_in(c, u))
+            }
+            (Value::List(vs), NestedAttr::List(_, inner)) => {
+                vs.iter().all(|v| v.conforms_in(inner, u))
+            }
+            _ => false,
+        }
+    }
+
+    /// Total number of scalar leaves (`ok` and base values) in this value.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            Value::Ok | Value::Base(_) => 1,
+            Value::Tuple(vs) | Value::List(vs) => vs.iter().map(Value::leaf_count).sum(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Ok => write!(f, "ok"),
+            Value::Base(b) => write!(f, "{b}"),
+            Value::Tuple(vs) => {
+                write!(f, "(")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Value::List(vs) => {
+                write!(f, "[")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::NestedAttr as A;
+
+    fn pubcrawl() -> A {
+        A::record(
+            "Pubcrawl",
+            vec![
+                A::flat("Person"),
+                A::list(
+                    "Visit",
+                    A::record("Drink", vec![A::flat("Beer"), A::flat("Pub")]).unwrap(),
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ok_only_for_null() {
+        assert!(Value::Ok.conforms(&A::Null));
+        assert!(!Value::Ok.conforms(&A::flat("A")));
+        assert!(!Value::str("x").conforms(&A::Null));
+    }
+
+    #[test]
+    fn empty_list_conforms() {
+        let n = A::list("L", A::flat("A"));
+        assert!(Value::empty_list().conforms(&n));
+        assert!(Value::list(vec![Value::str("a")]).conforms(&n));
+        assert!(!Value::list(vec![Value::Ok]).conforms(&n));
+    }
+
+    #[test]
+    fn tuple_arity_checked() {
+        let n = A::record("L", vec![A::flat("A"), A::flat("B")]).unwrap();
+        assert!(Value::tuple(vec![Value::str("a"), Value::int(1)]).conforms(&n));
+        assert!(!Value::tuple(vec![Value::str("a")]).conforms(&n));
+    }
+
+    #[test]
+    fn pubcrawl_snapshot_tuple() {
+        let n = pubcrawl();
+        let sven = Value::tuple(vec![
+            Value::str("Sven"),
+            Value::list(vec![
+                Value::tuple(vec![Value::str("Lübzer"), Value::str("Deanos")]),
+                Value::tuple(vec![Value::str("Kindl"), Value::str("Highflyers")]),
+            ]),
+        ]);
+        assert!(sven.conforms(&n));
+        let sebastian = Value::tuple(vec![Value::str("Sebastian"), Value::empty_list()]);
+        assert!(sebastian.conforms(&n));
+        assert_eq!(
+            sven.to_string(),
+            "(Sven, [(Lübzer, Deanos), (Kindl, Highflyers)])"
+        );
+    }
+
+    #[test]
+    fn typed_conformance() {
+        use crate::universe::{DomainKind, Universe};
+        let mut u = Universe::new();
+        u.add_flat("A", DomainKind::Integer).unwrap();
+        let n = A::flat("A");
+        assert!(Value::int(3).conforms_in(&n, &u));
+        assert!(!Value::str("x").conforms_in(&n, &u));
+        // unregistered flats behave as Any
+        assert!(Value::str("x").conforms_in(&A::flat("B"), &u));
+    }
+
+    #[test]
+    fn leaf_count() {
+        let v = Value::tuple(vec![
+            Value::str("a"),
+            Value::list(vec![Value::int(1), Value::int(2)]),
+        ]);
+        assert_eq!(v.leaf_count(), 3);
+        assert_eq!(Value::empty_list().leaf_count(), 0);
+    }
+
+    #[test]
+    fn values_are_ordered() {
+        // needed for BTreeSet-based instances
+        let a = Value::str("a");
+        let b = Value::str("b");
+        assert!(a < b);
+    }
+}
