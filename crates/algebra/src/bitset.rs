@@ -4,36 +4,58 @@
 //! The membership algorithm's complexity analysis (Section 6 of the paper)
 //! treats nested attributes as their sets of basis attributes; `AtomSet`
 //! makes the lattice operations `⊔`/`⊓` single-pass word operations.
+//!
+//! Universes of up to 128 atoms (every workload in `crates/bench`, and
+//! every schema a human writes) are stored inline as `[u64; 2]`, so
+//! cloning and the binary operations on the closure engine's hot path
+//! never touch the heap; larger universes transparently fall back to a
+//! heap-allocated word vector.
 
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Number of atoms representable without heap allocation.
+const INLINE_ATOMS: usize = 128;
+const INLINE_WORDS: usize = INLINE_ATOMS / 64;
+
+#[derive(Clone)]
+enum Words {
+    Inline([u64; INLINE_WORDS]),
+    Heap(Vec<u64>),
+}
 
 /// A set of atom indices `0..len`, backed by `u64` words.
 ///
-/// Equality, hashing and ordering are structural, so `AtomSet` can key
-/// hash maps and ordered sets (the dependency-basis blocks are kept
-/// deduplicated this way). All binary operations require both operands to
-/// have the same capacity.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+/// Equality, hashing and ordering are structural — capacity first, then
+/// the words lexicographically — so `AtomSet` can key hash maps and
+/// ordered sets (the dependency-basis blocks are kept deduplicated and
+/// deterministically ordered this way). All binary operations require
+/// both operands to have the same capacity.
+#[derive(Clone)]
 pub struct AtomSet {
     len: usize,
-    words: Vec<u64>,
+    words: Words,
 }
 
 impl AtomSet {
     /// The empty set with capacity for `len` atoms.
     pub fn empty(len: usize) -> Self {
-        AtomSet {
-            len,
-            words: vec![0; len.div_ceil(64)],
-        }
+        let words = if len <= INLINE_ATOMS {
+            Words::Inline([0; INLINE_WORDS])
+        } else {
+            Words::Heap(vec![0; len.div_ceil(64)])
+        };
+        AtomSet { len, words }
     }
 
     /// The full set `{0, …, len-1}`.
     pub fn full(len: usize) -> Self {
         let mut s = Self::empty(len);
-        for i in 0..len {
-            s.insert(i);
+        for w in s.words_mut() {
+            *w = u64::MAX;
         }
+        s.mask_tail();
         s
     }
 
@@ -51,41 +73,93 @@ impl AtomSet {
         self.len
     }
 
+    /// Number of backing words (`⌈capacity / 64⌉`).
+    #[inline]
+    pub fn word_count(&self) -> usize {
+        self.len.div_ceil(64)
+    }
+
+    /// The `i`-th backing word (bits `64·i .. 64·i+63`).
+    #[inline]
+    pub fn word(&self, i: usize) -> u64 {
+        self.words()[i]
+    }
+
+    #[inline]
+    fn words(&self) -> &[u64] {
+        match &self.words {
+            Words::Inline(a) => &a[..self.len.div_ceil(64)],
+            Words::Heap(v) => v,
+        }
+    }
+
+    #[inline]
+    fn words_mut(&mut self) -> &mut [u64] {
+        let n = self.len.div_ceil(64);
+        match &mut self.words {
+            Words::Inline(a) => &mut a[..n],
+            Words::Heap(v) => v,
+        }
+    }
+
+    /// Zeroes the bits above `len` in the last word.
+    fn mask_tail(&mut self) {
+        let len = self.len;
+        if len % 64 != 0 {
+            if let Some(last) = self.words_mut().last_mut() {
+                *last &= (1u64 << (len % 64)) - 1;
+            }
+        }
+    }
+
+    /// Removes all elements (capacity unchanged).
+    pub fn clear(&mut self) {
+        for w in self.words_mut() {
+            *w = 0;
+        }
+    }
+
+    /// Overwrites `self` with the contents of `other` (same capacity).
+    pub fn copy_from(&mut self, other: &AtomSet) {
+        debug_assert_eq!(self.len, other.len);
+        self.words_mut().copy_from_slice(other.words());
+    }
+
     /// Inserts index `i`.
     #[inline]
     pub fn insert(&mut self, i: usize) {
         debug_assert!(i < self.len);
-        self.words[i / 64] |= 1 << (i % 64);
+        self.words_mut()[i / 64] |= 1 << (i % 64);
     }
 
     /// Removes index `i`.
     #[inline]
     pub fn remove(&mut self, i: usize) {
         debug_assert!(i < self.len);
-        self.words[i / 64] &= !(1 << (i % 64));
+        self.words_mut()[i / 64] &= !(1 << (i % 64));
     }
 
     /// Does the set contain `i`?
     #[inline]
     pub fn contains(&self, i: usize) -> bool {
         debug_assert!(i < self.len);
-        self.words[i / 64] & (1 << (i % 64)) != 0
+        self.words()[i / 64] & (1 << (i % 64)) != 0
     }
 
     /// Number of elements.
     pub fn count(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.words().iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Is the set empty?
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        self.words().iter().all(|&w| w == 0)
     }
 
     /// In-place union.
     pub fn union_with(&mut self, other: &AtomSet) {
         debug_assert_eq!(self.len, other.len);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
             *a |= b;
         }
     }
@@ -93,7 +167,7 @@ impl AtomSet {
     /// In-place intersection.
     pub fn intersect_with(&mut self, other: &AtomSet) {
         debug_assert_eq!(self.len, other.len);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
             *a &= b;
         }
     }
@@ -101,7 +175,7 @@ impl AtomSet {
     /// In-place difference (`self \ other`).
     pub fn difference_with(&mut self, other: &AtomSet) {
         debug_assert_eq!(self.len, other.len);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
             *a &= !b;
         }
     }
@@ -133,21 +207,37 @@ impl AtomSet {
     /// Is `self ⊆ other`?
     pub fn is_subset(&self, other: &AtomSet) -> bool {
         debug_assert_eq!(self.len, other.len);
-        self.words
+        self.words()
             .iter()
-            .zip(&other.words)
+            .zip(other.words())
             .all(|(a, b)| a & !b == 0)
     }
 
     /// Do the sets intersect?
     pub fn intersects(&self, other: &AtomSet) -> bool {
         debug_assert_eq!(self.len, other.len);
-        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+        self.words()
+            .iter()
+            .zip(other.words())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Is `self ∩ other \ excl` non-empty? Word-parallel form of the
+    /// closure engine's anchoring test (`∃a ∈ U ∩ W: a ∉ X_new`), fused so
+    /// no intermediate set is materialised.
+    pub fn intersects_excluding(&self, other: &AtomSet, excl: &AtomSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        debug_assert_eq!(self.len, excl.len);
+        self.words()
+            .iter()
+            .zip(other.words())
+            .zip(excl.words())
+            .any(|((a, b), e)| a & b & !e != 0)
     }
 
     /// Iterates over the contained indices in increasing order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+        self.words().iter().enumerate().flat_map(move |(wi, &w)| {
             let mut w = w;
             std::iter::from_fn(move || {
                 if w == 0 {
@@ -158,6 +248,38 @@ impl AtomSet {
                 Some(wi * 64 + bit)
             })
         })
+    }
+}
+
+impl PartialEq for AtomSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.words() == other.words()
+    }
+}
+
+impl Eq for AtomSet {}
+
+impl Hash for AtomSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.len.hash(state);
+        self.words().hash(state);
+    }
+}
+
+impl PartialOrd for AtomSet {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for AtomSet {
+    /// Capacity first, then words lexicographically — the same order the
+    /// seed's derived `(len, Vec<u64>)` implementation produced, which the
+    /// deterministic block/basis output order depends on.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.len
+            .cmp(&other.len)
+            .then_with(|| self.words().cmp(other.words()))
     }
 }
 
@@ -229,5 +351,46 @@ mod tests {
     fn debug_format() {
         let a = AtomSet::from_indices(8, [1, 5]);
         assert_eq!(format!("{a:?}"), "{1, 5}");
+    }
+
+    #[test]
+    fn inline_and_heap_agree() {
+        // the same logical sets at an inline capacity and a heap capacity
+        // behave identically across the whole API
+        for cap in [100usize, 200] {
+            let a = AtomSet::from_indices(cap, [0, 63, 64, 97]);
+            let b = AtomSet::from_indices(cap, [63, 97, 99]);
+            assert_eq!(
+                a.union(&b).iter().collect::<Vec<_>>(),
+                vec![0, 63, 64, 97, 99]
+            );
+            assert_eq!(a.intersect(&b).iter().collect::<Vec<_>>(), vec![63, 97]);
+            assert_eq!(a.difference(&b).iter().collect::<Vec<_>>(), vec![0, 64]);
+            assert!(a.intersects_excluding(&b, &AtomSet::from_indices(cap, [63])));
+            assert!(!a.intersects_excluding(&b, &AtomSet::from_indices(cap, [63, 97])));
+            let mut c = AtomSet::empty(cap);
+            c.copy_from(&a);
+            assert_eq!(c, a);
+            c.clear();
+            assert!(c.is_empty());
+        }
+    }
+
+    #[test]
+    fn full_masks_tail_bits() {
+        for cap in [1usize, 63, 64, 65, 127, 128, 129, 190] {
+            let f = AtomSet::full(cap);
+            assert_eq!(f.count(), cap, "capacity {cap}");
+            assert_eq!(f.iter().max(), cap.checked_sub(1));
+        }
+    }
+
+    #[test]
+    fn word_accessors() {
+        let a = AtomSet::from_indices(130, [0, 64, 129]);
+        assert_eq!(a.word_count(), 3);
+        assert_eq!(a.word(0), 1);
+        assert_eq!(a.word(1), 1);
+        assert_eq!(a.word(2), 2);
     }
 }

@@ -38,9 +38,11 @@ pub mod atoms;
 pub mod bitset;
 pub mod lattice;
 pub mod laws;
+pub mod partition;
 pub mod render;
 pub mod subset;
 pub mod treealg;
 
 pub use atoms::{Algebra, AtomId, AtomInfo, AtomKind};
 pub use bitset::AtomSet;
+pub use partition::BlockPartition;

@@ -67,6 +67,59 @@ impl Algebra {
         x.intersect(self.max_mask())
     }
 
+    /// Allocation-free `pdiff`: writes `X ∸ Y` into `out` (which must
+    /// have the algebra's capacity; its previous contents are discarded).
+    ///
+    /// Downward closure is a single pass here because `below(a)` already
+    /// contains *all* list-node ancestors of `a`, not just the parent.
+    pub fn pdiff_into(&self, x: &AtomSet, y: &AtomSet, out: &mut AtomSet) {
+        debug_assert_eq!(out.capacity(), self.atom_count());
+        out.clear();
+        for wi in 0..x.word_count() {
+            let mut w = x.word(wi) & !y.word(wi);
+            while w != 0 {
+                let a = wi * 64 + w.trailing_zeros() as usize;
+                out.union_with(&self.atom(a).below);
+                w &= w - 1;
+            }
+        }
+    }
+
+    /// Allocation-free `cc`: writes `X^CC` into `out`.
+    pub fn cc_into(&self, x: &AtomSet, out: &mut AtomSet) {
+        debug_assert_eq!(out.capacity(), self.atom_count());
+        out.clear();
+        for wi in 0..x.word_count() {
+            let mut w = x.word(wi) & self.max_mask().word(wi);
+            while w != 0 {
+                let a = wi * 64 + w.trailing_zeros() as usize;
+                out.union_with(&self.atom(a).below);
+                w &= w - 1;
+            }
+        }
+    }
+
+    /// Allocation-free Brouwerian complement: writes `X^C = N ∸ X` into
+    /// `out`.
+    pub fn compl_into(&self, x: &AtomSet, out: &mut AtomSet) {
+        debug_assert_eq!(out.capacity(), self.atom_count());
+        out.clear();
+        let n = self.atom_count();
+        for wi in 0..x.word_count() {
+            let valid = if (wi + 1) * 64 <= n {
+                u64::MAX
+            } else {
+                (1u64 << (n % 64)) - 1
+            };
+            let mut w = !x.word(wi) & valid;
+            while w != 0 {
+                let a = wi * 64 + w.trailing_zeros() as usize;
+                out.union_with(&self.atom(a).below);
+                w &= w - 1;
+            }
+        }
+    }
+
     /// Is atom `a` *possessed* by `W` (Definition 4.11)? Every basis
     /// attribute `Z ≥ b(a)` must also satisfy `Z ≤ W`; in atom terms,
     /// `above(a) ⊆ W`.
@@ -233,6 +286,26 @@ mod tests {
             .from_attr(&parse_subattr_of(&n2, "L(λ, B, λ)").unwrap())
             .unwrap();
         assert!(!alg2.mvd_trivial(&a2, &b2));
+    }
+
+    #[test]
+    fn into_variants_agree_with_by_value() {
+        for src in ["L[A]", "A'(B, C[D(E, F[G])])", "K[L(M[N'(A, B)], C)]"] {
+            let n = parse_attr(src).unwrap();
+            let alg = Algebra::new(&n);
+            let elements = crate::lattice::enumerate_sets(&alg);
+            let mut out = alg.bottom_set();
+            for x in &elements {
+                alg.cc_into(x, &mut out);
+                assert_eq!(out, alg.cc(x), "cc in {src}");
+                alg.compl_into(x, &mut out);
+                assert_eq!(out, alg.compl(x), "compl in {src}");
+                for y in &elements {
+                    alg.pdiff_into(x, y, &mut out);
+                    assert_eq!(out, alg.pdiff(x, y), "pdiff in {src}");
+                }
+            }
+        }
     }
 
     #[test]

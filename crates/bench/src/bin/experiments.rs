@@ -14,6 +14,7 @@ use nalist::membership::witness::combination_instance;
 use nalist::prelude::*;
 use nalist_bench::{
     flat_workload, fmt_nanos, loglog_slope, median_nanos, nested_workload, run_closures,
+    run_closures_paper,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,24 +26,41 @@ fn header(id: &str, title: &str) {
 }
 
 fn main() {
-    fig1();
-    fig2();
-    ex42();
-    ex45();
-    ex48();
-    ex51();
-    thm44_erratum();
-    correctness();
-    certificates();
-    reference_ablation();
-    scaling_n();
-    scaling_sigma();
-    vs_naive();
-    ops();
-    witness_table();
-    chase_table();
-    min_rules();
-    apps();
+    // optional arg: run only experiments whose id contains the filter,
+    // e.g. `cargo run --release -p nalist-bench --bin experiments ENGINE`
+    let filter = std::env::args().nth(1);
+    let experiments: &[(&str, fn())] = &[
+        ("E-FIG1", fig1),
+        ("E-FIG2", fig2),
+        ("E-EX42", ex42),
+        ("E-EX45", ex45),
+        ("E-EX48", ex48),
+        ("E-EX51", ex51),
+        ("E-THM44", thm44_erratum),
+        ("E-THM63", correctness),
+        ("E-CERT", certificates),
+        ("E-REF", reference_ablation),
+        ("E-ENGINE", engine_speedup),
+        ("E-THM64a", scaling_n),
+        ("E-THM64b", scaling_sigma),
+        ("E-BASE1", vs_naive),
+        ("E-OPS", ops),
+        ("E-WIT", witness_table),
+        ("E-CHASE", chase_table),
+        ("E-MINRULES", min_rules),
+        ("E-APP", apps),
+    ];
+    let mut ran = 0usize;
+    for (id, f) in experiments {
+        if filter.as_deref().map_or(true, |pat| id.contains(pat)) {
+            f();
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!("no experiment id matches {:?}", filter.unwrap_or_default());
+        std::process::exit(2);
+    }
     println!("\nall experiments completed");
 }
 
@@ -396,6 +414,134 @@ fn reference_ablation() {
         "both engines produce identical closures and blocks (asserted in \
          tests/crossval and the reference module's own tests)"
     );
+}
+
+// ------------------------------------------------------------------ E-ENGINE
+
+/// Worklist engine vs the paper-order pass engine, plus parallel batch
+/// throughput. Also emits the machine-readable `BENCH_closure.json`
+/// consumed by CI dashboards / CHANGES.md.
+fn engine_speedup() {
+    use std::num::NonZeroUsize;
+
+    header(
+        "E-ENGINE",
+        "Change-driven worklist engine vs paper-order pass engine",
+    );
+    let mut json_rows: Vec<String> = Vec::new();
+    println!(
+        "{:>6} {:>6} {:>14} {:>14} {:>9}",
+        "|N|", "|Σ|", "pass engine", "worklist", "speedup"
+    );
+    for (atoms, sigma_count) in [(16usize, 8usize), (32, 16), (64, 32), (96, 32), (128, 48)] {
+        let w = nested_workload(7, atoms, sigma_count);
+        let t_paper = median_nanos(5, || {
+            std::hint::black_box(run_closures_paper(&w));
+        });
+        let t_fast = median_nanos(5, || {
+            std::hint::black_box(run_closures(&w));
+        });
+        let speedup = t_paper as f64 / t_fast.max(1) as f64;
+        println!(
+            "{:>6} {:>6} {:>14} {:>14} {:>8.1}x",
+            atoms,
+            sigma_count,
+            fmt_nanos(t_paper),
+            fmt_nanos(t_fast),
+            speedup
+        );
+        json_rows.push(format!(
+            "  {{\"id\": \"nested_workload(seed=7, atoms={atoms}, sigma={sigma_count})\", \
+             \"atoms\": {atoms}, \"sigma\": {sigma_count}, \
+             \"median_ns_pass_engine\": {t_paper}, \"median_ns_worklist\": {t_fast}, \
+             \"speedup\": {speedup:.2}}}"
+        ));
+    }
+    println!("both engines produce identical output (asserted per query in tests/crossval.rs)");
+
+    let cpus = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    println!(
+        "\nbatch membership throughput (implies_batch, |N| = 64, |Σ| = 32, 256 queries \
+         over 32 distinct LHSs, {cpus} CPU(s) available):"
+    );
+    let w = nested_workload(8, 64, 32);
+    let r = {
+        let mut r = Reasoner::new(&w.attr);
+        for d in &w.sigma {
+            r.add(d.decompile(&w.alg)).expect("generated Σ compiles");
+        }
+        r
+    };
+    // cover/key/normal-form workloads query many RHSs per LHS, so the
+    // batch reuses left-hand sides — exactly what the shared cache serves
+    let mut rng = StdRng::seed_from_u64(9);
+    let lhs_pool: Vec<AtomSet> = (0..32)
+        .map(|_| nalist::gen::random_subattr(&mut rng, &w.alg, 0.3))
+        .collect();
+    let compiled: Vec<CompiledDep> = (0..256)
+        .map(|i| {
+            let lhs = lhs_pool[i % lhs_pool.len()].clone();
+            let rhs = nalist::gen::random_subattr(&mut rng, &w.alg, 0.3);
+            if i % 3 == 0 {
+                CompiledDep::fd(lhs, rhs)
+            } else {
+                CompiledDep::mvd(lhs, rhs)
+            }
+        })
+        .collect();
+    let queries: Vec<Dependency> = compiled.iter().map(|c| c.decompile(&w.alg)).collect();
+    let t_uncached = median_nanos(5, || {
+        for c in &compiled {
+            std::hint::black_box(nalist::membership::implies(&w.alg, &w.sigma, c));
+        }
+    });
+    println!(
+        "  uncached per-query implies(): {:>12}  ({:>9.0} queries/s)",
+        fmt_nanos(t_uncached),
+        queries.len() as f64 / (t_uncached as f64 / 1e9)
+    );
+    let mut t_one_thread = 0u128;
+    for threads in [1usize, 2, 4, 8] {
+        // clone per run: each measurement starts from a cold cache
+        let t = median_nanos(5, || {
+            let fresh = r.clone();
+            let verdicts = fresh
+                .implies_batch_with(&queries, NonZeroUsize::new(threads).unwrap())
+                .expect("queries compile");
+            std::hint::black_box(verdicts.len());
+        });
+        if threads == 1 {
+            t_one_thread = t;
+        }
+        let qps = queries.len() as f64 / (t as f64 / 1e9);
+        let vs_uncached = t_uncached as f64 / t.max(1) as f64;
+        let vs_one = t_one_thread as f64 / t.max(1) as f64;
+        println!(
+            "  batch, {threads} thread(s): {:>12}  ({:>9.0} queries/s, {vs_uncached:.1}x vs \
+             uncached, {vs_one:.2}x vs 1 thread)",
+            fmt_nanos(t),
+            qps
+        );
+        json_rows.push(format!(
+            "  {{\"id\": \"implies_batch(seed=8, atoms=64, sigma=32, queries=256, lhs_pool=32)\", \
+             \"atoms\": 64, \"sigma\": 32, \"threads\": {threads}, \"cpus\": {cpus}, \
+             \"median_ns\": {t}, \"median_ns_uncached_baseline\": {t_uncached}, \
+             \"queries_per_sec\": {qps:.0}, \"speedup_vs_uncached\": {vs_uncached:.2}, \
+             \"speedup_vs_1_thread\": {vs_one:.2}}}"
+        ));
+    }
+    if cpus == 1 {
+        println!(
+            "  note: thread-scaling is bounded by the {cpus} CPU visible to this container; \
+             the vs-1-thread column measures scheduling overhead, not the engine"
+        );
+    }
+
+    let json = format!("[\n{}\n]\n", json_rows.join(",\n"));
+    match std::fs::write("BENCH_closure.json", &json) {
+        Ok(()) => println!("machine-readable results written to BENCH_closure.json"),
+        Err(e) => println!("could not write BENCH_closure.json: {e}"),
+    }
 }
 
 // ------------------------------------------------------------------ E-THM64a

@@ -104,11 +104,22 @@ pub fn chain_workload(atoms: usize) -> Workload {
 }
 
 /// Runs every query's closure + dependency basis once (the unit of work
-/// all scaling benches measure).
+/// all scaling benches measure), on the default (worklist) engine.
 pub fn run_closures(w: &Workload) -> usize {
     let mut acc = 0usize;
     for q in &w.queries {
         let b = closure_and_basis(&w.alg, &w.sigma, q);
+        acc += b.closure.count() + b.blocks.len();
+    }
+    acc
+}
+
+/// The same unit of work as [`run_closures`], on the paper-faithful pass
+/// engine — the baseline the worklist engine is measured against.
+pub fn run_closures_paper(w: &Workload) -> usize {
+    let mut acc = 0usize;
+    for q in &w.queries {
+        let b = nalist::membership::closure_and_basis_paper(&w.alg, &w.sigma, q);
         acc += b.closure.count() + b.blocks.len();
     }
     acc

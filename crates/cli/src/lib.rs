@@ -6,6 +6,8 @@
 //!
 //! ```text
 //! nalist check     <schema> <deps-file> <dependency>   decide Σ ⊨ σ (witness on "no")
+//! nalist batch     <schema> <deps-file> <queries-file> [--threads N]
+//!                                                      decide Σ ⊨ σ for many σ in parallel
 //! nalist prove     <schema> <deps-file> <dependency>   emit a machine-checked derivation
 //! nalist closure   <schema> <deps-file> <subattr>      attribute-set closure X⁺
 //! nalist basis     <schema> <deps-file> <subattr>      dependency basis DepB(X)
@@ -59,6 +61,7 @@ impl CliError {
 /// Usage text.
 pub const USAGE: &str = "usage:
   nalist check     <schema> <deps-file> <dependency>
+  nalist batch     <schema> <deps-file> <queries-file> [--threads N]
   nalist prove     <schema> <deps-file> <dependency>
   nalist closure   <schema> <deps-file> <subattr>
   nalist basis     <schema> <deps-file> <subattr>
@@ -69,8 +72,9 @@ pub const USAGE: &str = "usage:
   nalist lattice   <schema> [--dot]
 
 <schema> is a nested attribute, e.g. 'Pubcrawl(Person, Visit[Drink(Beer, Pub)])'.
-Dependency files hold one 'X -> Y' or 'X ->> Y' per line; data files one
-tuple literal per line. '#' starts a comment in either.";
+Dependency and query files hold one 'X -> Y' or 'X ->> Y' per line; data
+files one tuple literal per line. '#' starts a comment in either. Pass
+'-' as a file argument to read it from stdin.";
 
 /// File access used by [`run`]; injectable for tests.
 pub trait Files {
@@ -83,6 +87,12 @@ pub struct OsFiles;
 
 impl Files for OsFiles {
     fn read(&self, path: &str) -> Result<String, String> {
+        if path == "-" {
+            let mut buf = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            return Ok(buf);
+        }
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
     }
 }
@@ -131,6 +141,51 @@ pub fn run(args: &[String], files: &dyn Files) -> Result<String, CliError> {
                     }
                 }
             }
+        }
+        [cmd, schema, deps, queries, rest @ ..] if cmd == "batch" => {
+            let threads = match rest {
+                [] => None,
+                [flag, n] if flag == "--threads" => Some(
+                    n.parse::<std::num::NonZeroUsize>()
+                        .map_err(|e| CliError::usage(format!("bad --threads value '{n}': {e}")))?,
+                ),
+                _ => return Err(CliError::usage("unknown flags for batch")),
+            };
+            let r = load_reasoner(files, schema, deps)?;
+            let alg = r.algebra();
+            let text = files.read(queries).map_err(CliError::domain)?;
+            let mut targets = Vec::new();
+            for (lineno, line) in text.lines().enumerate() {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                let dep = Dependency::parse(r.attr(), line)
+                    .map_err(|e| CliError::domain(format!("{queries}:{}: {e}", lineno + 1)))?;
+                targets.push(dep);
+            }
+            let verdicts = match threads {
+                Some(t) => r.implies_batch_with(&targets, t),
+                None => r.implies_batch(&targets),
+            }
+            .map_err(CliError::domain)?;
+            let mut implied = 0;
+            for (dep, ok) in targets.iter().zip(&verdicts) {
+                let c = dep.compile(alg).expect("batch already compiled it");
+                if *ok {
+                    implied += 1;
+                    writeln!(out, "IMPLIED      {}", c.render(alg)).unwrap();
+                } else {
+                    writeln!(out, "NOT IMPLIED  {}", c.render(alg)).unwrap();
+                }
+            }
+            writeln!(
+                out,
+                "{implied}/{} implied, {} not",
+                verdicts.len(),
+                verdicts.len() - implied
+            )
+            .unwrap();
         }
         [cmd, schema, deps, dep] if cmd == "prove" => {
             let r = load_reasoner(files, schema, deps)?;
@@ -410,6 +465,42 @@ mod tests {
         assert!(out.starts_with("NOT IMPLIED"));
         assert!(out.contains("counterexample"));
         assert!(out.contains('('));
+    }
+
+    #[test]
+    fn batch_command() {
+        let mut f = files();
+        f.0.insert(
+            "queries.txt".to_string(),
+            "# batch membership queries\n\
+             Pubcrawl(Person) -> Pubcrawl(Visit[λ])\n\
+             Pubcrawl(Person) -> Pubcrawl(Visit[Drink(Pub)])\n\
+             Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Beer)])\n"
+                .to_string(),
+        );
+        let out = run(&args(&["batch", SCHEMA, "deps.txt", "queries.txt"]), &f).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("IMPLIED"), "{out}");
+        assert!(lines[1].starts_with("NOT IMPLIED"), "{out}");
+        assert!(lines[2].starts_with("IMPLIED"), "{out}");
+        assert_eq!(lines[3], "2/3 implied, 1 not");
+        // explicit thread count gives identical output
+        let fixed = run(
+            &args(&["batch", SCHEMA, "deps.txt", "queries.txt", "--threads", "2"]),
+            &f,
+        )
+        .unwrap();
+        assert_eq!(fixed, out);
+        // bad flags and bad query lines are reported
+        let e = run(
+            &args(&["batch", SCHEMA, "deps.txt", "queries.txt", "--bogus"]),
+            &f,
+        )
+        .unwrap_err();
+        assert_eq!(e.code, 2);
+        f.0.insert("badq.txt".to_string(), "Pubcrawl(Zzz) -> λ\n".to_string());
+        let e = run(&args(&["batch", SCHEMA, "deps.txt", "badq.txt"]), &f).unwrap_err();
+        assert!(e.message.contains("badq.txt:1"), "{}", e.message);
     }
 
     #[test]

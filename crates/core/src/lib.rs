@@ -64,8 +64,9 @@ pub mod prelude {
         chase, parse_sigma, ChaseError, ChaseResult, CompiledDep, DepKind, Dependency, Instance,
     };
     pub use nalist_membership::{
-        certified_closure_and_basis, certify, closure_and_basis, closure_and_basis_traced, implies,
-        refute, CertifiedBasis, DependencyBasis, Reasoner, Witness,
+        certified_closure_and_basis, certify, closure_and_basis, closure_and_basis_paper,
+        closure_and_basis_traced, implies, refute, CertifiedBasis, DependencyBasis, Reasoner,
+        Witness,
     };
     pub use nalist_schema::{
         binary_split, candidate_keys, decompose_4nf, equivalent, is_fourth_nf, is_superkey,

@@ -1,0 +1,295 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the slice of `criterion` its `[[bench]]` targets use: [`Criterion`],
+//! [`BenchmarkGroup`] with `sample_size`/`warm_up_time`/
+//! `measurement_time`/`throughput`, `bench_function`/`bench_with_input`,
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. Statistics are deliberately simple — per benchmark it reports
+//! the median, min, and max of the sample wall-clock times, plus derived
+//! element throughput when configured. No HTML reports, no regression
+//! analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-exported so benches can use `criterion::black_box` if desired.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(600),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark with default settings.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut group = self.benchmark_group(name);
+        group.run(name.to_string(), &mut f);
+        group.finish();
+    }
+}
+
+/// Unit of work processed per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent warming up before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target total time spent collecting samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Declares work-per-iteration for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<P, F>(&mut self, id: BenchmarkId, input: &P, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &P),
+    {
+        let mut wrapped = |b: &mut Bencher| f(b, input);
+        self.run(id.to_string(), &mut wrapped);
+        self
+    }
+
+    /// Benchmarks `f` under a plain string name.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        self.run(name.to_string(), &mut f);
+        self
+    }
+
+    /// Ends the group (report lines are printed eagerly, so this is a
+    /// formatting no-op kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn run(&mut self, label: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            mode: Mode::WarmUp {
+                deadline: Instant::now() + self.warm_up_time,
+            },
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.mode = Mode::Measure {
+            remaining: self.sample_size,
+            deadline: Instant::now() + self.measurement_time,
+        };
+        f(&mut bencher);
+
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("  {label:<40} (no samples)");
+            return;
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let lo = samples[0];
+        let hi = samples[samples.len() - 1];
+        let mut line = format!(
+            "  {label:<40} median {:>12}  [{} .. {}]  ({} samples)",
+            fmt_ns(median),
+            fmt_ns(lo),
+            fmt_ns(hi),
+            samples.len()
+        );
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem/s"),
+                Throughput::Bytes(n) => (n, "B/s"),
+            };
+            if median > 0 {
+                let rate = count as f64 * 1e9 / median as f64;
+                line.push_str(&format!("  {rate:.0} {unit}"));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[derive(Debug)]
+enum Mode {
+    WarmUp { deadline: Instant },
+    Measure { remaining: usize, deadline: Instant },
+}
+
+/// Timing harness handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<u128>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, timing each call in measure mode.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match &mut self.mode {
+            Mode::WarmUp { deadline } => {
+                let deadline = *deadline;
+                loop {
+                    black_box(routine());
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+            }
+            Mode::Measure {
+                remaining,
+                deadline,
+            } => {
+                let (target, deadline) = (*remaining, *deadline);
+                for i in 0..target {
+                    let start = Instant::now();
+                    black_box(routine());
+                    self.samples.push(start.elapsed().as_nanos());
+                    // always record at least one sample before honouring
+                    // the measurement-time budget
+                    if i > 0 && Instant::now() >= deadline {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Bundles benchmark functions into a runner, mirroring
+/// `criterion::criterion_group!` (simple form only).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the named groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim-selftest");
+        group
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("id", |b| b.iter(|| black_box(1)));
+        group.finish();
+    }
+
+    criterion_group!(benches, quick);
+
+    #[test]
+    fn group_runs_and_samples() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

@@ -1,0 +1,158 @@
+//! Precomputed dependency footprints for the change-driven closure
+//! engine.
+//!
+//! Algorithm 5.1 evaluates, for every dependency `U → V` / `U ↠ V` and
+//! every partition block `W`, the anchoring test
+//! `∃a ∈ SubB(U): a ∉ X_new ∧ possessed_by(a, W)`. Possession of a
+//! *maximal* atom degenerates to membership (`above(a) = {a}`), so with
+//! the masks precomputed here the common case is a handful of
+//! word-parallel bitset operations:
+//!
+//! * `lhs & W & !X_new == ∅` — no LHS atom of `U` is even a candidate
+//!   (possession implies membership), so `W` cannot anchor;
+//! * `lhs_max & W & !X_new ≠ ∅` — a maximal LHS atom anchors outright;
+//! * otherwise only the (typically very few) non-maximal LHS atoms need
+//!   their `above(a) ⊆ W` subset checks.
+//!
+//! The LHS mask doubles as the dependency's *dirty footprint*: a
+//! dependency at fixpoint needs reprocessing only when an atom of its LHS
+//! enters `X_new` or belongs to a block that changed (see
+//! `nalist-membership`'s `closure` module for the invariant argument).
+
+use nalist_algebra::{Algebra, AtomId, AtomSet};
+use nalist_types::parser::DepKind;
+
+use crate::dependency::CompiledDep;
+
+/// A [`CompiledDep`] with its anchor masks precomputed against a fixed
+/// [`Algebra`].
+#[derive(Debug, Clone)]
+pub struct PreparedDep {
+    /// FD or MVD.
+    pub kind: DepKind,
+    /// `SubB(U)`.
+    pub lhs: AtomSet,
+    /// `SubB(V)`.
+    pub rhs: AtomSet,
+    /// `SubB(U) ∩ MaxB(N)` — LHS atoms whose possession test is pure
+    /// membership.
+    pub lhs_max: AtomSet,
+    /// The non-maximal LHS atoms, each with its `above` mask (possession
+    /// is `above(a) ⊆ W`).
+    pub lhs_nonmax: Vec<(AtomId, AtomSet)>,
+    /// `⋃{above(a) : a ∈ SubB(U)}` — if this is contained in a block,
+    /// every LHS atom in the block is possessed by it.
+    pub above_union: AtomSet,
+}
+
+impl PreparedDep {
+    /// Is block `w` an anchor for this dependency, i.e. does it possess
+    /// an LHS atom outside `x_new`?
+    pub fn anchors(&self, x_new: &AtomSet, w: &AtomSet) -> bool {
+        // possession implies membership: no LHS atom in W \ X_new, no anchor
+        if !self.lhs.intersects_excluding(w, x_new) {
+            return false;
+        }
+        // any maximal LHS atom in W \ X_new is possessed outright
+        if self.lhs_max.intersects_excluding(w, x_new) {
+            return true;
+        }
+        self.lhs_nonmax
+            .iter()
+            .any(|(a, above)| !x_new.contains(*a) && w.contains(*a) && above.is_subset(w))
+    }
+}
+
+impl CompiledDep {
+    /// Precomputes the anchor masks of this dependency for `alg`.
+    pub fn prepare(&self, alg: &Algebra) -> PreparedDep {
+        let lhs_max = alg.maximal_atoms_of(&self.lhs);
+        let mut above_union = AtomSet::empty(alg.atom_count());
+        let mut lhs_nonmax = Vec::new();
+        for a in self.lhs.iter() {
+            let info = alg.atom(a);
+            above_union.union_with(&info.above);
+            if !info.maximal {
+                lhs_nonmax.push((a, info.above.clone()));
+            }
+        }
+        PreparedDep {
+            kind: self.kind,
+            lhs: self.lhs.clone(),
+            rhs: self.rhs.clone(),
+            lhs_max,
+            lhs_nonmax,
+            above_union,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dependency::Dependency;
+    use nalist_types::parser::{parse_attr, parse_subattr_of};
+
+    fn prep(attr: &str, dep: &str) -> (Algebra, PreparedDep) {
+        let n = parse_attr(attr).unwrap();
+        let alg = Algebra::new(&n);
+        let d = Dependency::parse(&n, dep)
+            .unwrap()
+            .compile(&alg)
+            .unwrap()
+            .prepare(&alg);
+        (alg, d)
+    }
+
+    #[test]
+    fn masks_partition_the_lhs() {
+        let (alg, d) = prep("A'(B, C[D(E, F[G])])", "A'(B, C[λ]) ->> A'(C[D(E)])");
+        // lhs atoms: 0=B (maximal), 1=C (list, non-maximal)
+        assert_eq!(d.lhs_max, AtomSet::from_indices(5, [0]));
+        assert_eq!(d.lhs_nonmax.len(), 1);
+        assert_eq!(d.lhs_nonmax[0].0, 1);
+        assert_eq!(d.lhs_nonmax[0].1, alg.atom(1).above);
+        // above_union = above(B) ∪ above(C) = everything
+        assert_eq!(d.above_union, alg.top_set());
+    }
+
+    #[test]
+    fn anchors_matches_naive_definition() {
+        let srcs = [
+            ("A'(B, C[D(E, F[G])])", "A'(B, C[λ]) ->> A'(C[D(E)])"),
+            ("K[L(M[N'(A, B)], C)]", "K[L(M[λ], λ)] -> K[L(λ, C)]"),
+            ("L(A, B, C)", "L(A) -> L(B)"),
+        ];
+        for (attr, dep) in srcs {
+            let (alg, d) = prep(attr, dep);
+            let elements = nalist_algebra::lattice::enumerate_sets(&alg);
+            for x in &elements {
+                for w in &elements {
+                    let naive = d
+                        .lhs
+                        .iter()
+                        .any(|a| !x.contains(a) && alg.possessed_by(a, w));
+                    assert_eq!(d.anchors(x, w), naive, "{dep} with X={x:?}, W={w:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepare_preserves_sides() {
+        let n = parse_attr("L(A, B, C)").unwrap();
+        let alg = Algebra::new(&n);
+        let c = Dependency::parse(&n, "L(A) ->> L(B)")
+            .unwrap()
+            .compile(&alg)
+            .unwrap();
+        let p = c.prepare(&alg);
+        assert_eq!(p.kind, c.kind);
+        assert_eq!(p.lhs, c.lhs);
+        assert_eq!(p.rhs, c.rhs);
+        let x = alg
+            .from_attr(&parse_subattr_of(&n, "L(A)").unwrap())
+            .unwrap();
+        assert!(!p.anchors(&x, &x)); // the only lhs atom is in X
+    }
+}

@@ -21,6 +21,7 @@
 
 pub mod chase;
 pub mod dependency;
+pub mod footprint;
 pub mod instance;
 pub mod join;
 pub mod naive;
@@ -29,6 +30,7 @@ pub mod rules;
 
 pub use chase::{chase, ChaseError, ChaseResult};
 pub use dependency::{parse_sigma, CompiledDep, Dependency};
+pub use footprint::PreparedDep;
 pub use instance::Instance;
 pub use nalist_types::parser::DepKind;
 pub use proof::{DagNode, Proof, ProofDag};

@@ -132,9 +132,10 @@ fn gen_one(
     } else if depth < cfg.max_depth && rng.gen_bool(cfg.list_prob) {
         // list node costs one atom; content takes the rest
         let inner_budget = budget - 1;
-        let inner = if rng.gen_bool(0.5) {
-            // wrap multiple children in a record
-            let children = gen_children(rng, cfg, inner_budget, depth + 1, next_flat, next_label);
+        let inner = if depth + 1 < cfg.max_depth && rng.gen_bool(0.5) {
+            // wrap multiple children in a record; the record occupies its
+            // own level, so the children sit two levels below the list
+            let children = gen_children(rng, cfg, inner_budget, depth + 2, next_flat, next_label);
             if children.len() == 1 {
                 children.into_iter().next().expect("one child")
             } else {

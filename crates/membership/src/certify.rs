@@ -519,7 +519,7 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(777);
         for round in 0..25 {
-            let atoms = 2 + rng.gen_range(0..8);
+            let atoms = 2 + rng.gen_range(0..8usize);
             let n = random_attr(&mut rng, atoms);
             let alg = Algebra::new(&n);
             let sigma: Vec<CompiledDep> = (0..3).map(|_| random_dep(&mut rng, &alg)).collect();

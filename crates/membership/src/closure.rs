@@ -25,6 +25,22 @@
 //! The loop reaches a fixpoint after at most `|SubB(N)|` passes
 //! (Theorem 6.3); every pass is `O(|N|³·|Σ|)`, giving the
 //! `O(|N|⁴·|Σ|)` bound of Theorem 6.4.
+//!
+//! ## Two engines, one semantics
+//!
+//! This module keeps the *paper-faithful* pass engine ([`run`], public as
+//! [`closure_and_basis_paper`]): every pass processes every dependency in
+//! FD-then-MVD order and the fixpoint is detected by comparing cloned
+//! state. The traced variant [`closure_and_basis_traced`] always uses it,
+//! so traces reproduce Example 5.1 and Figures 3–4 of the paper pass for
+//! pass, step for step.
+//!
+//! The untraced entry point [`closure_and_basis`] instead delegates to
+//! the change-driven worklist engine in [`crate::worklist`], which skips
+//! dependency steps that are provably no-ops. Both engines produce
+//! bit-for-bit identical [`DependencyBasis`] values (see the invariant
+//! argument in [`crate::worklist`]); the `crossval` test suite checks
+//! this on randomised workloads.
 
 use std::collections::BTreeSet;
 
@@ -82,7 +98,23 @@ fn sorted(db: &BTreeSet<AtomSet>) -> Vec<AtomSet> {
 }
 
 /// Computes `X⁺` and `DepB(X)` (Algorithm 5.1), discarding the trace.
+///
+/// Runs the change-driven worklist engine
+/// ([`crate::worklist::closure_and_basis_worklist`]); the output is
+/// identical to [`closure_and_basis_paper`].
 pub fn closure_and_basis(alg: &Algebra, sigma: &[CompiledDep], x: &AtomSet) -> DependencyBasis {
+    crate::worklist::closure_and_basis_worklist(alg, sigma, x)
+}
+
+/// Computes `X⁺` and `DepB(X)` with the paper-faithful pass engine
+/// (process every dependency every pass, clone-and-compare fixpoint
+/// detection). Kept as the reference baseline for benchmarks and
+/// cross-validation.
+pub fn closure_and_basis_paper(
+    alg: &Algebra,
+    sigma: &[CompiledDep],
+    x: &AtomSet,
+) -> DependencyBasis {
     run(alg, sigma, x, None)
 }
 

@@ -1,5 +1,17 @@
 //! The membership decision `Σ ⊨ σ` (Theorem 6.4): run Algorithm 5.1 for
 //! `σ`'s left-hand side and apply Proposition 4.10.
+//!
+//! [`Reasoner`] answers queries either one at a time or in parallel
+//! batches ([`Reasoner::implies_batch`]); batch workers share the per-LHS
+//! basis cache, which is sharded across mutexes so concurrent queries
+//! with distinct left-hand sides rarely contend.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 use nalist_algebra::{Algebra, AtomSet};
 use nalist_deps::{CompiledDep, DepKind, Dependency};
@@ -7,6 +19,51 @@ use nalist_types::attr::NestedAttr;
 use nalist_types::error::{ParseError, TypeError};
 
 use crate::closure::{closure_and_basis, DependencyBasis};
+
+/// Number of independently locked cache shards. Spreading entries over
+/// 16 mutexes keeps contention negligible at any realistic thread count.
+const CACHE_SHARDS: usize = 16;
+
+/// A thread-safe per-LHS dependency-basis cache, sharded by the hash of
+/// the left-hand side.
+///
+/// Lookups lock exactly one shard, and no lock is held while a basis is
+/// *computed* — two threads racing on the same fresh LHS may both compute
+/// it, but the computation is deterministic, so the duplicate insert is
+/// idempotent and harmless.
+#[derive(Debug, Default)]
+struct BasisCache {
+    shards: [Mutex<HashMap<AtomSet, DependencyBasis>>; CACHE_SHARDS],
+}
+
+impl BasisCache {
+    fn shard(&self, x: &AtomSet) -> &Mutex<HashMap<AtomSet, DependencyBasis>> {
+        let mut h = DefaultHasher::new();
+        x.hash(&mut h);
+        &self.shards[h.finish() as usize % CACHE_SHARDS]
+    }
+
+    fn get(&self, x: &AtomSet) -> Option<DependencyBasis> {
+        self.shard(x)
+            .lock()
+            .expect("cache lock poisoned")
+            .get(x)
+            .cloned()
+    }
+
+    fn insert(&self, x: AtomSet, basis: DependencyBasis) {
+        self.shard(&x)
+            .lock()
+            .expect("cache lock poisoned")
+            .insert(x, basis);
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache lock poisoned").clear();
+        }
+    }
+}
 
 /// Decides `Σ ⊨ σ` on compiled inputs.
 pub fn implies(alg: &Algebra, sigma: &[CompiledDep], dep: &CompiledDep) -> bool {
@@ -31,14 +88,30 @@ pub fn implies(alg: &Algebra, sigma: &[CompiledDep], dep: &CompiledDep) -> bool 
 /// assert!(r.implies_str("Pubcrawl(Person) -> Pubcrawl(Visit[λ])").unwrap());
 /// assert!(!r.implies_str("Pubcrawl(Person) -> Pubcrawl(Visit[Drink(Pub)])").unwrap());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Reasoner {
     attr: NestedAttr,
     alg: Algebra,
     sigma: Vec<Dependency>,
     compiled: Vec<CompiledDep>,
     /// per-LHS dependency-basis cache, invalidated when Σ changes
-    cache: std::cell::RefCell<std::collections::HashMap<AtomSet, DependencyBasis>>,
+    cache: BasisCache,
+}
+
+impl Clone for Reasoner {
+    /// The clone starts with an *empty* cache: entries are cheap to
+    /// recompute, and a clone that secretly shared cache storage with its
+    /// original would be a correctness hazard once either side mutates
+    /// `Σ`.
+    fn clone(&self) -> Self {
+        Reasoner {
+            attr: self.attr.clone(),
+            alg: self.alg.clone(),
+            sigma: self.sigma.clone(),
+            compiled: self.compiled.clone(),
+            cache: BasisCache::default(),
+        }
+    }
 }
 
 /// Errors from the string-level [`Reasoner`] API.
@@ -69,7 +142,7 @@ impl Reasoner {
             alg: Algebra::new(n),
             sigma: Vec::new(),
             compiled: Vec::new(),
-            cache: std::cell::RefCell::new(std::collections::HashMap::new()),
+            cache: BasisCache::default(),
         }
     }
 
@@ -96,7 +169,7 @@ impl Reasoner {
     /// Adds a dependency to `Σ`.
     pub fn add(&mut self, dep: Dependency) -> Result<(), ReasonerError> {
         let c = dep.compile(&self.alg).map_err(ReasonerError::Type)?;
-        self.cache.borrow_mut().clear();
+        self.cache.clear();
         self.sigma.push(dep);
         self.compiled.push(c);
         Ok(())
@@ -111,11 +184,89 @@ impl Reasoner {
     /// Decides `Σ ⊨ σ` (using the per-LHS basis cache).
     pub fn implies(&self, dep: &Dependency) -> Result<bool, ReasonerError> {
         let c = dep.compile(&self.alg).map_err(ReasonerError::Type)?;
+        Ok(self.implies_compiled(&c))
+    }
+
+    fn implies_compiled(&self, c: &CompiledDep) -> bool {
         let basis = self.dependency_basis(&c.lhs);
-        Ok(match c.kind {
-            nalist_deps::DepKind::Fd => basis.fd_derivable(&c.rhs),
-            nalist_deps::DepKind::Mvd => basis.mvd_derivable(&c.rhs),
-        })
+        match c.kind {
+            DepKind::Fd => basis.fd_derivable(&c.rhs),
+            DepKind::Mvd => basis.mvd_derivable(&c.rhs),
+        }
+    }
+
+    /// Decides `Σ ⊨ σ` for every dependency in `deps`, in parallel.
+    ///
+    /// Compilation errors are reported before any work is spawned; the
+    /// result vector is index-aligned with `deps`. Uses one worker per
+    /// available CPU (capped at the batch size); workers share the basis
+    /// cache, so duplicated left-hand sides are computed once.
+    pub fn implies_batch(&self, deps: &[Dependency]) -> Result<Vec<bool>, ReasonerError> {
+        self.implies_batch_with(deps, default_threads())
+    }
+
+    /// [`Reasoner::implies_batch`] with an explicit worker count.
+    pub fn implies_batch_with(
+        &self,
+        deps: &[Dependency],
+        threads: NonZeroUsize,
+    ) -> Result<Vec<bool>, ReasonerError> {
+        let compiled = deps
+            .iter()
+            .map(|d| d.compile(&self.alg).map_err(ReasonerError::Type))
+            .collect::<Result<Vec<_>, _>>()?;
+        let workers = threads.get().min(compiled.len());
+        if workers <= 1 {
+            return Ok(compiled.iter().map(|c| self.implies_compiled(c)).collect());
+        }
+        let results: Vec<AtomicBool> = compiled.iter().map(|_| AtomicBool::new(false)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(c) = compiled.get(i) else { break };
+                    results[i].store(self.implies_compiled(c), Ordering::Relaxed);
+                });
+            }
+        });
+        Ok(results.into_iter().map(AtomicBool::into_inner).collect())
+    }
+
+    /// Computes the dependency basis for every `X` in `xs`, in parallel
+    /// (one worker per available CPU, capped at the batch size). The
+    /// result is index-aligned with `xs`.
+    pub fn dependency_basis_batch(&self, xs: &[AtomSet]) -> Vec<DependencyBasis> {
+        self.dependency_basis_batch_with(xs, default_threads())
+    }
+
+    /// [`Reasoner::dependency_basis_batch`] with an explicit worker
+    /// count.
+    pub fn dependency_basis_batch_with(
+        &self,
+        xs: &[AtomSet],
+        threads: NonZeroUsize,
+    ) -> Vec<DependencyBasis> {
+        let workers = threads.get().min(xs.len());
+        if workers <= 1 {
+            return xs.iter().map(|x| self.dependency_basis(x)).collect();
+        }
+        let slots: Vec<OnceLock<DependencyBasis>> = xs.iter().map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(x) = xs.get(i) else { break };
+                    let filled = slots[i].set(self.dependency_basis(x));
+                    debug_assert!(filled.is_ok(), "slot {i} claimed twice");
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("every slot was claimed exactly once"))
+            .collect()
     }
 
     /// Decides `Σ ⊨ σ` for a dependency written as text.
@@ -137,11 +288,11 @@ impl Reasoner {
     /// per left-hand side until `Σ` changes, so repeated queries with the
     /// same `X` (common in cover/normal-form workloads) pay once.
     pub fn dependency_basis(&self, x: &AtomSet) -> DependencyBasis {
-        if let Some(hit) = self.cache.borrow().get(x) {
-            return hit.clone();
+        if let Some(hit) = self.cache.get(x) {
+            return hit;
         }
         let basis = closure_and_basis(&self.alg, &self.compiled, x);
-        self.cache.borrow_mut().insert(x.clone(), basis.clone());
+        self.cache.insert(x.clone(), basis.clone());
         basis
     }
 
@@ -175,6 +326,11 @@ impl Reasoner {
             }
         }
     }
+}
+
+/// Default batch-worker count: one per available CPU.
+fn default_threads() -> NonZeroUsize {
+    std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
 }
 
 /// Evidence accompanying a membership verdict (see
@@ -273,9 +429,97 @@ mod tests {
         for _ in 0..3 {
             assert!(r.implies_str("L(A) -> L(C)").unwrap());
         }
-        // clones carry the cache but remain independent
+        // clones start with their own cache and remain independent
         let r2 = r.clone();
         assert!(r2.implies_str("L(A) -> L(C)").unwrap());
+    }
+
+    #[test]
+    fn reasoner_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Reasoner>();
+    }
+
+    #[test]
+    fn cloned_reasoner_shares_no_stale_cache_state() {
+        let n = parse_attr("L(A, B, C)").unwrap();
+        let mut r = Reasoner::new(&n);
+        r.add_str("L(A) -> L(B)").unwrap();
+        // warm the original's cache for LHS = L(A)
+        assert!(!r.implies_str("L(A) -> L(C)").unwrap());
+        let mut r2 = r.clone();
+        // diverge the clone's Σ — this must invalidate only ITS cache...
+        r2.add_str("L(B) -> L(C)").unwrap();
+        assert!(r2.implies_str("L(A) -> L(C)").unwrap());
+        // ...and the original must not observe the clone's entries
+        assert!(!r.implies_str("L(A) -> L(C)").unwrap());
+        // the mirror-image direction: mutate the original instead
+        r.add_str("L(A) -> L(C)").unwrap();
+        assert!(r.implies_str("L(A) -> L(C)").unwrap());
+        assert_eq!(r2.sigma().len(), 2);
+        assert!(!r2.implies_str("L(B) -> L(A)").unwrap());
+    }
+
+    #[test]
+    fn implies_batch_agrees_with_sequential() {
+        let n = parse_attr("A'(B, C[D(E, F[G])])").unwrap();
+        let mut r = Reasoner::new(&n);
+        r.add_str("A'(B) ->> A'(C[D(E)])").unwrap();
+        r.add_str("A'(C[λ]) -> A'(B)").unwrap();
+        let queries = [
+            "A'(B) -> A'(C[λ])",
+            "A'(B) ->> A'(C[D(F[λ])])",
+            "A'(C[λ]) ->> A'(B, C[D(E)])",
+            "A'(B) -> A'(B, C[D(E, F[G])])",
+            "λ ->> A'(C[λ])",
+            "A'(C[D(E)]) -> A'(B)",
+        ];
+        let deps: Vec<Dependency> = queries
+            .iter()
+            .map(|q| Dependency::parse(&n, q).unwrap())
+            .collect();
+        let sequential: Vec<bool> = deps.iter().map(|d| r.implies(d).unwrap()).collect();
+        for threads in [1, 2, 4] {
+            let batch = r
+                .implies_batch_with(&deps, NonZeroUsize::new(threads).unwrap())
+                .unwrap();
+            assert_eq!(batch, sequential, "threads = {threads}");
+        }
+        assert_eq!(r.implies_batch(&deps).unwrap(), sequential);
+    }
+
+    #[test]
+    fn implies_batch_fails_fast_on_bad_input() {
+        let n = parse_attr("L(A, B)").unwrap();
+        let r = Reasoner::new(&n);
+        let good = Dependency::parse(&n, "L(A) -> L(B)").unwrap();
+        let m = parse_attr("M(C)").unwrap();
+        let foreign = Dependency::parse(&m, "M(C) -> M(C)").unwrap();
+        assert!(matches!(
+            r.implies_batch(&[good, foreign]),
+            Err(ReasonerError::Type(_))
+        ));
+    }
+
+    #[test]
+    fn dependency_basis_batch_agrees_with_sequential() {
+        let n = parse_attr("L(A, B, C, D)").unwrap();
+        let mut r = Reasoner::new(&n);
+        r.add_str("L(A) ->> L(B)").unwrap();
+        r.add_str("L(B) -> L(C)").unwrap();
+        let xs: Vec<AtomSet> = ["λ", "L(A)", "L(B)", "L(A, D)"]
+            .iter()
+            .map(|s| {
+                let sub = nalist_types::parser::parse_subattr_of(&n, s).unwrap();
+                r.algebra().from_attr(&sub).unwrap()
+            })
+            .collect();
+        let sequential: Vec<DependencyBasis> = xs.iter().map(|x| r.dependency_basis(x)).collect();
+        for threads in [1, 3] {
+            let batch = r.dependency_basis_batch_with(&xs, NonZeroUsize::new(threads).unwrap());
+            assert_eq!(batch, sequential, "threads = {threads}");
+        }
+        assert_eq!(r.dependency_basis_batch(&xs), sequential);
     }
 
     #[test]

@@ -25,8 +25,11 @@ pub mod decide;
 pub mod reference;
 pub mod trace;
 pub mod witness;
+pub mod worklist;
 
 pub use certify::{certified_closure_and_basis, certify, CertifiedBasis};
-pub use closure::{closure_and_basis, closure_and_basis_traced, DependencyBasis, Trace};
+pub use closure::{
+    closure_and_basis, closure_and_basis_paper, closure_and_basis_traced, DependencyBasis, Trace,
+};
 pub use decide::{implies, Evidence, Reasoner, ReasonerError};
 pub use witness::{refute, Witness, WitnessError};

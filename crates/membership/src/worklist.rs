@@ -1,0 +1,339 @@
+//! The change-driven worklist engine behind [`crate::closure_and_basis`].
+//!
+//! Semantically this is exactly Algorithm 5.1 (see [`crate::closure`]); it
+//! differs from the paper-faithful pass loop only in *which steps it
+//! skips*, and every skipped step is provably a no-op, so the two engines
+//! traverse identical state trajectories and produce identical output.
+//!
+//! ## Why skipping is sound
+//!
+//! Write a dependency's step as a function of `(X_new, DB)`. Three
+//! monotonicity facts drive the engine:
+//!
+//! 1. **`Ū` only shrinks.** A block only ever changes by being replaced
+//!    with subsets of itself (FD reduction `W ↦ (W ∸ Ṽ)^CC`, MVD splits,
+//!    and new singletons `b(m)^↓` are all contained in the block that
+//!    covered `m`), and `X_new` only grows; both shrink the set of
+//!    anchoring blocks and the blocks themselves, so `Ū` is
+//!    `⊇`-monotonically decreasing and `Ṽ = V ∸ Ū` only grows.
+//! 2. **Refinement preserves no-ops.** Every block is `^CC`-closed — it
+//!    equals the downward closure of its maximal atoms, and the maximal
+//!    atoms partition `MaxB(N)`. Once all blocks are fully split along a
+//!    fixed `Ṽ` (each block's maximal atoms lie entirely inside or
+//!    outside `Ṽ`), any refinement of the partition keeps that property,
+//!    because sub-blocks carry subsets of their parent's maximal atoms.
+//!    The same holds for the FD "fully reduced" state. So a dependency
+//!    whose last run changed nothing stays a no-op while `Ṽ` is
+//!    unchanged.
+//! 3. **A dependency's `Ū` only depends on blocks meeting its LHS.** An
+//!    anchoring block possesses an LHS atom, and possession implies
+//!    membership, so a block with `W ∩ SubB(U) = ∅` never anchored and —
+//!    since new blocks are subsets of the block they replace — its
+//!    descendants never will.
+//!
+//! Hence a clean dependency needs reprocessing only when the *dirty set*
+//! — atoms newly added to `X_new`, plus the atoms of every block that was
+//! replaced (taking the pre-replacement set, which covers all its
+//! descendants) — intersects its LHS footprint. That intersection is one
+//! word-parallel mask test per dependency per change, replacing the
+//! seed's clone-everything-and-compare pass detection. Deps are scanned
+//! in the paper's FD-then-MVD order, so the fixpoint reached is the same
+//! one, not merely an equivalent one.
+//!
+//! Steps themselves run allocation-free on the hot path: anchoring uses
+//! the precomputed masks of [`PreparedDep`], the lattice ops write into
+//! reused scratch sets (`pdiff_into`/`cc_into`/`compl_into`), and the
+//! partition is a [`BlockPartition`] of inline bitsets instead of a
+//! `BTreeSet` that must be cloned to detect change.
+
+use nalist_algebra::{Algebra, AtomSet, BlockPartition};
+use nalist_deps::{CompiledDep, DepKind, PreparedDep};
+
+use crate::closure::DependencyBasis;
+
+/// Computes `X⁺` and `DepB(X)` with the change-driven worklist engine.
+///
+/// Produces bit-for-bit the same [`DependencyBasis`] as the paper-order
+/// pass engine ([`crate::closure::closure_and_basis_paper`]).
+pub fn closure_and_basis_worklist(
+    alg: &Algebra,
+    sigma: &[CompiledDep],
+    x: &AtomSet,
+) -> DependencyBasis {
+    debug_assert!(alg.is_downward_closed(x), "X must be an element of Sub(N)");
+    let n = alg.atom_count();
+
+    // FDs first, then MVDs — the paper's processing order
+    let prepared: Vec<PreparedDep> = sigma
+        .iter()
+        .filter(|d| d.kind == DepKind::Fd)
+        .chain(sigma.iter().filter(|d| d.kind == DepKind::Mvd))
+        .map(|d| d.prepare(alg))
+        .collect();
+
+    let mut engine = Engine {
+        alg,
+        x_new: x.clone(),
+        part: BlockPartition::new(n),
+        ubar: AtomSet::empty(n),
+        vtilde: AtomSet::empty(n),
+        tmp_a: AtomSet::empty(n),
+        tmp_b: AtomSet::empty(n),
+        tmp_c: AtomSet::empty(n),
+        delta: AtomSet::empty(n),
+    };
+
+    // DB_new := MaxB(X^CC) ∪ {X^C}
+    for m in alg.maximal_atoms_of(x).iter() {
+        engine.part.push_unique(alg.atom(m).below.clone());
+    }
+    let xc = alg.compl(x);
+    if !xc.is_empty() {
+        engine.part.push_unique(xc);
+    }
+
+    let k = prepared.len();
+    let mut dirty = vec![true; k];
+    let mut n_dirty = k;
+    while n_dirty > 0 {
+        for j in 0..k {
+            if !dirty[j] {
+                continue;
+            }
+            dirty[j] = false;
+            n_dirty -= 1;
+            if engine.step(&prepared[j]) {
+                // wake every dependency whose LHS meets the dirty set
+                for (jj, other) in prepared.iter().enumerate() {
+                    if !dirty[jj] && engine.delta.intersects(&other.lhs) {
+                        dirty[jj] = true;
+                        n_dirty += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    engine.finish()
+}
+
+struct Engine<'a> {
+    alg: &'a Algebra,
+    x_new: AtomSet,
+    part: BlockPartition,
+    // scratch sets, reused across steps so the hot path never allocates
+    ubar: AtomSet,
+    vtilde: AtomSet,
+    tmp_a: AtomSet,
+    tmp_b: AtomSet,
+    tmp_c: AtomSet,
+    /// Atoms whose state changed in the last step: new `X_new` members
+    /// plus the pre-change contents of every replaced block.
+    delta: AtomSet,
+}
+
+impl Engine<'_> {
+    /// Runs one dependency step; returns whether it changed anything
+    /// (with the change's atom footprint left in `self.delta`).
+    fn step(&mut self, dep: &PreparedDep) -> bool {
+        // Ū := ⊔{W ∈ DB | W anchors an un-determined LHS atom}
+        self.ubar.clear();
+        for w in self.part.iter() {
+            if dep.anchors(&self.x_new, w) {
+                self.ubar.union_with(w);
+            }
+        }
+        // Ṽ := V ∸ Ū
+        self.alg.pdiff_into(&dep.rhs, &self.ubar, &mut self.vtilde);
+        if self.vtilde.is_empty() {
+            return false;
+        }
+        self.delta.clear();
+        match dep.kind {
+            DepKind::Fd => self.fd_step(),
+            DepKind::Mvd => self.mvd_step(),
+        }
+    }
+
+    /// `X_new ⊔= Ṽ`; every block is reduced by `Ṽ` and the maximal atoms
+    /// of `Ṽ` become singleton blocks.
+    fn fd_step(&mut self) -> bool {
+        let mut changed = false;
+        if !self.vtilde.is_subset(&self.x_new) {
+            self.tmp_a.copy_from(&self.vtilde);
+            self.tmp_a.difference_with(&self.x_new);
+            self.delta.union_with(&self.tmp_a);
+            self.x_new.union_with(&self.vtilde);
+            changed = true;
+        }
+        self.part.bump();
+        // vt_max: maximal atoms of Ṽ — the singleton blocks this FD creates
+        let vt_max = self.alg.maximal_atoms_of(&self.vtilde);
+        // singletons b(m)^↓ that already exist and survive unchanged
+        let mut present = AtomSet::empty(self.part.universe());
+        let mut i = 0;
+        while i < self.part.len() {
+            let w = self.part.get(i);
+            let wmax = self.alg.maximal_atoms_of(w);
+            if !wmax.intersects(&vt_max) {
+                // reduction removes no maximal atom: (W ∸ Ṽ)^CC = W
+                i += 1;
+                continue;
+            }
+            if wmax.is_subset(&self.vtilde) && wmax.count() == 1 {
+                // W is already the singleton b(m)^↓ for some m ∈ MaxB(Ṽ):
+                // the paper's step removes and re-adds it — a net no-op
+                debug_assert_eq!(
+                    *w,
+                    self.alg.atom(wmax.iter().next().expect("count == 1")).below
+                );
+                present.union_with(&wmax);
+                i += 1;
+                continue;
+            }
+            // genuine reduction: W ↦ (W ∸ Ṽ)^CC, dropped if empty
+            changed = true;
+            self.delta.union_with(w);
+            self.alg.pdiff_into(w, &self.vtilde, &mut self.tmp_a);
+            self.alg.cc_into(&self.tmp_a, &mut self.tmp_b);
+            if self.tmp_b.is_empty() {
+                self.part.swap_remove(i);
+                // the swapped-in block is processed at the same index
+            } else {
+                self.part.replace(i, self.tmp_b.clone());
+                i += 1;
+            }
+        }
+        for m in vt_max.iter() {
+            if !present.contains(m) {
+                changed = true;
+                let singleton = self.alg.atom(m).below.clone();
+                self.delta.union_with(&singleton);
+                self.part.push(singleton);
+            }
+        }
+        changed
+    }
+
+    /// Mixed meet rule `X_new ⊔= Ṽ ⊓ Ṽ^C`; every block is split along
+    /// `Ṽ`.
+    fn mvd_step(&mut self) -> bool {
+        let mut changed = false;
+        self.alg.compl_into(&self.vtilde, &mut self.tmp_a);
+        self.tmp_a.intersect_with(&self.vtilde);
+        if !self.tmp_a.is_subset(&self.x_new) {
+            self.tmp_a.difference_with(&self.x_new);
+            self.delta.union_with(&self.tmp_a);
+            self.x_new.union_with(&self.tmp_a);
+            changed = true;
+        }
+        self.part.bump();
+        let n0 = self.part.len();
+        for i in 0..n0 {
+            let w = self.part.get(i);
+            let wmax = self.alg.maximal_atoms_of(w);
+            // split only blocks straddling Ṽ: (Ṽ ⊓ W)^CC ∉ {λ, W}
+            if !wmax.intersects(&self.vtilde) || wmax.is_subset(&self.vtilde) {
+                continue;
+            }
+            changed = true;
+            self.delta.union_with(w);
+            self.tmp_a.copy_from(w);
+            self.tmp_a.intersect_with(&self.vtilde);
+            self.alg.cc_into(&self.tmp_a, &mut self.tmp_b); // (Ṽ ⊓ W)^CC
+            self.alg.pdiff_into(w, &self.vtilde, &mut self.tmp_a);
+            self.alg.cc_into(&self.tmp_a, &mut self.tmp_c); // (W ∸ Ṽ)^CC
+            self.part.replace(i, self.tmp_b.clone());
+            self.part.push(self.tmp_c.clone());
+        }
+        changed
+    }
+
+    /// Assembles the result exactly as the pass engine does.
+    fn finish(self) -> DependencyBasis {
+        let blocks = self.part.sorted_sets();
+        // DepB(X) := SubB(X⁺) ∪ DB_new, deduplicated and sorted
+        let mut basis: std::collections::BTreeSet<AtomSet> = blocks.iter().cloned().collect();
+        for a in self.x_new.iter() {
+            basis.insert(self.alg.atom(a).below.clone());
+        }
+        DependencyBasis {
+            closure: self.x_new,
+            blocks,
+            basis: basis.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::closure_and_basis_paper;
+    use nalist_deps::Dependency;
+    use nalist_types::parser::{parse_attr, parse_subattr_of};
+
+    fn check(attr: &str, deps: &[&str], xs: &[&str]) {
+        let n = parse_attr(attr).unwrap();
+        let alg = Algebra::new(&n);
+        let sigma: Vec<CompiledDep> = deps
+            .iter()
+            .map(|s| Dependency::parse(&n, s).unwrap().compile(&alg).unwrap())
+            .collect();
+        for x in xs {
+            let set = alg.from_attr(&parse_subattr_of(&n, x).unwrap()).unwrap();
+            let fast = closure_and_basis_worklist(&alg, &sigma, &set);
+            let paper = closure_and_basis_paper(&alg, &sigma, &set);
+            assert_eq!(fast, paper, "X = {x} on {attr} with {deps:?}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_paper_engine_on_relational_schemas() {
+        check(
+            "L(A, B, C, D)",
+            &["L(A) -> L(B)", "L(B) ->> L(C)", "L(C, D) -> L(A)"],
+            &["λ", "L(A)", "L(B)", "L(C, D)", "L(A, B, C, D)"],
+        );
+    }
+
+    #[test]
+    fn agrees_with_paper_engine_on_nested_schemas() {
+        check(
+            "Pubcrawl(Person, Visit[Drink(Beer, Pub)])",
+            &[
+                "Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])",
+                "Pubcrawl(Visit[λ]) -> Pubcrawl(Person)",
+            ],
+            &["λ", "Pubcrawl(Person)", "Pubcrawl(Visit[λ])"],
+        );
+        check(
+            "A'(B, C[D(E, F[G])])",
+            &[
+                "A'(B) ->> A'(C[D(E)])",
+                "A'(C[λ]) -> A'(B)",
+                "A'(C[D(F[λ])]) ->> A'(B, C[D(E)])",
+            ],
+            &["λ", "A'(B)", "A'(C[λ])", "A'(B, C[D(E, F[λ])])"],
+        );
+    }
+
+    #[test]
+    fn agrees_on_the_paper_running_example() {
+        check(
+            "L1(L2[L3[L4(A, B, C)]], L5[L6(D, E)], L7(F, L8[L9(G, L10[H])], I))",
+            &[
+                "L1(L2[λ]) -> L1(L5[L6(D, λ)])",
+                "L1(L5[L6(D, E)]) ->> L1(L7(F, λ, λ))",
+                "L1(L7(λ, L8[λ], λ)) ->> L1(L2[L3[λ]])",
+                "L1(L7(F, λ, I)) -> L1(L7(λ, L8[L9(G, λ)], λ))",
+            ],
+            &["λ", "L1(L2[λ])", "L1(L5[L6(D, E)])", "L1(L7(F, λ, I))"],
+        );
+    }
+
+    #[test]
+    fn empty_sigma_and_top_bottom() {
+        check("L(A, B, C)", &[], &["λ", "L(A)", "L(A, B, C)"]);
+        check("L[A]", &["λ ->> L[λ]"], &["λ", "L[λ]", "L[A]"]);
+    }
+}

@@ -1,0 +1,309 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the slice of `proptest` its test suites use: the [`proptest!`] macro
+//! over single-binding strategies, [`prelude::any`] for integers,
+//! [`strategy::Just`], string-pattern strategies (interpreted loosely as
+//! "random printable soup up to the stated length"), and the
+//! `prop_assert*` macros. Cases are generated from deterministic
+//! per-case seeds (override the base seed with `PROPTEST_SEED`); there is
+//! no shrinking — the failing case's seed and input are reported instead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Base seed; case `i` uses `seed ^ hash(i)`. Overridden by the
+    /// `PROPTEST_SEED` environment variable when set.
+    pub seed: u64,
+    /// Unused compatibility field (real proptest persists failures).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            seed: 0x05ee_d0fc_a5e5,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// The effective base seed (environment override applied).
+    pub fn effective_seed(&self) -> u64 {
+        match std::env::var("PROPTEST_SEED") {
+            Ok(s) => s.parse().unwrap_or(self.seed),
+            Err(_) => self.seed,
+        }
+    }
+}
+
+/// Error type carried by `prop_assert*` failures.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Result type returned by generated property bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Strategies: value generators for property inputs.
+pub mod strategy {
+    use super::StdRng;
+    use rand::Rng;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy for `any::<T>()`.
+    #[derive(Debug)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    macro_rules! impl_any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rand::RngCore::next_u64(rng) as $t
+                }
+            }
+        )*};
+    }
+    impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    /// String patterns act as strategies. This subset does not implement
+    /// regex-derived generation; it reads an optional trailing `{lo,hi}`
+    /// repetition bound and produces printable soup (ASCII plus a few
+    /// multibyte characters the nalist parsers care about) of a length in
+    /// that range — which is exactly what the totality/fuzz properties
+    /// need.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let (lo, hi) = parse_repeat_bounds(self).unwrap_or((0, 32));
+            let len = rng.gen_range(lo..=hi.max(lo));
+            let extras = ['λ', '→', '↠', '(', ')', '[', ']', ',', '\''];
+            (0..len)
+                .map(|_| {
+                    if rng.gen_bool(0.2) {
+                        extras[rng.gen_range(0..extras.len())]
+                    } else {
+                        char::from(rng.gen_range(0x20u8..0x7f))
+                    }
+                })
+                .collect()
+        }
+    }
+
+    fn parse_repeat_bounds(pattern: &str) -> Option<(usize, usize)> {
+        let open = pattern.rfind('{')?;
+        let close = pattern.rfind('}')?;
+        if close != pattern.len() - 1 || close <= open {
+            return None;
+        }
+        let body = &pattern[open + 1..close];
+        let (lo, hi) = body.split_once(',')?;
+        Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    }
+}
+
+/// Builds the strategy behind `any::<T>()`.
+pub fn any<T>() -> strategy::Any<T>
+where
+    strategy::Any<T>: strategy::Strategy,
+{
+    strategy::Any::default()
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, TestCaseError,
+        TestCaseResult,
+    };
+}
+
+/// Defines `#[test]` functions that run a property over many generated
+/// inputs. Supports the single-binding form `fn name(x in strategy)`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+     $($(#[$meta:meta])* fn $name:ident($bind:pat in $strat:expr) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let base_seed = config.effective_seed();
+                let strat = $strat;
+                for case in 0..config.cases {
+                    let case_seed = base_seed
+                        .wrapping_add((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    let mut __proptest_rng =
+                        <::rand::rngs::StdRng as ::rand::SeedableRng>::seed_from_u64(case_seed);
+                    let value = $crate::strategy::Strategy::generate(&strat, &mut __proptest_rng);
+                    let value_desc = format!("{:?}", &value);
+                    let $bind = value;
+                    let run = || -> $crate::TestCaseResult { $body Ok(()) };
+                    if let Err(e) = run() {
+                        panic!(
+                            "property {} failed at case {} (seed {}, input {}): {}",
+                            stringify!($name), case, case_seed, value_desc, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property, reporting the failing input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::TestCaseError(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*), a, b
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($a), stringify!($b), a
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return Err($crate::TestCaseError(format!(
+                "{}\n  both: {:?}",
+                format!($($fmt)*), a
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn any_u64_varies(seed in any::<u64>()) {
+            // deterministic per case, and the binding is live
+            let _ = seed;
+        }
+
+        #[test]
+        fn just_passes_value_through(unit in Just(7u32)) {
+            prop_assert_eq!(unit, 7);
+        }
+
+        #[test]
+        fn string_patterns_respect_bounds(s in "\\PC{0,60}") {
+            prop_assert!(s.chars().count() <= 60, "len {}", s.chars().count());
+        }
+    }
+
+    #[test]
+    #[allow(unnameable_test_items)]
+    fn early_return_ok_is_supported() {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+            #[test]
+            fn inner(seed in any::<u64>()) {
+                if seed % 2 == 0 {
+                    return Ok(());
+                }
+                prop_assert!(seed % 2 == 1);
+            }
+        }
+        inner();
+    }
+}

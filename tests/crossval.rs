@@ -7,13 +7,18 @@
 //!   workloads;
 //! * Algorithm 5.1 against Beeri's classical relational algorithm on flat
 //!   record schemas;
-//! * refutation witnesses re-verified against the naive closure.
+//! * refutation witnesses re-verified against the naive closure;
+//! * the change-driven worklist engine against the paper-order pass
+//!   engine (bit-for-bit) and the paper-literal `SubB`-set reference, on
+//!   randomised workloads from `nalist-gen` (property tests at the
+//!   bottom of this file).
 
 use nalist::deps::naive::{NaiveClosure, NaiveConfig};
 use nalist::membership::beeri::{rel_dependency_basis, RelDep};
 use nalist::prelude::*;
+use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Exhaustive agreement: on small attributes, for EVERY pair
 /// `(X, Y) ∈ Sub(N)²` and both dependency kinds, Algorithm 5.1 answers
@@ -330,6 +335,108 @@ fn exhaustive_semantic_completeness_tiny() {
                     }
                 }
             }
+        }
+    }
+}
+
+// ------------------------------------------------- engine cross-validation
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The change-driven worklist engine (the default behind
+    /// `closure_and_basis`) produces bit-for-bit the same
+    /// `DependencyBasis` as the paper-order pass engine, on random nested
+    /// workloads well beyond the sizes the naive closure can cross-check.
+    #[test]
+    fn worklist_engine_matches_pass_engine(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let atoms = rng.gen_range(4..=48);
+        let n = nalist::gen::attr_with_atoms(&mut rng, atoms);
+        let alg = Algebra::new(&n);
+        let count = rng.gen_range(1..=16);
+        let sigma = nalist::gen::random_sigma(
+            &mut rng,
+            &alg,
+            &nalist::gen::SigmaConfig {
+                count,
+                ..Default::default()
+            },
+        );
+        for _ in 0..6 {
+            let x = nalist::gen::random_subattr(&mut rng, &alg, 0.3);
+            let fast = closure_and_basis(&alg, &sigma, &x);
+            let paper = closure_and_basis_paper(&alg, &sigma, &x);
+            prop_assert_eq!(
+                &fast,
+                &paper,
+                "engines disagree on N = {}, X = {}",
+                n,
+                alg.render(&x)
+            );
+            // the traced variant must keep the paper engine's semantics
+            let (traced, _) = closure_and_basis_traced(&alg, &sigma, &x);
+            prop_assert_eq!(&traced, &paper);
+        }
+    }
+
+    /// Both engines against the paper-literal `SubB`-set transcription
+    /// (`crosscheck` panics on any closure or block disagreement).
+    #[test]
+    fn engines_match_tree_reference(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let atoms = rng.gen_range(3..=12);
+        let n = nalist::gen::attr_with_atoms(&mut rng, atoms);
+        let alg = Algebra::new(&n);
+        let count = rng.gen_range(1..=5);
+        let sigma = nalist::gen::random_sigma(
+            &mut rng,
+            &alg,
+            &nalist::gen::SigmaConfig {
+                count,
+                ..Default::default()
+            },
+        );
+        for _ in 0..3 {
+            let x = nalist::gen::random_subattr(&mut rng, &alg, 0.35);
+            nalist::membership::reference::crosscheck(&alg, &sigma, &x);
+        }
+    }
+
+    /// Parallel batch membership answers exactly like one-at-a-time
+    /// queries, at several thread counts.
+    #[test]
+    fn batch_membership_matches_sequential(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let atoms = rng.gen_range(4..=24);
+        let n = nalist::gen::attr_with_atoms(&mut rng, atoms);
+        let alg = Algebra::new(&n);
+        let count = rng.gen_range(1..=8);
+        let sigma = nalist::gen::random_sigma(
+            &mut rng,
+            &alg,
+            &nalist::gen::SigmaConfig {
+                count,
+                ..Default::default()
+            },
+        );
+        let mut reasoner = Reasoner::new(&n);
+        for d in &sigma {
+            reasoner.add(d.decompile(&alg)).expect("generated Σ compiles");
+        }
+        let deps: Vec<Dependency> = (0..12)
+            .map(|_| nalist::gen::random_dep(&mut rng, &alg, 0.35, 0.5).decompile(&alg))
+            .collect();
+        let sequential: Vec<bool> = deps
+            .iter()
+            .map(|d| reasoner.implies(d).expect("round-tripped deps compile"))
+            .collect();
+        for threads in [1usize, 2, 4] {
+            let fresh = reasoner.clone();
+            let batch = fresh
+                .implies_batch_with(&deps, std::num::NonZeroUsize::new(threads).unwrap())
+                .expect("round-tripped deps compile");
+            prop_assert_eq!(&batch, &sequential, "threads = {}", threads);
         }
     }
 }
