@@ -30,28 +30,28 @@ fn bench_ops(c: &mut Criterion) {
             b.iter(|| {
                 i = (i + 1) % 63;
                 std::hint::black_box(alg.join(&xs[i], &xs[i + 1]))
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("meet_bitset", atoms), &atoms, |b, _| {
             let mut i = 0;
             b.iter(|| {
                 i = (i + 1) % 63;
                 std::hint::black_box(alg.meet(&xs[i], &xs[i + 1]))
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("pdiff_bitset", atoms), &atoms, |b, _| {
             let mut i = 0;
             b.iter(|| {
                 i = (i + 1) % 63;
                 std::hint::black_box(alg.pdiff(&xs[i], &xs[i + 1]))
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("compl_bitset", atoms), &atoms, |b, _| {
             let mut i = 0;
             b.iter(|| {
                 i = (i + 1) % 64;
                 std::hint::black_box(alg.compl(&xs[i]))
-            })
+            });
         });
         // ablation: the structurally recursive tree engine
         group.bench_with_input(BenchmarkId::new("join_tree", atoms), &atoms, |b, _| {
@@ -61,7 +61,7 @@ fn bench_ops(c: &mut Criterion) {
                 std::hint::black_box(
                     nalist::algebra::treealg::tree_join(&trees[i], &trees[i + 1]).unwrap(),
                 )
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("pdiff_tree", atoms), &atoms, |b, _| {
             let mut i = 0;
@@ -70,7 +70,7 @@ fn bench_ops(c: &mut Criterion) {
                 std::hint::black_box(
                     nalist::algebra::treealg::tree_pdiff(&trees[i], &trees[i + 1]).unwrap(),
                 )
-            })
+            });
         });
     }
     group.finish();

@@ -18,10 +18,10 @@ fn naive_vs_algorithm(c: &mut Criterion) {
             b.iter(|| {
                 let cl = NaiveClosure::compute(&w.alg, &w.sigma, NaiveConfig::default()).unwrap();
                 std::hint::black_box(cl.stats().derived)
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("algorithm51", width), &width, |b, _| {
-            b.iter(|| std::hint::black_box(run_closures(&w)))
+            b.iter(|| std::hint::black_box(run_closures(&w)));
         });
     }
     group.finish();
@@ -56,10 +56,10 @@ fn beeri_vs_algorithm(c: &mut Criterion) {
                 for &m in &masks {
                     std::hint::black_box(rel_dependency_basis(width, &rel_sigma, m).closure);
                 }
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("algorithm51", width), &width, |b, _| {
-            b.iter(|| std::hint::black_box(run_closures(&w)))
+            b.iter(|| std::hint::black_box(run_closures(&w)));
         });
     }
     group.finish();
@@ -74,7 +74,7 @@ fn certified_vs_plain(c: &mut Criterion) {
     for atoms in [8usize, 16, 32] {
         let w = nalist_bench::nested_workload(7, atoms, 8);
         group.bench_with_input(BenchmarkId::new("plain", atoms), &atoms, |b, _| {
-            b.iter(|| std::hint::black_box(run_closures(&w)))
+            b.iter(|| std::hint::black_box(run_closures(&w)));
         });
         group.bench_with_input(BenchmarkId::new("certified", atoms), &atoms, |b, _| {
             b.iter(|| {
@@ -85,7 +85,7 @@ fn certified_vs_plain(c: &mut Criterion) {
                         .len();
                 }
                 std::hint::black_box(acc)
-            })
+            });
         });
     }
     group.finish();
@@ -112,10 +112,10 @@ fn reference_vs_bitset(c: &mut Criterion) {
                         .len();
                 }
                 std::hint::black_box(acc)
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("bitset", atoms), &atoms, |b, _| {
-            b.iter(|| std::hint::black_box(run_closures(&w)))
+            b.iter(|| std::hint::black_box(run_closures(&w)));
         });
     }
     group.finish();

@@ -14,7 +14,7 @@ fn scaling_in_n(c: &mut Criterion) {
         let w = nested_workload(42, atoms, 8);
         group.throughput(Throughput::Elements(w.queries.len() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(atoms), &atoms, |b, _| {
-            b.iter(|| std::hint::black_box(run_closures(&w)))
+            b.iter(|| std::hint::black_box(run_closures(&w)));
         });
     }
     group.finish();
@@ -29,7 +29,7 @@ fn scaling_in_sigma(c: &mut Criterion) {
         let w = nested_workload(43, 32, count);
         group.throughput(Throughput::Elements(w.queries.len() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(count), &count, |b, _| {
-            b.iter(|| std::hint::black_box(run_closures(&w)))
+            b.iter(|| std::hint::black_box(run_closures(&w)));
         });
     }
     group.finish();
@@ -45,10 +45,10 @@ fn flat_vs_nested(c: &mut Criterion) {
         let flat = flat_workload(44, atoms, 8);
         let nested = nested_workload(44, atoms, 8);
         group.bench_with_input(BenchmarkId::new("flat", atoms), &atoms, |b, _| {
-            b.iter(|| std::hint::black_box(run_closures(&flat)))
+            b.iter(|| std::hint::black_box(run_closures(&flat)));
         });
         group.bench_with_input(BenchmarkId::new("nested", atoms), &atoms, |b, _| {
-            b.iter(|| std::hint::black_box(run_closures(&nested)))
+            b.iter(|| std::hint::black_box(run_closures(&nested)));
         });
     }
     group.finish();
@@ -64,10 +64,10 @@ fn engine_comparison(c: &mut Criterion) {
         let w = nested_workload(42, atoms, 32);
         group.throughput(Throughput::Elements(w.queries.len() as u64));
         group.bench_with_input(BenchmarkId::new("worklist", atoms), &atoms, |b, _| {
-            b.iter(|| std::hint::black_box(run_closures(&w)))
+            b.iter(|| std::hint::black_box(run_closures(&w)));
         });
         group.bench_with_input(BenchmarkId::new("pass", atoms), &atoms, |b, _| {
-            b.iter(|| std::hint::black_box(run_closures_paper(&w)))
+            b.iter(|| std::hint::black_box(run_closures_paper(&w)));
         });
     }
     group.finish();
@@ -102,7 +102,7 @@ fn batch_throughput(c: &mut Criterion) {
                     .implies_batch_with(&queries, std::num::NonZeroUsize::new(t).unwrap())
                     .expect("queries compile");
                 std::hint::black_box(verdicts.len())
-            })
+            });
         });
     }
     group.finish();

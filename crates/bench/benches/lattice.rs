@@ -17,7 +17,7 @@ fn algebra_construction(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(atoms as u64);
         let attr = nalist::gen::attr_with_atoms(&mut rng, atoms);
         group.bench_with_input(BenchmarkId::from_parameter(atoms), &atoms, |b, _| {
-            b.iter(|| std::hint::black_box(Algebra::new(&attr).atom_count()))
+            b.iter(|| std::hint::black_box(Algebra::new(&attr).atom_count()));
         });
     }
     group.finish();
@@ -31,7 +31,7 @@ fn figure_1_pipeline(c: &mut Criterion) {
             let sets = enumerate_sets(&alg);
             verify_brouwerian(&alg, &sets).unwrap();
             std::hint::black_box(hasse_edges(&sets).len())
-        })
+        });
     });
 }
 
@@ -47,10 +47,10 @@ fn attr_conversion(c: &mut Criterion) {
         let x = nalist::gen::random_subattr(&mut rng, &alg, 0.5);
         let tree = alg.to_attr(&x);
         group.bench_with_input(BenchmarkId::new("to_attr", atoms), &atoms, |b, _| {
-            b.iter(|| std::hint::black_box(alg.to_attr(&x)))
+            b.iter(|| std::hint::black_box(alg.to_attr(&x)));
         });
         group.bench_with_input(BenchmarkId::new("from_attr", atoms), &atoms, |b, _| {
-            b.iter(|| std::hint::black_box(alg.from_attr(&tree).unwrap()))
+            b.iter(|| std::hint::black_box(alg.from_attr(&tree).unwrap()));
         });
     }
     group.finish();

@@ -31,7 +31,7 @@ fn witness_generation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
             b.iter(|| {
                 std::hint::black_box(combination_instance(&alg, &basis).unwrap().instance.len())
-            })
+            });
         });
     }
     group.finish();
@@ -67,7 +67,7 @@ fn satisfaction_checking(c: &mut Criterion) {
                     }
                 }
                 std::hint::black_box(sat)
-            })
+            });
         });
     }
     group.finish();
@@ -98,7 +98,7 @@ fn generalized_join_bench(c: &mut Criterion) {
                 std::hint::black_box(
                     nalist::deps::join::lossless_decomposition(&alg, &r, &x, &y).unwrap(),
                 )
-            })
+            });
         });
     }
     group.finish();

@@ -83,7 +83,7 @@ fn fig1() {
     println!("Hasse edges = {}", edges.len());
     match verify_brouwerian(&alg, &sets) {
         Ok(()) => {
-            println!("Brouwerian laws: all verified (bounds, lattice, distributivity, adjunction)")
+            println!("Brouwerian laws: all verified (bounds, lattice, distributivity, adjunction)");
         }
         Err(v) => println!("LAW VIOLATION: {v}"),
     }

@@ -4,6 +4,9 @@
 //! over nested record/list schemas. All logic lives in [`run`] so that it
 //! is directly testable; `main` only forwards `std::env::args` and files.
 //!
+//! The command set (one [`CommandSpec`] row per subcommand — the same
+//! table drives the dispatcher, `usage_text()` and `nalist help`):
+//!
 //! ```text
 //! nalist check     <schema> <deps-file> <dependency>   decide Σ ⊨ σ (witness on "no")
 //! nalist batch     <schema> <deps-file> <queries-file> [--threads N]
@@ -15,13 +18,21 @@
 //! nalist verify    <schema> <deps-file> <data-file>    check an instance against Σ
 //! nalist chase     <schema> <deps-file> <data-file>    repair an instance (MVD chase)
 //! nalist normalize <schema> <deps-file>                cover, keys, 4NF, decomposition
+//! nalist lint      <schema> <deps-file> [--deny warnings] [--format json]
+//!                                                      static analysis (rules L001–L009)
 //! nalist lattice   <schema> [--dot]                    Sub(N) summary / DOT diagram
+//! nalist help      [command]                           this listing / per-command help
 //! ```
 //!
 //! `<schema>` is a nested attribute in the paper's notation, e.g.
 //! `"Pubcrawl(Person, Visit[Drink(Beer, Pub)])"`. Dependency files hold
 //! one `X -> Y` / `X ->> Y` per line (`#` comments allowed); data files
 //! hold one tuple literal per line, e.g. `(Sven, [(Lübzer, Deanos)])`.
+//!
+//! `nalist lint` exits 0 when the spec is clean, 1 when any
+//! error-severity finding (or, under `--deny warnings`, any finding at
+//! all) is reported; like rustc, the diagnostics go to stderr in that
+//! case.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,7 +56,7 @@ pub struct CliError {
 impl CliError {
     fn usage(msg: impl Into<String>) -> Self {
         CliError {
-            message: format!("{}\n\n{USAGE}", msg.into()),
+            message: format!("{}\n\n{}", msg.into(), usage_text()),
             code: 2,
         }
     }
@@ -58,23 +69,104 @@ impl CliError {
     }
 }
 
-/// Usage text.
-pub const USAGE: &str = "usage:
-  nalist check     <schema> <deps-file> <dependency>
-  nalist batch     <schema> <deps-file> <queries-file> [--threads N]
-  nalist prove     <schema> <deps-file> <dependency>
-  nalist closure   <schema> <deps-file> <subattr>
-  nalist basis     <schema> <deps-file> <subattr>
-  nalist trace     <schema> <deps-file> <subattr>
-  nalist verify    <schema> <deps-file> <data-file>
-  nalist chase     <schema> <deps-file> <data-file>
-  nalist normalize <schema> <deps-file>
-  nalist lattice   <schema> [--dot]
+/// One row of the command table: everything the dispatcher, the usage
+/// string and `nalist help` need to know about a subcommand.
+#[derive(Debug, Clone, Copy)]
+pub struct CommandSpec {
+    /// Subcommand name as typed by the user.
+    pub name: &'static str,
+    /// Argument synopsis (without the program or command name).
+    pub synopsis: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+}
 
-<schema> is a nested attribute, e.g. 'Pubcrawl(Person, Visit[Drink(Beer, Pub)])'.
+/// The full command table, in display order. [`run`] dispatches only on
+/// names present here, so the usage text can never drift out of sync
+/// with the dispatcher again.
+pub const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "check",
+        synopsis: "<schema> <deps-file> <dependency>",
+        summary: "decide Σ ⊨ σ; prints a counterexample database on \"no\"",
+    },
+    CommandSpec {
+        name: "batch",
+        synopsis: "<schema> <deps-file> <queries-file> [--threads N]",
+        summary: "decide Σ ⊨ σ for every query line, in parallel",
+    },
+    CommandSpec {
+        name: "prove",
+        synopsis: "<schema> <deps-file> <dependency>",
+        summary: "emit a machine-checked derivation in the 14-rule system",
+    },
+    CommandSpec {
+        name: "closure",
+        synopsis: "<schema> <deps-file> <subattr>",
+        summary: "attribute-set closure X⁺ under Σ",
+    },
+    CommandSpec {
+        name: "basis",
+        synopsis: "<schema> <deps-file> <subattr>",
+        summary: "dependency basis DepB(X)",
+    },
+    CommandSpec {
+        name: "trace",
+        synopsis: "<schema> <deps-file> <subattr>",
+        summary: "replay Algorithm 5.1 step by step",
+    },
+    CommandSpec {
+        name: "verify",
+        synopsis: "<schema> <deps-file> <data-file>",
+        summary: "check a database instance against every dependency in Σ",
+    },
+    CommandSpec {
+        name: "chase",
+        synopsis: "<schema> <deps-file> <data-file>",
+        summary: "repair an instance by chasing the MVDs of Σ",
+    },
+    CommandSpec {
+        name: "normalize",
+        synopsis: "<schema> <deps-file>",
+        summary: "minimal cover, candidate keys, 4NF check, decomposition",
+    },
+    CommandSpec {
+        name: "lint",
+        synopsis: "<schema> <deps-file> [--deny warnings] [--format json]",
+        summary: "static analysis of the spec (rules L001–L009, with fix-its)",
+    },
+    CommandSpec {
+        name: "lattice",
+        synopsis: "<schema> [--dot]",
+        summary: "Sub(N) summary, basis listing, optional DOT diagram",
+    },
+    CommandSpec {
+        name: "help",
+        synopsis: "[command]",
+        summary: "show this listing, or details for one command",
+    },
+];
+
+fn command(name: &str) -> Option<&'static CommandSpec> {
+    COMMANDS.iter().find(|c| c.name == name)
+}
+
+/// The usage text, generated from [`COMMANDS`].
+pub fn usage_text() -> String {
+    let width = COMMANDS.iter().map(|c| c.name.len()).max().unwrap_or(0);
+    let mut out = String::from("usage:\n");
+    for c in COMMANDS {
+        writeln!(out, "  nalist {:width$} {}", c.name, c.synopsis).unwrap();
+    }
+    out.push_str(
+        "\n<schema> is a nested attribute, e.g. 'Pubcrawl(Person, Visit[Drink(Beer, Pub)])'.
 Dependency and query files hold one 'X -> Y' or 'X ->> Y' per line; data
 files one tuple literal per line. '#' starts a comment in either. Pass
-'-' as a file argument to read it from stdin.";
+'-' as a file argument to read it from stdin. See 'nalist help <command>'
+for details on one command.",
+    );
+    out
+}
 
 /// File access used by [`run`]; injectable for tests.
 pub trait Files {
@@ -116,8 +208,20 @@ fn load_reasoner(files: &dyn Files, schema: &str, deps_path: &str) -> Result<Rea
 /// Executes a CLI invocation; `args` excludes the program name.
 pub fn run(args: &[String], files: &dyn Files) -> Result<String, CliError> {
     let mut out = String::new();
-    match args {
-        [cmd, schema, deps, dep] if cmd == "check" => {
+    let (cmd, rest) = match args.split_first() {
+        Some((cmd, rest)) => (cmd.as_str(), rest),
+        None => return Err(CliError::usage("missing command")),
+    };
+    let spec = command(cmd).ok_or_else(|| {
+        let hint = COMMANDS
+            .iter()
+            .find(|c| c.name.starts_with(cmd) || cmd.starts_with(c.name))
+            .map(|c| format!(" (did you mean `{}`?)", c.name))
+            .unwrap_or_default();
+        CliError::usage(format!("unknown command `{cmd}`{hint}"))
+    })?;
+    match (cmd, rest) {
+        ("check", [schema, deps, dep]) => {
             let r = load_reasoner(files, schema, deps)?;
             let alg = r.algebra();
             let target = Dependency::parse(r.attr(), dep)
@@ -142,8 +246,8 @@ pub fn run(args: &[String], files: &dyn Files) -> Result<String, CliError> {
                 }
             }
         }
-        [cmd, schema, deps, queries, rest @ ..] if cmd == "batch" => {
-            let threads = match rest {
+        ("batch", [schema, deps, queries, flags @ ..]) => {
+            let threads = match flags {
                 [] => None,
                 [flag, n] if flag == "--threads" => Some(
                     n.parse::<std::num::NonZeroUsize>()
@@ -187,7 +291,7 @@ pub fn run(args: &[String], files: &dyn Files) -> Result<String, CliError> {
             )
             .unwrap();
         }
-        [cmd, schema, deps, dep] if cmd == "prove" => {
+        ("prove", [schema, deps, dep]) => {
             let r = load_reasoner(files, schema, deps)?;
             let alg = r.algebra();
             let target = Dependency::parse(r.attr(), dep)
@@ -217,7 +321,7 @@ pub fn run(args: &[String], files: &dyn Files) -> Result<String, CliError> {
                 }
             }
         }
-        [cmd, schema, deps, sub] if cmd == "closure" => {
+        ("closure", [schema, deps, sub]) => {
             let r = load_reasoner(files, schema, deps)?;
             let c = r.closure_str(sub).map_err(CliError::domain)?;
             writeln!(
@@ -228,7 +332,7 @@ pub fn run(args: &[String], files: &dyn Files) -> Result<String, CliError> {
             )
             .unwrap();
         }
-        [cmd, schema, deps, sub] if cmd == "basis" || cmd == "trace" => {
+        ("basis" | "trace", [schema, deps, sub]) => {
             let r = load_reasoner(files, schema, deps)?;
             let alg = r.algebra();
             let x = parse_subattr_of(r.attr(), sub)
@@ -247,7 +351,7 @@ pub fn run(args: &[String], files: &dyn Files) -> Result<String, CliError> {
                 }
             }
         }
-        [cmd, schema, deps, data] if cmd == "chase" => {
+        ("chase", [schema, deps, data]) => {
             let r = load_reasoner(files, schema, deps)?;
             let alg = r.algebra();
             let mut instance = Instance::new(r.attr().clone());
@@ -276,7 +380,7 @@ pub fn run(args: &[String], files: &dyn Files) -> Result<String, CliError> {
                 Err(e) => return Err(CliError::domain(format!("chase failed: {e}"))),
             }
         }
-        [cmd, schema, deps, data] if cmd == "verify" => {
+        ("verify", [schema, deps, data]) => {
             let r = load_reasoner(files, schema, deps)?;
             let alg = r.algebra();
             let mut instance = Instance::new(r.attr().clone());
@@ -317,7 +421,7 @@ pub fn run(args: &[String], files: &dyn Files) -> Result<String, CliError> {
             )
             .unwrap();
         }
-        [cmd, schema, deps] if cmd == "normalize" => {
+        ("normalize", [schema, deps]) => {
             let r = load_reasoner(files, schema, deps)?;
             let alg = r.algebra();
             let sigma = r.compiled_sigma();
@@ -359,7 +463,7 @@ pub fn run(args: &[String], files: &dyn Files) -> Result<String, CliError> {
                 }
             }
         }
-        [cmd, schema, rest @ ..] if cmd == "lattice" => {
+        ("lattice", [schema, flags @ ..]) => {
             let n = parse_attr(schema)
                 .map_err(|e| CliError::domain(format!("bad schema attribute: {e}")))?;
             let alg = Algebra::new(&n);
@@ -373,7 +477,7 @@ pub fn run(args: &[String], files: &dyn Files) -> Result<String, CliError> {
             )
             .unwrap();
             out.push_str(&nalist::algebra::render::basis_listing(&alg, None));
-            match rest {
+            match flags {
                 [] => {}
                 [flag] if flag == "--dot" => {
                     if count > 4096 {
@@ -386,14 +490,88 @@ pub fn run(args: &[String], files: &dyn Files) -> Result<String, CliError> {
                 _ => return Err(CliError::usage("unknown flag for lattice")),
             }
         }
-        [] => return Err(CliError::usage("missing command")),
+        ("lint", [schema, deps, flags @ ..]) => {
+            let (deny_warnings, format) = parse_lint_flags(flags)?;
+            let deps_src = files.read(deps).map_err(CliError::domain)?;
+            let report = nalist::lint::lint_spec(schema, &deps_src)
+                .map_err(|e| CliError::domain(format!("bad schema attribute: {e}")))?;
+            let rendered = match format {
+                LintFormat::Human => nalist::lint::render_human(&report, deps, &deps_src),
+                LintFormat::Json => nalist::lint::render_json(&report, deps, &deps_src),
+            };
+            if report.fails(deny_warnings) {
+                return Err(CliError::domain(rendered.trim_end()));
+            }
+            out.push_str(&rendered);
+        }
+        ("help", []) => {
+            out.push_str(&usage_text());
+            out.push('\n');
+        }
+        ("help", [topic]) => {
+            let t = command(topic)
+                .ok_or_else(|| CliError::usage(format!("unknown command `{topic}`")))?;
+            writeln!(out, "nalist {} {}", t.name, t.synopsis).unwrap();
+            writeln!(out, "\n  {}", t.summary).unwrap();
+            if t.name == "lint" {
+                writeln!(out, "\n  rules:").unwrap();
+                for r in nalist::lint::rules() {
+                    writeln!(out, "    {} {:<20} {}", r.code, r.name, r.summary).unwrap();
+                }
+                writeln!(
+                    out,
+                    "\n  exit code 0 when clean; 1 on any error, or on any warning\n  under --deny warnings (diagnostics then go to stderr)."
+                )
+                .unwrap();
+            }
+        }
         _ => {
-            return Err(CliError::usage(format!(
-                "unrecognised invocation: {args:?}"
-            )))
+            return Err(CliError {
+                message: format!(
+                    "wrong arguments for `{cmd}`\n\nusage: nalist {} {}\n  {}",
+                    spec.name, spec.synopsis, spec.summary
+                ),
+                code: 2,
+            })
         }
     }
     Ok(out)
+}
+
+/// Output format for `nalist lint`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LintFormat {
+    Human,
+    Json,
+}
+
+fn parse_lint_flags(flags: &[String]) -> Result<(bool, LintFormat), CliError> {
+    let mut deny_warnings = false;
+    let mut format = LintFormat::Human;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--deny" => match it.next().map(String::as_str) {
+                Some("warnings") => deny_warnings = true,
+                other => {
+                    return Err(CliError::usage(format!(
+                        "--deny takes `warnings`, got {other:?}"
+                    )))
+                }
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => format = LintFormat::Json,
+                Some("human") => format = LintFormat::Human,
+                other => {
+                    return Err(CliError::usage(format!(
+                        "--format takes `json` or `human`, got {other:?}"
+                    )))
+                }
+            },
+            other => return Err(CliError::usage(format!("unknown flag for lint: {other}"))),
+        }
+    }
+    Ok((deny_warnings, format))
 }
 
 #[cfg(test)]
@@ -432,7 +610,7 @@ mod tests {
     const SCHEMA: &str = "Pubcrawl(Person, Visit[Drink(Beer, Pub)])";
 
     fn args(v: &[&str]) -> Vec<String> {
-        v.iter().map(|s| s.to_string()).collect()
+        v.iter().map(|s| (*s).to_string()).collect()
     }
 
     #[test]
@@ -627,6 +805,140 @@ mod tests {
         // the summary (without --dot) still works
         let out = run(&args(&["lattice", schema]), &files()).unwrap();
         assert!(out.contains("|SubB(N)| = 20"));
+    }
+
+    #[test]
+    fn help_lists_every_command() {
+        let out = run(&args(&["help"]), &files()).unwrap();
+        for c in COMMANDS {
+            assert!(
+                out.contains(&format!("nalist {}", c.name)),
+                "help misses {}: {out}",
+                c.name
+            );
+        }
+        // per-command help
+        let out = run(&args(&["help", "batch"]), &files()).unwrap();
+        assert!(out.contains("--threads"));
+        let out = run(&args(&["help", "lint"]), &files()).unwrap();
+        assert!(out.contains("L001"));
+        assert!(out.contains("L009"));
+        assert!(out.contains("--deny warnings"));
+        let e = run(&args(&["help", "wat"]), &files()).unwrap_err();
+        assert_eq!(e.code, 2);
+    }
+
+    #[test]
+    fn usage_text_is_table_driven() {
+        let text = usage_text();
+        for c in COMMANDS {
+            assert!(text.contains(c.name));
+            assert!(text.contains(c.synopsis), "missing synopsis for {}", c.name);
+        }
+    }
+
+    #[test]
+    fn wrong_arity_names_the_command() {
+        let e = run(&args(&["check", SCHEMA]), &files()).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(
+            e.message.contains("wrong arguments for `check`"),
+            "{}",
+            e.message
+        );
+        assert!(e.message.contains("<dependency>"));
+    }
+
+    #[test]
+    fn unknown_command_suggests_a_near_match() {
+        let e = run(&args(&["chek"]), &files()).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("unknown command `chek`"));
+        let e = run(&args(&["norm"]), &files()).unwrap_err();
+        assert!(
+            e.message.contains("did you mean `normalize`?"),
+            "{}",
+            e.message
+        );
+    }
+
+    #[test]
+    fn lint_clean_spec_exits_zero_with_no_output() {
+        let mut f = files();
+        f.0.insert("clean.deps".into(), "L(A) -> L(B, C)\n".into());
+        let out = run(&args(&["lint", "L(A, B, C)", "clean.deps"]), &f).unwrap();
+        assert_eq!(out, "");
+        // clean under --deny warnings too
+        let out = run(
+            &args(&["lint", "L(A, B, C)", "clean.deps", "--deny", "warnings"]),
+            &f,
+        )
+        .unwrap();
+        assert_eq!(out, "");
+    }
+
+    #[test]
+    fn lint_warnings_print_but_exit_zero_without_deny() {
+        let mut f = files();
+        f.0.insert("warn.deps".into(), "L(A, B) -> L(A)\n".into());
+        let out = run(&args(&["lint", "L(A, B)", "warn.deps"]), &f).unwrap();
+        assert!(out.contains("warning[L001]"), "{out}");
+        assert!(out.contains("--> warn.deps:1:1"), "{out}");
+        assert!(out.contains("^^^^^^^^^^^^^^^"), "{out}");
+    }
+
+    #[test]
+    fn lint_deny_warnings_fails_with_diagnostics_on_stderr() {
+        let mut f = files();
+        f.0.insert("warn.deps".into(), "L(A, B) -> L(A)\n".into());
+        let e = run(
+            &args(&["lint", "L(A, B)", "warn.deps", "--deny", "warnings"]),
+            &f,
+        )
+        .unwrap_err();
+        assert_eq!(e.code, 1);
+        assert!(e.message.contains("warning[L001]"));
+    }
+
+    #[test]
+    fn lint_errors_fail_even_without_deny() {
+        let mut f = files();
+        f.0.insert("bad.deps".into(), "L(Zzz) -> L(A)\n".into());
+        let e = run(&args(&["lint", "L(A, B)", "bad.deps"]), &f).unwrap_err();
+        assert_eq!(e.code, 1);
+        assert!(e.message.contains("error[L007]"), "{}", e.message);
+    }
+
+    #[test]
+    fn lint_json_format() {
+        let mut f = files();
+        f.0.insert("warn.deps".into(), "L(A, B) -> L(A)\n".into());
+        let out = run(
+            &args(&["lint", "L(A, B)", "warn.deps", "--format", "json"]),
+            &f,
+        )
+        .unwrap();
+        let v = nalist::lint::json::parse(&out).unwrap();
+        assert_eq!(v.get("file").unwrap().as_str(), Some("warn.deps"));
+        assert!(v.get("warnings").unwrap().as_usize().unwrap() >= 1);
+        // flag errors
+        let e = run(
+            &args(&["lint", "L(A, B)", "warn.deps", "--format", "yaml"]),
+            &f,
+        )
+        .unwrap_err();
+        assert_eq!(e.code, 2);
+        let e = run(&args(&["lint", "L(A, B)", "warn.deps", "--wat"]), &f).unwrap_err();
+        assert_eq!(e.code, 2);
+    }
+
+    #[test]
+    fn lint_bad_schema_is_domain_error() {
+        let mut f = files();
+        f.0.insert("warn.deps".into(), "L(A, B) -> L(A)\n".into());
+        let e = run(&args(&["lint", "L(", "warn.deps"]), &f).unwrap_err();
+        assert_eq!(e.code, 1);
+        assert!(e.message.contains("bad schema attribute"));
     }
 
     #[test]

@@ -43,6 +43,7 @@
 //! | [`deps`] | FDs/MVDs, instances, satisfaction, generalised join, inference rules, proofs, naive closure |
 //! | [`membership`] | Algorithm 5.1, membership decisions, witnesses, Beeri baseline |
 //! | [`schema`] | covers, keys, normal forms, lossless decomposition |
+//! | [`lint`] | span-aware static analysis of specs (rules L001–L009) |
 //! | [`gen`] | workload generators and named scenarios |
 
 #![forbid(unsafe_code)]
@@ -53,6 +54,7 @@ pub mod theory;
 pub use nalist_algebra as algebra;
 pub use nalist_deps as deps;
 pub use nalist_gen as gen;
+pub use nalist_lint as lint;
 pub use nalist_membership as membership;
 pub use nalist_schema as schema;
 pub use nalist_types as types;

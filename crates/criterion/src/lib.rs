@@ -274,7 +274,7 @@ mod tests {
             .measurement_time(Duration::from_millis(5))
             .throughput(Throughput::Elements(10));
         group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
-            b.iter(|| (0..n).sum::<u64>())
+            b.iter(|| (0..n).sum::<u64>());
         });
         group.bench_function("id", |b| b.iter(|| black_box(1)));
         group.finish();

@@ -1,0 +1,178 @@
+//! Seeding known defects into dependency sets.
+//!
+//! The lint rules of `nalist-lint` detect vacuous, duplicated, subsumed
+//! and inflated dependencies; to test them on arbitrary workloads we need
+//! generators that plant exactly one such defect at a known position.
+//! Each seeder takes an existing `Σ` and returns the defective dependency
+//! to append, so callers control placement and can assert which line the
+//! linter blames.
+
+use nalist_algebra::Algebra;
+use nalist_deps::{CompiledDep, DepKind};
+use rand::Rng;
+
+use crate::sigma_gen::random_subattr;
+
+/// A trivial dependency (Lemma 4.3): `X → Y` with `Y ≤ X`. Lint rule
+/// L001 must flag it.
+pub fn seed_trivial(rng: &mut impl Rng, alg: &Algebra, density: f64) -> CompiledDep {
+    let lhs = random_subattr(rng, alg, density.max(0.2));
+    // any downward-closed subset of the LHS works as the RHS
+    let rhs = alg.meet(&lhs, &random_subattr(rng, alg, density));
+    CompiledDep::fd(lhs, rhs)
+}
+
+/// An exact copy of a random member of `sigma`, and the copied index.
+/// Lint rule L003 must flag the *later* of the two occurrences.
+pub fn seed_duplicate(rng: &mut impl Rng, sigma: &[CompiledDep]) -> Option<(CompiledDep, usize)> {
+    if sigma.is_empty() {
+        return None;
+    }
+    let i = rng.gen_range(0..sigma.len());
+    Some((sigma[i].clone(), i))
+}
+
+/// A strictly weaker variant of a random FD in `sigma`: larger LHS
+/// and/or smaller RHS. The original subsumes it, so lint rule L003 must
+/// flag the weakened copy. Returns `None` when `sigma` has no FD or no
+/// strictly weaker variant was found in a few rolls.
+pub fn seed_weakened(
+    rng: &mut impl Rng,
+    alg: &Algebra,
+    sigma: &[CompiledDep],
+    density: f64,
+) -> Option<(CompiledDep, usize)> {
+    let fds: Vec<usize> = (0..sigma.len())
+        .filter(|&i| sigma[i].kind == DepKind::Fd)
+        .collect();
+    if fds.is_empty() {
+        return None;
+    }
+    let i = fds[rng.gen_range(0..fds.len())];
+    let d = &sigma[i];
+    for _ in 0..16 {
+        let lhs = alg.join(&d.lhs, &random_subattr(rng, alg, density));
+        let rhs = alg.meet(&d.rhs, &random_subattr(rng, alg, 1.0 - density / 2.0));
+        if (lhs != d.lhs || rhs != d.rhs) && !alg.fd_trivial(&lhs, &rhs) {
+            return Some((CompiledDep::fd(lhs, rhs), i));
+        }
+    }
+    None
+}
+
+/// A copy of a random member of `sigma` with extra subattributes joined
+/// into the LHS. Since the original stays in `Σ`, the inflated LHS is
+/// reducible: lint rule L004 must flag it (and L003 may, since the
+/// original also subsumes it). Returns `None` when no member's LHS can
+/// grow (e.g. every LHS is already the top element).
+pub fn seed_inflated_lhs(
+    rng: &mut impl Rng,
+    alg: &Algebra,
+    sigma: &[CompiledDep],
+    density: f64,
+) -> Option<(CompiledDep, usize)> {
+    if sigma.is_empty() {
+        return None;
+    }
+    let i = rng.gen_range(0..sigma.len());
+    let d = &sigma[i];
+    for _ in 0..16 {
+        let lhs = alg.join(&d.lhs, &random_subattr(rng, alg, density.max(0.2)));
+        if lhs != d.lhs {
+            return Some((
+                CompiledDep {
+                    kind: d.kind,
+                    lhs,
+                    rhs: d.rhs.clone(),
+                },
+                i,
+            ));
+        }
+    }
+    None
+}
+
+/// Renders `sigma` as dependency-file source, one rendered dependency
+/// per line — the textual form the linter (and the CLI) consume.
+pub fn render_sigma(alg: &Algebra, sigma: &[CompiledDep]) -> String {
+    let mut out = String::new();
+    for d in sigma {
+        out.push_str(&d.render(alg));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr_gen::attr_with_atoms;
+    use crate::sigma_gen::{random_sigma, SigmaConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64) -> (Algebra, Vec<CompiledDep>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = attr_with_atoms(&mut rng, 12);
+        let alg = Algebra::new(&n);
+        let sigma = random_sigma(&mut rng, &alg, &SigmaConfig::default());
+        (alg, sigma)
+    }
+
+    #[test]
+    fn trivial_seeds_are_trivial() {
+        let (alg, _) = setup(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            assert!(seed_trivial(&mut rng, &alg, 0.4).is_trivial(&alg));
+        }
+    }
+
+    #[test]
+    fn duplicates_are_equal_to_their_source() {
+        let (_, sigma) = setup(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let (dup, i) = seed_duplicate(&mut rng, &sigma).unwrap();
+        assert_eq!(dup, sigma[i]);
+        assert!(seed_duplicate(&mut rng, &[]).is_none());
+    }
+
+    #[test]
+    fn weakened_seeds_are_subsumed() {
+        let (alg, sigma) = setup(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        if let Some((weak, i)) = seed_weakened(&mut rng, &alg, &sigma, 0.3) {
+            let orig = &sigma[i];
+            assert!(alg.le(&orig.lhs, &weak.lhs));
+            assert!(alg.le(&weak.rhs, &orig.rhs));
+            assert_ne!(&weak, orig);
+        }
+    }
+
+    #[test]
+    fn inflated_lhs_strictly_grows() {
+        let (alg, sigma) = setup(7);
+        let mut rng = StdRng::seed_from_u64(8);
+        if let Some((fat, i)) = seed_inflated_lhs(&mut rng, &alg, &sigma, 0.4) {
+            assert!(alg.le(&sigma[i].lhs, &fat.lhs));
+            assert_ne!(fat.lhs, sigma[i].lhs);
+            assert_eq!(fat.rhs, sigma[i].rhs);
+        }
+    }
+
+    #[test]
+    fn rendered_sigma_parses_back() {
+        use nalist_deps::parse_sigma;
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = attr_with_atoms(&mut rng, 10);
+        let alg = Algebra::new(&n);
+        let sigma = random_sigma(&mut rng, &alg, &SigmaConfig::default());
+        let text = render_sigma(&alg, &sigma);
+        let back: Vec<CompiledDep> = parse_sigma(&n, &text)
+            .unwrap()
+            .iter()
+            .map(|d| d.compile(&alg).unwrap())
+            .collect();
+        assert_eq!(back, sigma);
+    }
+}

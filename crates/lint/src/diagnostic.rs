@@ -1,0 +1,341 @@
+//! Structured lint findings and their two renderings: rustc-style human
+//! output with caret underlines, and a line-oriented JSON document for CI.
+//!
+//! Spans are byte offsets into the linted source (see
+//! [`nalist_types::Span`]); the renderers derive 1-based line/column
+//! positions and *character* widths, so multi-byte tokens such as `λ`
+//! and `↠` underline correctly.
+
+use std::fmt;
+
+use nalist_types::Span;
+
+use crate::json;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory: the spec is well-formed but improvable. Exit code stays 0
+    /// unless `--deny warnings` promotes these.
+    Warning,
+    /// The spec is ill-formed (syntax or resolution failure); always fails.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in both renderings (`warning` / `error`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One lint finding, anchored to the byte span of the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule code (`L000`–`L009`).
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Byte span in the linted dependency source.
+    pub span: Span,
+    /// One-line description of the finding.
+    pub message: String,
+    /// Optional fix-it: what to write instead (may span several lines).
+    pub suggestion: Option<String>,
+}
+
+/// The outcome of linting one spec: all findings, sorted by position.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    /// Findings ordered by span start, then code.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// No findings at all?
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Should the process exit nonzero? Errors always fail; warnings fail
+    /// only under `--deny warnings`.
+    pub fn fails(&self, deny_warnings: bool) -> bool {
+        self.errors() > 0 || (deny_warnings && self.warnings() > 0)
+    }
+}
+
+/// 1-based line/column of a byte offset, plus the text of its line.
+struct LineCol<'a> {
+    line: usize,
+    /// 1-based column counted in *characters*.
+    column: usize,
+    text: &'a str,
+    /// Byte offset of the start of `text` within the source.
+    line_start: usize,
+}
+
+fn locate(src: &str, at: usize) -> LineCol<'_> {
+    let at = at.min(src.len());
+    let line_start = src[..at].rfind('\n').map_or(0, |i| i + 1);
+    let line = src[..line_start].matches('\n').count() + 1;
+    let line_end = src[line_start..]
+        .find('\n')
+        .map_or(src.len(), |i| line_start + i);
+    let text = src[line_start..line_end].trim_end_matches('\r');
+    LineCol {
+        line,
+        column: src[line_start..at].chars().count() + 1,
+        text,
+        line_start,
+    }
+}
+
+/// Renders the report the way rustc renders its own diagnostics:
+///
+/// ```text
+/// warning[L001]: trivial dependency
+///  --> demo.deps:3:1
+///   |
+/// 3 | L(A, B) -> L(A)
+///   | ^^^^^^^^^^^^^^^
+///   |
+///   = help: remove this dependency
+/// ```
+///
+/// followed by a one-line summary. Returns the empty string for a clean
+/// report.
+pub fn render_human(report: &LintReport, file: &str, src: &str) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        let loc = locate(src, d.span.start);
+        let gutter = loc.line.to_string().len();
+        out.push_str(&format!("{}[{}]: {}\n", d.severity, d.code, d.message));
+        out.push_str(&format!(
+            "{:gutter$}--> {}:{}:{}\n",
+            "", file, loc.line, loc.column
+        ));
+        out.push_str(&format!("{:gutter$} |\n", ""));
+        out.push_str(&format!("{} | {}\n", loc.line, loc.text));
+        // Caret width in characters, clamped to the end of the line so a
+        // multi-line span underlines its first line only.
+        let span_end = d.span.end.max(d.span.start + 1);
+        let end_in_line = span_end.min(loc.line_start + loc.text.len());
+        let width = if end_in_line > d.span.start {
+            src[d.span.start..end_in_line].chars().count()
+        } else {
+            1
+        };
+        out.push_str(&format!(
+            "{:gutter$} | {:pad$}{}\n",
+            "",
+            "",
+            "^".repeat(width.max(1)),
+            pad = loc.column - 1
+        ));
+        if let Some(sugg) = &d.suggestion {
+            out.push_str(&format!("{:gutter$} |\n", ""));
+            let mut lines = sugg.lines();
+            if let Some(first) = lines.next() {
+                out.push_str(&format!("{:gutter$} = help: {}\n", "", first));
+            }
+            for more in lines {
+                out.push_str(&format!("{:gutter$}         {}\n", "", more));
+            }
+        }
+        out.push('\n');
+    }
+    if !report.diagnostics.is_empty() {
+        let mut parts = Vec::new();
+        match report.errors() {
+            0 => {}
+            1 => parts.push("1 error".to_owned()),
+            e => parts.push(format!("{e} errors")),
+        }
+        match report.warnings() {
+            0 => {}
+            1 => parts.push("1 warning".to_owned()),
+            w => parts.push(format!("{w} warnings")),
+        }
+        out.push_str(&format!("lint: {} emitted\n", parts.join(", ")));
+    }
+    out
+}
+
+/// Renders the report as a pretty-printed JSON document:
+///
+/// ```json
+/// {
+///   "file": "demo.deps",
+///   "errors": 0,
+///   "warnings": 1,
+///   "diagnostics": [
+///     { "code": "L001", "severity": "warning", "start": 0, "end": 15,
+///       "line": 1, "column": 1, "text": "L(A, B) -> L(A)",
+///       "message": "…", "suggestion": "…" }
+///   ]
+/// }
+/// ```
+///
+/// `suggestion` is `null` when the rule offers none. `start`/`end` are
+/// byte offsets; `line`/`column` are 1-based (columns in characters).
+pub fn render_json(report: &LintReport, file: &str, src: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"file\": {},\n", json::escape(file)));
+    out.push_str(&format!("  \"errors\": {},\n", report.errors()));
+    out.push_str(&format!("  \"warnings\": {},\n", report.warnings()));
+    if report.diagnostics.is_empty() {
+        out.push_str("  \"diagnostics\": []\n");
+    } else {
+        out.push_str("  \"diagnostics\": [\n");
+        for (i, d) in report.diagnostics.iter().enumerate() {
+            let loc = locate(src, d.span.start);
+            let end = d.span.end.min(src.len()).max(d.span.start);
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"code\": {},\n", json::escape(d.code)));
+            out.push_str(&format!(
+                "      \"severity\": {},\n",
+                json::escape(d.severity.label())
+            ));
+            out.push_str(&format!("      \"start\": {},\n", d.span.start));
+            out.push_str(&format!("      \"end\": {},\n", d.span.end));
+            out.push_str(&format!("      \"line\": {},\n", loc.line));
+            out.push_str(&format!("      \"column\": {},\n", loc.column));
+            out.push_str(&format!(
+                "      \"text\": {},\n",
+                json::escape(&src[d.span.start.min(src.len())..end])
+            ));
+            out.push_str(&format!(
+                "      \"message\": {},\n",
+                json::escape(&d.message)
+            ));
+            match &d.suggestion {
+                Some(s) => out.push_str(&format!("      \"suggestion\": {}\n", json::escape(s))),
+                None => out.push_str("      \"suggestion\": null\n"),
+            }
+            out.push_str(if i + 1 == report.diagnostics.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (LintReport, &'static str) {
+        let src = "L(A) -> L(B)\nλ ↠ L(A)\n";
+        let report = LintReport {
+            diagnostics: vec![
+                Diagnostic {
+                    code: "L001",
+                    severity: Severity::Warning,
+                    span: Span::new(0, 12),
+                    message: "trivial dependency".into(),
+                    suggestion: Some("remove it".into()),
+                },
+                Diagnostic {
+                    code: "L007",
+                    severity: Severity::Error,
+                    // `L(A)` on line 2: `λ ↠ ` occupies bytes 13..20
+                    span: Span::new(20, 24),
+                    message: "unresolvable".into(),
+                    suggestion: None,
+                },
+            ],
+        };
+        (report, src)
+    }
+
+    #[test]
+    fn counts_and_exit_policy() {
+        let (report, _) = sample();
+        assert_eq!(report.errors(), 1);
+        assert_eq!(report.warnings(), 1);
+        assert!(!report.is_clean());
+        assert!(report.fails(false));
+        let clean = LintReport::default();
+        assert!(!clean.fails(true));
+        let warn_only = LintReport {
+            diagnostics: vec![report.diagnostics[0].clone()],
+        };
+        assert!(!warn_only.fails(false));
+        assert!(warn_only.fails(true));
+    }
+
+    #[test]
+    fn human_rendering_aligns_carets_by_characters() {
+        let (report, src) = sample();
+        let text = render_human(&report, "demo.deps", src);
+        assert!(text.contains("warning[L001]: trivial dependency"));
+        assert!(text.contains("--> demo.deps:1:1"));
+        assert!(text.contains("1 | L(A) -> L(B)"));
+        assert!(text.contains(" | ^^^^^^^^^^^^\n"));
+        // the second diagnostic points at `L(A)` on line 2: `λ ↠ ` is 4
+        // chars (but 8 bytes), so the column is 5 and the caret width 4
+        assert!(text.contains("--> demo.deps:2:5"));
+        assert!(text.contains("2 | λ ↠ L(A)"));
+        assert!(text.contains(" |     ^^^^\n"));
+        assert!(text.contains("= help: remove it"));
+        assert!(text.contains("lint: 1 error, 1 warning emitted"));
+    }
+
+    #[test]
+    fn clean_report_renders_empty_human_output() {
+        assert_eq!(render_human(&LintReport::default(), "x", ""), "");
+    }
+
+    #[test]
+    fn json_rendering_has_expected_fields() {
+        let (report, src) = sample();
+        let text = render_json(&report, "demo.deps", src);
+        assert!(text.contains("\"file\": \"demo.deps\""));
+        assert!(text.contains("\"errors\": 1"));
+        assert!(text.contains("\"warnings\": 1"));
+        assert!(text.contains("\"code\": \"L001\""));
+        assert!(text.contains("\"suggestion\": null"));
+        assert!(text.contains("\"text\": \"L(A) -> L(B)\""));
+    }
+
+    #[test]
+    fn locate_handles_crlf_and_eof() {
+        let src = "ab\r\ncd";
+        let l = locate(src, 5);
+        assert_eq!((l.line, l.column, l.text), (2, 2, "cd"));
+        let end = locate(src, 6);
+        assert_eq!((end.line, end.column), (2, 3));
+        let past = locate(src, 99);
+        assert_eq!(past.line, 2);
+    }
+}

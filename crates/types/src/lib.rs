@@ -37,11 +37,13 @@ pub mod display;
 pub mod error;
 pub mod parser;
 pub mod projection;
+pub mod span;
 pub mod subattr;
 pub mod universe;
 pub mod value;
 
 pub use attr::NestedAttr;
 pub use error::{ParseError, TypeError};
+pub use span::Span;
 pub use universe::Universe;
 pub use value::{BaseValue, Value};

@@ -20,6 +20,7 @@
 use crate::attr::NestedAttr;
 use crate::display::{count_resolutions, resolutions, Loose};
 use crate::error::ParseError;
+use crate::span::Span;
 use crate::value::Value;
 
 /// The two dependency classes of the paper.
@@ -91,8 +92,9 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    /// An identifier: a run of alphanumerics, `_`, `'`, `-`, `.`.
-    fn ident(&mut self) -> Result<&'a str, ParseError> {
+    /// An identifier (a run of alphanumerics, `_`, `'`, `-`, `.`)
+    /// together with its byte span.
+    fn ident_spanned(&mut self) -> Result<(&'a str, Span), ParseError> {
         self.skip_ws();
         let start = self.pos;
         while let Some(c) = self.peek() {
@@ -105,7 +107,7 @@ impl<'a> Cursor<'a> {
         if self.pos == start {
             Err(self.unexpected("identifier"))
         } else {
-            Ok(&self.src[start..self.pos])
+            Ok((&self.src[start..self.pos], Span::new(start, self.pos)))
         }
     }
 
@@ -123,23 +125,44 @@ fn is_lambda_name(s: &str) -> bool {
     s == "λ" || s == "lambda"
 }
 
-fn parse_loose_inner(cur: &mut Cursor<'_>) -> Result<Loose, ParseError> {
+/// A loose (possibly abbreviated) attribute term together with the byte
+/// spans the parser recorded while reading it: the span of the whole
+/// term, plus one span per identifier (attribute names and labels, in
+/// source order). The ident list is what powers did-you-mean diagnostics
+/// — an unresolvable path can be blamed on the exact unknown token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedLoose {
+    /// The parsed term.
+    pub node: Loose,
+    /// Byte span of the whole term.
+    pub span: Span,
+    /// Every identifier in the term with its span, in source order
+    /// (`λ` / `lambda` are not identifiers and are not recorded).
+    pub idents: Vec<(String, Span)>,
+}
+
+fn parse_loose_spanned_inner(
+    cur: &mut Cursor<'_>,
+    idents: &mut Vec<(String, Span)>,
+) -> Result<(Loose, Span), ParseError> {
     cur.skip_ws();
+    let start = cur.pos;
     if cur.peek() == Some('λ') {
         cur.bump();
-        return Ok(Loose::Lambda);
+        return Ok((Loose::Lambda, Span::new(start, cur.pos)));
     }
-    let name = cur.ident()?;
+    let (name, name_span) = cur.ident_spanned()?;
     if is_lambda_name(name) {
-        return Ok(Loose::Lambda);
+        return Ok((Loose::Lambda, name_span));
     }
+    idents.push((name.to_owned(), name_span));
     cur.skip_ws();
     match cur.peek() {
         Some('(') => {
             cur.bump();
             let mut components = Vec::new();
             loop {
-                components.push(parse_loose_inner(cur)?);
+                components.push(parse_loose_spanned_inner(cur, idents)?.0);
                 cur.skip_ws();
                 if cur.eat(',') {
                     continue;
@@ -147,25 +170,47 @@ fn parse_loose_inner(cur: &mut Cursor<'_>) -> Result<Loose, ParseError> {
                 cur.expect(')')?;
                 break;
             }
-            Ok(Loose::Record(name.to_owned(), components))
+            Ok((
+                Loose::Record(name.to_owned(), components),
+                Span::new(name_span.start, cur.pos),
+            ))
         }
         Some('[') => {
             cur.bump();
-            let inner = parse_loose_inner(cur)?;
+            let inner = parse_loose_spanned_inner(cur, idents)?.0;
             cur.expect(']')?;
-            Ok(Loose::List(name.to_owned(), Box::new(inner)))
+            Ok((
+                Loose::List(name.to_owned(), Box::new(inner)),
+                Span::new(name_span.start, cur.pos),
+            ))
         }
-        _ => Ok(Loose::Flat(name.to_owned())),
+        _ => Ok((Loose::Flat(name.to_owned()), name_span)),
     }
 }
 
 /// Parses a loose (possibly abbreviated) attribute term without resolving
 /// it against a context.
 pub fn parse_loose(src: &str) -> Result<Loose, ParseError> {
+    parse_loose_spanned(src).map(|s| s.node)
+}
+
+/// [`parse_loose`] with byte-span tracking for the whole term and every
+/// identifier in it.
+///
+/// ```
+/// use nalist_types::parser::parse_loose_spanned;
+///
+/// let s = parse_loose_spanned("  L1(A, L2[λ])").unwrap();
+/// assert_eq!(s.span.text("  L1(A, L2[λ])"), "L1(A, L2[λ])");
+/// let names: Vec<&str> = s.idents.iter().map(|(n, _)| n.as_str()).collect();
+/// assert_eq!(names, ["L1", "A", "L2"]);
+/// ```
+pub fn parse_loose_spanned(src: &str) -> Result<SpannedLoose, ParseError> {
     let mut cur = Cursor::new(src);
-    let d = parse_loose_inner(&mut cur)?;
+    let mut idents = Vec::new();
+    let (node, span) = parse_loose_spanned_inner(&mut cur, &mut idents)?;
     cur.done()?;
-    Ok(d)
+    Ok(SpannedLoose { node, span, idents })
 }
 
 fn loose_to_attr(d: &Loose) -> Result<NestedAttr, ParseError> {
@@ -248,9 +293,55 @@ pub fn parse_dependency_of(
     n: &NestedAttr,
     src: &str,
 ) -> Result<(DepKind, NestedAttr, NestedAttr), ParseError> {
+    let d = parse_dependency_spanned(src)?;
+    let x = resolve_loose(n, &d.lhs.node, src)?;
+    let y = resolve_loose(n, &d.rhs.node, src)?;
+    Ok((d.kind, x, y))
+}
+
+/// A parsed but *unresolved* dependency with full span information: the
+/// loose terms of both sides, the byte span of each side, of the arrow
+/// token, and of every identifier. Resolution against an ambient
+/// attribute is left to the caller (see [`resolve_loose`]) so that
+/// resolution failures can be reported with precise source locations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedDependency {
+    /// FD or MVD.
+    pub kind: DepKind,
+    /// Byte span of the arrow token (`->`, `->>`, `→`, `↠`).
+    pub arrow: Span,
+    /// Left-hand side with spans.
+    pub lhs: SpannedLoose,
+    /// Right-hand side with spans.
+    pub rhs: SpannedLoose,
+}
+
+impl SpannedDependency {
+    /// The span of the whole dependency text (LHS through RHS).
+    pub fn span(&self) -> Span {
+        self.lhs.span.to(self.rhs.span)
+    }
+}
+
+/// Parses `"X -> Y"` / `"X ->> Y"` (or `→`/`↠`) into loose sides with
+/// byte-span tracking, without resolving against a context attribute.
+///
+/// ```
+/// use nalist_types::parser::{parse_dependency_spanned, DepKind};
+///
+/// let src = "L(A) ->> L(B, C[λ])";
+/// let d = parse_dependency_spanned(src).unwrap();
+/// assert_eq!(d.kind, DepKind::Mvd);
+/// assert_eq!(d.arrow.text(src), "->>");
+/// assert_eq!(d.lhs.span.text(src), "L(A)");
+/// assert_eq!(d.rhs.span.text(src), "L(B, C[λ])");
+/// ```
+pub fn parse_dependency_spanned(src: &str) -> Result<SpannedDependency, ParseError> {
     let mut cur = Cursor::new(src);
-    let lhs = parse_loose_inner(&mut cur)?;
+    let mut lhs_idents = Vec::new();
+    let (lhs_node, lhs_span) = parse_loose_spanned_inner(&mut cur, &mut lhs_idents)?;
     cur.skip_ws();
+    let arrow_start = cur.pos;
     let kind = if cur.eat('→') {
         DepKind::Fd
     } else if cur.eat('↠') {
@@ -265,11 +356,24 @@ pub fn parse_dependency_of(
     } else {
         return Err(cur.unexpected("'->', '->>', '→' or '↠'"));
     };
-    let rhs = parse_loose_inner(&mut cur)?;
+    let arrow = Span::new(arrow_start, cur.pos);
+    let mut rhs_idents = Vec::new();
+    let (rhs_node, rhs_span) = parse_loose_spanned_inner(&mut cur, &mut rhs_idents)?;
     cur.done()?;
-    let x = resolve_loose(n, &lhs, src)?;
-    let y = resolve_loose(n, &rhs, src)?;
-    Ok((kind, x, y))
+    Ok(SpannedDependency {
+        kind,
+        arrow,
+        lhs: SpannedLoose {
+            node: lhs_node,
+            span: lhs_span,
+            idents: lhs_idents,
+        },
+        rhs: SpannedLoose {
+            node: rhs_node,
+            span: rhs_span,
+            idents: rhs_idents,
+        },
+    })
 }
 
 fn parse_value_inner(cur: &mut Cursor<'_>) -> Result<Value, ParseError> {
@@ -499,5 +603,49 @@ mod tests {
     #[test]
     fn empty_record_syntax_rejected() {
         assert!(parse_attr("L()").is_err());
+    }
+
+    #[test]
+    fn spanned_dependency_reports_token_positions() {
+        let src = "Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])";
+        let d = parse_dependency_spanned(src).unwrap();
+        assert_eq!(d.kind, DepKind::Mvd);
+        assert_eq!(d.lhs.span.text(src), "Pubcrawl(Person)");
+        assert_eq!(d.arrow.text(src), "->>");
+        assert_eq!(d.rhs.span.text(src), "Pubcrawl(Visit[Drink(Pub)])");
+        assert_eq!(d.span().text(src), src);
+        let lhs_names: Vec<&str> = d.lhs.idents.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(lhs_names, ["Pubcrawl", "Person"]);
+        let rhs_names: Vec<&str> = d.rhs.idents.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(rhs_names, ["Pubcrawl", "Visit", "Drink", "Pub"]);
+        // every ident span slices back to its own text
+        for (name, span) in d.lhs.idents.iter().chain(&d.rhs.idents) {
+            assert_eq!(span.text(src), name);
+        }
+    }
+
+    #[test]
+    fn spanned_dependency_with_unicode_arrow_and_lambda() {
+        let src = "  λ ↠ L(A)  ";
+        let d = parse_dependency_spanned(src).unwrap();
+        assert_eq!(d.kind, DepKind::Mvd);
+        assert_eq!(d.lhs.node, Loose::Lambda);
+        assert_eq!(d.lhs.span.text(src), "λ");
+        assert_eq!(d.arrow.text(src), "↠");
+        assert_eq!(d.rhs.span.text(src), "L(A)");
+        assert!(d.lhs.idents.is_empty());
+        // ASCII lambda spelling is not recorded as an identifier either
+        let d2 = parse_dependency_spanned("lambda -> L(A)").unwrap();
+        assert!(d2.lhs.idents.is_empty());
+        assert_eq!(d2.lhs.span.text("lambda -> L(A)"), "lambda");
+    }
+
+    #[test]
+    fn spanned_loose_whole_term_span() {
+        let src = " L1(A, L2[L3(B)]) ";
+        let s = parse_loose_spanned(src).unwrap();
+        assert_eq!(s.span.text(src), "L1(A, L2[L3(B)])");
+        let names: Vec<&str> = s.idents.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["L1", "A", "L2", "L3", "B"]);
     }
 }

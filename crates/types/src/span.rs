@@ -1,0 +1,101 @@
+//! Byte-offset source spans.
+//!
+//! The parser records, for every attribute path and dependency it reads,
+//! the half-open byte range `[start, end)` of the originating text. Spans
+//! flow from [`crate::parser`] through the lint layer so that diagnostics
+//! can point at the offending token with rustc-style caret underlines.
+//!
+//! Spans are *byte* offsets into the source string (the same convention
+//! as [`crate::error::ParseError::Unexpected`]); display columns are
+//! derived by the renderer, which counts characters, so multi-byte input
+//! such as `λ` and `↠` aligns correctly.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Span {
+    /// Byte offset of the first byte covered.
+    pub start: usize,
+    /// Byte offset one past the last byte covered.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates the span `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        debug_assert!(start <= end, "span start must not exceed end");
+        Span { start, end }
+    }
+
+    /// The empty span at a single position (used for end-of-input).
+    pub fn point(at: usize) -> Self {
+        Span { start: at, end: at }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Is the span empty?
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The span translated right by `offset` bytes — used to lift a span
+    /// that is relative to one line of a file to a file-global span.
+    #[must_use]
+    pub fn shifted(&self, offset: usize) -> Span {
+        Span {
+            start: self.start + offset,
+            end: self.end + offset,
+        }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    #[must_use]
+    pub fn to(&self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Slices `src` to the spanned text. Panics when out of bounds or not
+    /// on a char boundary, exactly like string indexing.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_operations() {
+        let s = Span::new(3, 8);
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        assert_eq!(s.shifted(10), Span::new(13, 18));
+        assert_eq!(s.to(Span::new(6, 12)), Span::new(3, 12));
+        assert_eq!(s.to(Span::new(0, 4)), Span::new(0, 8));
+        assert_eq!(s.text("hello world"), "lo wo");
+        assert_eq!(s.to_string(), "3..8");
+    }
+
+    #[test]
+    fn point_span_is_empty() {
+        let p = Span::point(4);
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.text("abcdef"), "");
+    }
+}
