@@ -21,6 +21,7 @@
 //!   inside `a`'s content subtree, and
 //! * whether `a` is *maximal* in `SubB(N)` (Definition 4.7).
 
+use nalist_guard::{Budget, ResourceExhausted};
 use nalist_types::attr::NestedAttr;
 use nalist_types::error::TypeError;
 
@@ -80,11 +81,26 @@ pub struct Algebra {
 impl Algebra {
     /// Builds the algebra for the ambient attribute `n`.
     pub fn new(n: &NestedAttr) -> Self {
+        Algebra::try_new(n, &Budget::unlimited()).expect("unlimited budget cannot be exhausted")
+    }
+
+    /// Builds the algebra for `n` under a resource [`Budget`].
+    ///
+    /// Construction is the memory hot spot of the whole stack: the
+    /// per-atom `below`/`above` masks occupy `O(atoms²)` bits, so an
+    /// adversarial schema with hundreds of thousands of atoms would OOM
+    /// long before any reasoning starts. The budget's `max_atoms` cap is
+    /// checked before the masks are allocated, one fuel unit is charged
+    /// per atom, and the deadline is sampled along the way.
+    pub fn try_new(n: &NestedAttr, budget: &Budget) -> Result<Self, ResourceExhausted> {
+        budget.failpoint("algebra::atoms")?;
         let mut collected: Vec<(AtomKind, String, Vec<AtomId>)> = Vec::new();
         collect_atoms(n, &mut Vec::new(), &mut collected);
         let count = collected.len();
+        budget.check_atoms(count)?;
         let mut atoms: Vec<AtomInfo> = Vec::with_capacity(count);
         for (id, (kind, name, ancestors)) in collected.iter().enumerate() {
+            budget.charge(1)?;
             let mut below = AtomSet::empty(count);
             below.insert(id);
             for &p in ancestors {
@@ -101,6 +117,7 @@ impl Algebra {
         }
         // above masks: every atom contributes itself to all its ancestors
         for (id, (_, _, ancestors)) in collected.iter().enumerate() {
+            budget.charge(1)?;
             atoms[id].above.insert(id);
             for &p in ancestors {
                 atoms[p].above.insert(id);
@@ -113,6 +130,7 @@ impl Algebra {
                 max_mask.insert(id);
             }
         }
+        budget.check_deadline()?;
         let mut alg = Algebra {
             attr: n.clone(),
             atoms,
@@ -120,10 +138,11 @@ impl Algebra {
         };
         // basis attribute trees: b(a) = to_attr(below(a))
         for id in 0..count {
+            budget.charge(1)?;
             let below = alg.atoms[id].below.clone();
             alg.atoms[id].attr = alg.to_attr(&below);
         }
-        alg
+        Ok(alg)
     }
 
     /// The ambient attribute `N`.
@@ -421,6 +440,40 @@ mod tests {
         let alg = Algebra::new(&NestedAttr::Null);
         assert_eq!(alg.atom_count(), 0);
         assert_eq!(alg.to_attr(&AtomSet::empty(0)), NestedAttr::Null);
+    }
+
+    #[test]
+    fn try_new_enforces_atom_cap() {
+        let n = parse_attr("A'(B, C[D(E, F[G])])").unwrap(); // 5 atoms
+        let ok = Budget::unlimited().with_max_atoms(5);
+        assert!(Algebra::try_new(&n, &ok).is_ok());
+        let too_small = Budget::unlimited().with_max_atoms(4);
+        let err = Algebra::try_new(&n, &too_small).unwrap_err();
+        assert_eq!(err.kind, nalist_guard::ResourceKind::Atoms);
+        assert_eq!(err.spent, 5);
+        assert_eq!(err.limit, 4);
+    }
+
+    #[test]
+    fn try_new_charges_fuel() {
+        let n = parse_attr("A'(B, C[D(E, F[G])])").unwrap();
+        let starved = Budget::unlimited().with_fuel(3);
+        let err = Algebra::try_new(&n, &starved).unwrap_err();
+        assert_eq!(err.kind, nalist_guard::ResourceKind::Fuel);
+        // Result agrees with the ungoverned build when the budget suffices.
+        let roomy = Budget::unlimited().with_fuel(10_000);
+        let alg = Algebra::try_new(&n, &roomy).unwrap();
+        assert_eq!(alg.atom_count(), Algebra::new(&n).atom_count());
+    }
+
+    #[test]
+    fn try_new_failpoint_fires() {
+        let n = parse_attr("L(A)").unwrap();
+        let b = Budget::unlimited().with_failpoint(nalist_guard::FailPoint::every(
+            "algebra::atoms",
+            nalist_guard::FailAction::ExhaustFuel,
+        ));
+        assert!(Algebra::try_new(&n, &b).is_err());
     }
 
     #[test]

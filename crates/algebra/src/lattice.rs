@@ -6,6 +6,7 @@
 //! `Sub(L(P1,…,Pk))` is the direct product of the component algebras, and
 //! `Sub(L[P])` is `Sub(P)` with a new minimum adjoined.
 
+use nalist_guard::{Budget, ResourceExhausted};
 use nalist_types::attr::NestedAttr;
 
 use crate::atoms::Algebra;
@@ -29,17 +30,37 @@ pub fn sub_count(n: &NestedAttr) -> u128 {
 /// in a deterministic order. Exponential in general — intended for small
 /// `N` (tests, figures, cross-validation).
 pub fn enumerate_trees(n: &NestedAttr) -> Vec<NestedAttr> {
+    enumerate_trees_governed(n, &Budget::unlimited()).expect("unlimited budget cannot be exhausted")
+}
+
+/// [`enumerate_trees`] under a resource [`Budget`]: one fuel unit is
+/// charged per enumerated element, so `|Sub(N)| = 2^Ω(atoms)` blowups
+/// stop at the budget instead of exhausting memory.
+pub fn enumerate_trees_governed(
+    n: &NestedAttr,
+    budget: &Budget,
+) -> Result<Vec<NestedAttr>, ResourceExhausted> {
+    budget.failpoint("algebra::lattice")?;
     match n {
-        NestedAttr::Null => vec![NestedAttr::Null],
-        NestedAttr::Flat(a) => vec![NestedAttr::Null, NestedAttr::Flat(a.clone())],
+        NestedAttr::Null => {
+            budget.charge(1)?;
+            Ok(vec![NestedAttr::Null])
+        }
+        NestedAttr::Flat(a) => {
+            budget.charge(2)?;
+            Ok(vec![NestedAttr::Null, NestedAttr::Flat(a.clone())])
+        }
         NestedAttr::Record(l, children) => {
-            let component_subs: Vec<Vec<NestedAttr>> =
-                children.iter().map(enumerate_trees).collect();
+            let component_subs: Vec<Vec<NestedAttr>> = children
+                .iter()
+                .map(|c| enumerate_trees_governed(c, budget))
+                .collect::<Result<_, _>>()?;
             let mut out = vec![Vec::new()];
             for subs in &component_subs {
                 let mut next = Vec::with_capacity(out.len() * subs.len());
                 for prefix in &out {
                     for s in subs {
+                        budget.charge(1)?;
                         let mut p = prefix.clone();
                         p.push(s.clone());
                         next.push(p);
@@ -47,31 +68,44 @@ pub fn enumerate_trees(n: &NestedAttr) -> Vec<NestedAttr> {
                 }
                 out = next;
             }
-            out.into_iter()
+            Ok(out
+                .into_iter()
                 .map(|components| NestedAttr::Record(l.clone(), components))
-                .collect()
+                .collect())
         }
         NestedAttr::List(l, inner) => {
             let mut out = vec![NestedAttr::Null];
             out.extend(
-                enumerate_trees(inner)
+                enumerate_trees_governed(inner, budget)?
                     .into_iter()
                     .map(|i| NestedAttr::List(l.clone(), Box::new(i))),
             );
-            out
+            Ok(out)
         }
     }
 }
 
 /// Enumerates every element of `Sub(N)` as a downward-closed atom set.
 pub fn enumerate_sets(alg: &Algebra) -> Vec<AtomSet> {
-    enumerate_trees(alg.attr())
-        .into_iter()
-        .map(|t| {
+    enumerate_sets_governed(alg, &Budget::unlimited())
+        .expect("unlimited budget cannot be exhausted")
+}
+
+/// [`enumerate_sets`] under a resource [`Budget`].
+pub fn enumerate_sets_governed(
+    alg: &Algebra,
+    budget: &Budget,
+) -> Result<Vec<AtomSet>, ResourceExhausted> {
+    let trees = enumerate_trees_governed(alg.attr(), budget)?;
+    let mut out = Vec::with_capacity(trees.len());
+    for t in trees {
+        budget.charge(1)?;
+        out.push(
             alg.from_attr(&t)
-                .expect("enumerated trees are subattributes")
-        })
-        .collect()
+                .expect("enumerated trees are subattributes"),
+        );
+    }
+    Ok(out)
 }
 
 /// The cover relation of the lattice: `(i, j)` means element `i` is
@@ -151,6 +185,27 @@ mod tests {
         for s in &sets {
             assert!(alg.is_downward_closed(s));
         }
+    }
+
+    #[test]
+    fn governed_enumeration_stops_at_fuel() {
+        use nalist_guard::{Budget, ResourceKind};
+        // 2^10 = 1024 elements; 64 units of fuel cannot cover them.
+        let wide = format!(
+            "L({})",
+            (0..10)
+                .map(|i| format!("A{i}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let n = parse_attr(&wide).unwrap();
+        let err = enumerate_trees_governed(&n, &Budget::unlimited().with_fuel(64)).unwrap_err();
+        assert_eq!(err.kind, ResourceKind::Fuel);
+        // With enough fuel the governed and ungoverned enumerations agree.
+        let small = parse_attr("J[K(A, L[M(B, C)])]").unwrap();
+        let governed =
+            enumerate_trees_governed(&small, &Budget::unlimited().with_fuel(10_000)).unwrap();
+        assert_eq!(governed, enumerate_trees(&small));
     }
 
     #[test]

@@ -33,23 +33,39 @@
 //! error-severity finding (or, under `--deny warnings`, any finding at
 //! all) is reported; like rustc, the diagnostics go to stderr in that
 //! case.
+//!
+//! Every command additionally accepts the global resource flags
+//! `--timeout <ms>`, `--max-atoms <n>` and `--max-depth <n>` (anywhere
+//! on the command line). They bound the wall clock, the schema's basis
+//! size and the nesting depth of any parsed input; exceeding one yields
+//! a structured error and exit code 3.
+//!
+//! Exit codes: 0 success, 1 domain error (refuted query, lint findings,
+//! malformed spec contents), 2 usage or file-access error, 3 resource
+//! exhaustion.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
+use std::time::Duration;
 
 use nalist::membership::trace::{render_result, render_trace};
 use nalist::prelude::*;
 use nalist::schema::cover::redundant_indices;
 use nalist::schema::normalform::fourth_nf_violations;
 
+/// Exit code for resource exhaustion (deadline, fuel, atom or depth
+/// caps).
+pub const EXIT_RESOURCE: i32 = 3;
+
 /// CLI failure: a message for stderr plus a suggested exit code.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CliError {
     /// Human-readable message.
     pub message: String,
-    /// Process exit code (2 = usage, 1 = domain error).
+    /// Process exit code (1 = domain error, 2 = usage or file error,
+    /// 3 = resource exhaustion).
     pub code: i32,
 }
 
@@ -65,6 +81,32 @@ impl CliError {
         CliError {
             message: msg.to_string(),
             code: 1,
+        }
+    }
+
+    /// File-access failures: same code as usage errors (the input never
+    /// reached the reasoner) but without the usage dump — the message
+    /// already names the offending path.
+    fn file(msg: impl std::fmt::Display) -> Self {
+        CliError {
+            message: msg.to_string(),
+            code: 2,
+        }
+    }
+
+    fn resource(msg: impl std::fmt::Display) -> Self {
+        CliError {
+            message: msg.to_string(),
+            code: EXIT_RESOURCE,
+        }
+    }
+
+    /// Maps a [`ReasonerError`], routing resource exhaustion to exit
+    /// code 3 and everything else to the domain-error code.
+    fn reasoner(e: &ReasonerError) -> Self {
+        match e {
+            ReasonerError::Resource(r) => CliError::resource(r),
+            other => CliError::domain(other),
         }
     }
 }
@@ -151,19 +193,92 @@ fn command(name: &str) -> Option<&'static CommandSpec> {
     COMMANDS.iter().find(|c| c.name == name)
 }
 
-/// The usage text, generated from [`COMMANDS`].
+/// One row of the global-flag table: flags accepted by *every* command,
+/// extracted before dispatch. The same table drives extraction and the
+/// usage text.
+#[derive(Debug, Clone, Copy)]
+pub struct GlobalFlagSpec {
+    /// Flag as typed, e.g. `--timeout`.
+    pub name: &'static str,
+    /// Value placeholder for the usage text.
+    pub value: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
+/// Global resource-governance flags, in display order.
+pub const GLOBAL_FLAGS: &[GlobalFlagSpec] = &[
+    GlobalFlagSpec {
+        name: "--timeout",
+        value: "<ms>",
+        summary: "wall-clock deadline for the whole command (exit 3 when exceeded)",
+    },
+    GlobalFlagSpec {
+        name: "--max-atoms",
+        value: "<n>",
+        summary: "refuse schemas with more than n basis attributes (exit 3)",
+    },
+    GlobalFlagSpec {
+        name: "--max-depth",
+        value: "<n>",
+        summary: "refuse inputs nested deeper than n levels (exit 3)",
+    },
+];
+
+/// Splits the global resource flags out of `args` (they may appear
+/// anywhere) and folds them into a [`Budget`]. The remaining arguments
+/// are returned for normal dispatch.
+pub fn extract_global_flags(args: &[String]) -> Result<(Vec<String>, Budget), CliError> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut budget = Budget::unlimited();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let Some(spec) = GLOBAL_FLAGS.iter().find(|f| f.name == arg.as_str()) else {
+            rest.push(arg.clone());
+            continue;
+        };
+        let raw = it.next().ok_or_else(|| {
+            CliError::usage(format!("{} requires a value {}", spec.name, spec.value))
+        })?;
+        let n: u64 = raw
+            .parse()
+            .map_err(|e| CliError::usage(format!("bad {} value '{raw}': {e}", spec.name)))?;
+        budget = match spec.name {
+            "--timeout" => budget.with_deadline_in(Duration::from_millis(n)),
+            "--max-atoms" => budget.with_max_atoms(n),
+            "--max-depth" => budget.with_max_depth(n),
+            _ => unreachable!("flag came from GLOBAL_FLAGS"),
+        };
+    }
+    Ok((rest, budget))
+}
+
+/// The usage text, generated from [`COMMANDS`] and [`GLOBAL_FLAGS`].
 pub fn usage_text() -> String {
     let width = COMMANDS.iter().map(|c| c.name.len()).max().unwrap_or(0);
     let mut out = String::from("usage:\n");
     for c in COMMANDS {
         writeln!(out, "  nalist {:width$} {}", c.name, c.synopsis).unwrap();
     }
+    out.push_str("\nglobal flags (any command):\n");
+    let fwidth = GLOBAL_FLAGS
+        .iter()
+        .map(|f| f.name.len() + 1 + f.value.len())
+        .max()
+        .unwrap_or(0);
+    for f in GLOBAL_FLAGS {
+        let flag = format!("{} {}", f.name, f.value);
+        writeln!(out, "  {flag:fwidth$}  {}", f.summary).unwrap();
+    }
     out.push_str(
         "\n<schema> is a nested attribute, e.g. 'Pubcrawl(Person, Visit[Drink(Beer, Pub)])'.
 Dependency and query files hold one 'X -> Y' or 'X ->> Y' per line; data
 files one tuple literal per line. '#' starts a comment in either. Pass
 '-' as a file argument to read it from stdin. See 'nalist help <command>'
-for details on one command.",
+for details on one command.
+
+exit codes: 0 success, 1 domain error, 2 usage or file error,
+3 resource budget exhausted.",
     );
     out
 }
@@ -189,24 +304,59 @@ impl Files for OsFiles {
     }
 }
 
-fn load_reasoner(files: &dyn Files, schema: &str, deps_path: &str) -> Result<Reasoner, CliError> {
-    let n =
-        parse_attr(schema).map_err(|e| CliError::domain(format!("bad schema attribute: {e}")))?;
-    let mut r = Reasoner::new(&n);
-    let text = files.read(deps_path).map_err(CliError::domain)?;
+/// An unparsable schema is a domain error (exit 1) — except depth-limit
+/// violations, which honour the resource contract `--max-depth`
+/// documents (exit 3).
+fn schema_error(e: &ParseError) -> CliError {
+    let message = format!("bad schema attribute: {e}");
+    match e {
+        ParseError::TooDeep { .. } => CliError::resource(message),
+        _ => CliError::domain(message),
+    }
+}
+
+fn load_reasoner(
+    files: &dyn Files,
+    schema: &str,
+    deps_path: &str,
+    budget: &Budget,
+) -> Result<Reasoner, CliError> {
+    let limits = ParseLimits::from_budget(budget);
+    let n = parse_attr_with(schema, limits).map_err(|e| schema_error(&e))?;
+    let mut r = Reasoner::try_new(&n, budget).map_err(CliError::resource)?;
+    let text = files.read(deps_path).map_err(CliError::file)?;
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        r.add_str(line)
+        let dep = Dependency::parse_with(r.attr(), line, limits)
+            .map_err(|e| CliError::domain(format!("{deps_path}:{}: {e}", lineno + 1)))?;
+        r.add(dep)
             .map_err(|e| CliError::domain(format!("{deps_path}:{}: {e}", lineno + 1)))?;
     }
     Ok(r)
 }
 
-/// Executes a CLI invocation; `args` excludes the program name.
+fn checkpoint(budget: &Budget) -> Result<(), CliError> {
+    budget.check_deadline().map_err(CliError::resource)
+}
+
+/// Executes a CLI invocation; `args` excludes the program name. Global
+/// resource flags are extracted first (see [`GLOBAL_FLAGS`]); everything
+/// else is dispatched with the resulting [`Budget`].
 pub fn run(args: &[String], files: &dyn Files) -> Result<String, CliError> {
+    let (rest, budget) = extract_global_flags(args)?;
+    run_with_budget(&rest, files, &budget)
+}
+
+/// [`run`] with an explicit [`Budget`] — the injection point for
+/// fault-tolerance tests (fail points, pre-armed deadlines).
+pub fn run_with_budget(
+    args: &[String],
+    files: &dyn Files,
+    budget: &Budget,
+) -> Result<String, CliError> {
     let mut out = String::new();
     let (cmd, rest) = match args.split_first() {
         Some((cmd, rest)) => (cmd.as_str(), rest),
@@ -222,12 +372,13 @@ pub fn run(args: &[String], files: &dyn Files) -> Result<String, CliError> {
     })?;
     match (cmd, rest) {
         ("check", [schema, deps, dep]) => {
-            let r = load_reasoner(files, schema, deps)?;
+            let r = load_reasoner(files, schema, deps, budget)?;
             let alg = r.algebra();
-            let target = Dependency::parse(r.attr(), dep)
+            let target = Dependency::parse_with(r.attr(), dep, ParseLimits::from_budget(budget))
                 .map_err(|e| CliError::domain(format!("bad dependency: {e}")))?
                 .compile(alg)
                 .map_err(CliError::domain)?;
+            checkpoint(budget)?;
             match refute(alg, r.compiled_sigma(), &target).map_err(CliError::domain)? {
                 None => {
                     writeln!(out, "IMPLIED: Σ ⊨ {}", target.render(alg)).unwrap();
@@ -255,49 +406,65 @@ pub fn run(args: &[String], files: &dyn Files) -> Result<String, CliError> {
                 ),
                 _ => return Err(CliError::usage("unknown flags for batch")),
             };
-            let r = load_reasoner(files, schema, deps)?;
+            let r = load_reasoner(files, schema, deps, budget)?;
             let alg = r.algebra();
-            let text = files.read(queries).map_err(CliError::domain)?;
+            let text = files.read(queries).map_err(CliError::file)?;
+            let limits = ParseLimits::from_budget(budget);
             let mut targets = Vec::new();
             for (lineno, line) in text.lines().enumerate() {
                 let line = line.trim();
                 if line.is_empty() || line.starts_with('#') {
                     continue;
                 }
-                let dep = Dependency::parse(r.attr(), line)
+                let dep = Dependency::parse_with(r.attr(), line, limits)
                     .map_err(|e| CliError::domain(format!("{queries}:{}: {e}", lineno + 1)))?;
                 targets.push(dep);
             }
             let verdicts = match threads {
-                Some(t) => r.implies_batch_with(&targets, t),
-                None => r.implies_batch(&targets),
+                Some(t) => r.implies_batch_governed_with(&targets, budget, t),
+                None => r.implies_batch_governed(&targets, budget),
             }
-            .map_err(CliError::domain)?;
-            let mut implied = 0;
-            for (dep, ok) in targets.iter().zip(&verdicts) {
+            .map_err(|e| CliError::reasoner(&e))?;
+            let (mut implied, mut failed) = (0, 0);
+            for (dep, verdict) in targets.iter().zip(&verdicts) {
                 let c = dep.compile(alg).expect("batch already compiled it");
-                if *ok {
-                    implied += 1;
-                    writeln!(out, "IMPLIED      {}", c.render(alg)).unwrap();
-                } else {
-                    writeln!(out, "NOT IMPLIED  {}", c.render(alg)).unwrap();
+                match verdict {
+                    Ok(true) => {
+                        implied += 1;
+                        writeln!(out, "IMPLIED      {}", c.render(alg)).unwrap();
+                    }
+                    Ok(false) => {
+                        writeln!(out, "NOT IMPLIED  {}", c.render(alg)).unwrap();
+                    }
+                    Err(e) => {
+                        failed += 1;
+                        writeln!(out, "ERROR        {}: {e}", c.render(alg)).unwrap();
+                    }
                 }
             }
-            writeln!(
+            let decided = verdicts.len() - failed;
+            write!(
                 out,
-                "{implied}/{} implied, {} not",
-                verdicts.len(),
-                verdicts.len() - implied
+                "{implied}/{decided} implied, {} not",
+                decided - implied
             )
             .unwrap();
+            if failed > 0 {
+                writeln!(out, ", {failed} failed").unwrap();
+                // Partial results still reach the user (on stderr), but
+                // the process reports the degradation.
+                return Err(CliError::resource(out.trim_end()));
+            }
+            out.push('\n');
         }
         ("prove", [schema, deps, dep]) => {
-            let r = load_reasoner(files, schema, deps)?;
+            let r = load_reasoner(files, schema, deps, budget)?;
             let alg = r.algebra();
-            let target = Dependency::parse(r.attr(), dep)
+            let target = Dependency::parse_with(r.attr(), dep, ParseLimits::from_budget(budget))
                 .map_err(|e| CliError::domain(format!("bad dependency: {e}")))?
                 .compile(alg)
                 .map_err(CliError::domain)?;
+            checkpoint(budget)?;
             match nalist::membership::certify(alg, r.compiled_sigma(), &target) {
                 None => {
                     writeln!(
@@ -322,8 +489,10 @@ pub fn run(args: &[String], files: &dyn Files) -> Result<String, CliError> {
             }
         }
         ("closure", [schema, deps, sub]) => {
-            let r = load_reasoner(files, schema, deps)?;
-            let c = r.closure_str(sub).map_err(CliError::domain)?;
+            let r = load_reasoner(files, schema, deps, budget)?;
+            let c = r
+                .closure_str_governed(sub, budget)
+                .map_err(|e| CliError::reasoner(&e))?;
             writeln!(
                 out,
                 "{}+ = {}",
@@ -333,17 +502,24 @@ pub fn run(args: &[String], files: &dyn Files) -> Result<String, CliError> {
             .unwrap();
         }
         ("basis" | "trace", [schema, deps, sub]) => {
-            let r = load_reasoner(files, schema, deps)?;
+            let r = load_reasoner(files, schema, deps, budget)?;
             let alg = r.algebra();
-            let x = parse_subattr_of(r.attr(), sub)
-                .map_err(|e| CliError::domain(format!("bad subattribute: {e}")))?;
+            let x = nalist::types::parser::parse_subattr_of_with(
+                r.attr(),
+                sub,
+                ParseLimits::from_budget(budget),
+            )
+            .map_err(|e| CliError::domain(format!("bad subattribute: {e}")))?;
             let xs = alg.from_attr(&x).map_err(CliError::domain)?;
+            checkpoint(budget)?;
             if cmd == "trace" {
                 let (basis, trace) = closure_and_basis_traced(alg, r.compiled_sigma(), &xs);
                 out.push_str(&render_trace(alg, r.compiled_sigma(), &trace));
                 out.push_str(&render_result(alg, &basis));
             } else {
-                let basis = r.dependency_basis(&xs);
+                let basis = r
+                    .dependency_basis_governed(&xs, budget)
+                    .map_err(CliError::resource)?;
                 writeln!(out, "X+ = {}", alg.render(&basis.closure)).unwrap();
                 writeln!(out, "DepB(X) ({} elements):", basis.basis.len()).unwrap();
                 for b in &basis.basis {
@@ -352,10 +528,10 @@ pub fn run(args: &[String], files: &dyn Files) -> Result<String, CliError> {
             }
         }
         ("chase", [schema, deps, data]) => {
-            let r = load_reasoner(files, schema, deps)?;
+            let r = load_reasoner(files, schema, deps, budget)?;
             let alg = r.algebra();
             let mut instance = Instance::new(r.attr().clone());
-            let text = files.read(data).map_err(CliError::domain)?;
+            let text = files.read(data).map_err(CliError::file)?;
             for (lineno, line) in text.lines().enumerate() {
                 let line = line.trim();
                 if line.is_empty() || line.starts_with('#') {
@@ -365,7 +541,13 @@ pub fn run(args: &[String], files: &dyn Files) -> Result<String, CliError> {
                     .insert_str(line)
                     .map_err(|e| CliError::domain(format!("{data}:{}: {e}", lineno + 1)))?;
             }
-            match chase(alg, r.compiled_sigma(), &instance, 1 << 16) {
+            match nalist::deps::chase::chase_governed(
+                alg,
+                r.compiled_sigma(),
+                &instance,
+                1 << 16,
+                budget,
+            ) {
                 Ok(result) => {
                     writeln!(
                         out,
@@ -377,14 +559,15 @@ pub fn run(args: &[String], files: &dyn Files) -> Result<String, CliError> {
                         writeln!(out, "  {t}").unwrap();
                     }
                 }
+                Err(ChaseError::Resource(e)) => return Err(CliError::resource(e)),
                 Err(e) => return Err(CliError::domain(format!("chase failed: {e}"))),
             }
         }
         ("verify", [schema, deps, data]) => {
-            let r = load_reasoner(files, schema, deps)?;
+            let r = load_reasoner(files, schema, deps, budget)?;
             let alg = r.algebra();
             let mut instance = Instance::new(r.attr().clone());
-            let text = files.read(data).map_err(CliError::domain)?;
+            let text = files.read(data).map_err(CliError::file)?;
             for (lineno, line) in text.lines().enumerate() {
                 let line = line.trim();
                 if line.is_empty() || line.starts_with('#') {
@@ -397,6 +580,7 @@ pub fn run(args: &[String], files: &dyn Files) -> Result<String, CliError> {
             writeln!(out, "instance: {} tuples", instance.len()).unwrap();
             let mut violated = 0;
             for (i, d) in r.compiled_sigma().iter().enumerate() {
+                checkpoint(budget)?;
                 let ok = instance.satisfies(alg, d);
                 if !ok {
                     violated += 1;
@@ -422,9 +606,10 @@ pub fn run(args: &[String], files: &dyn Files) -> Result<String, CliError> {
             .unwrap();
         }
         ("normalize", [schema, deps]) => {
-            let r = load_reasoner(files, schema, deps)?;
+            let r = load_reasoner(files, schema, deps, budget)?;
             let alg = r.algebra();
             let sigma = r.compiled_sigma();
+            checkpoint(budget)?;
             let redundant = redundant_indices(alg, sigma);
             writeln!(
                 out,
@@ -438,6 +623,7 @@ pub fn run(args: &[String], files: &dyn Files) -> Result<String, CliError> {
             for d in &cover {
                 writeln!(out, "  {}", d.render(alg)).unwrap();
             }
+            checkpoint(budget)?;
             let keys = candidate_keys(alg, sigma, 8);
             writeln!(out, "candidate keys ({}):", keys.len()).unwrap();
             for k in &keys {
@@ -464,9 +650,9 @@ pub fn run(args: &[String], files: &dyn Files) -> Result<String, CliError> {
             }
         }
         ("lattice", [schema, flags @ ..]) => {
-            let n = parse_attr(schema)
-                .map_err(|e| CliError::domain(format!("bad schema attribute: {e}")))?;
-            let alg = Algebra::new(&n);
+            let n = parse_attr_with(schema, ParseLimits::from_budget(budget))
+                .map_err(|e| schema_error(&e))?;
+            let alg = nalist::algebra::Algebra::try_new(&n, budget).map_err(CliError::resource)?;
             let count = nalist::algebra::lattice::sub_count(&n);
             writeln!(out, "N = {n}").unwrap();
             writeln!(
@@ -492,9 +678,13 @@ pub fn run(args: &[String], files: &dyn Files) -> Result<String, CliError> {
         }
         ("lint", [schema, deps, flags @ ..]) => {
             let (deny_warnings, format) = parse_lint_flags(flags)?;
-            let deps_src = files.read(deps).map_err(CliError::domain)?;
-            let report = nalist::lint::lint_spec(schema, &deps_src)
-                .map_err(|e| CliError::domain(format!("bad schema attribute: {e}")))?;
+            let deps_src = files.read(deps).map_err(CliError::file)?;
+            let report = nalist::lint::lint_spec_governed(schema, &deps_src, budget).map_err(
+                |e| match e {
+                    nalist::lint::SpecError::Parse(p) => schema_error(&p),
+                    nalist::lint::SpecError::Resource(r) => CliError::resource(r),
+                },
+            )?;
             let rendered = match format {
                 LintFormat::Human => nalist::lint::render_human(&report, deps, &deps_src),
                 LintFormat::Json => nalist::lint::render_json(&report, deps, &deps_src),
@@ -948,12 +1138,171 @@ mod tests {
         let e = run(&args(&["closure", "L(", "deps.txt", "λ"]), &files()).unwrap_err();
         assert_eq!(e.code, 1);
         assert!(e.message.contains("bad schema"));
-        let e = run(&args(&["closure", SCHEMA, "missing.txt", "λ"]), &files()).unwrap_err();
-        assert!(e.message.contains("no such file"));
         // bad dependency line includes file/line info
         let mut f = files();
         f.0.insert("broken.txt".into(), "Pubcrawl(Zzz) -> λ\n".into());
         let e = run(&args(&["closure", SCHEMA, "broken.txt", "λ"]), &f).unwrap_err();
         assert!(e.message.contains("broken.txt:1"));
+    }
+
+    #[test]
+    fn missing_file_is_exit_code_2_naming_the_path() {
+        for cmd in ["closure", "basis", "trace"] {
+            let e = run(&args(&[cmd, SCHEMA, "missing.txt", "λ"]), &files()).unwrap_err();
+            assert_eq!(e.code, 2, "{cmd}");
+            assert!(e.message.contains("missing.txt"), "{cmd}: {}", e.message);
+        }
+        let e = run(
+            &args(&["verify", SCHEMA, "deps.txt", "nodata.txt"]),
+            &files(),
+        )
+        .unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("nodata.txt"));
+        let e = run(&args(&["lint", "L(A, B)", "nolint.txt"]), &files()).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("nolint.txt"));
+    }
+
+    #[test]
+    fn empty_deps_and_queries_files_succeed() {
+        let mut f = files();
+        f.0.insert("empty.txt".into(), String::new());
+        let out = run(
+            &args(&[
+                "check",
+                SCHEMA,
+                "empty.txt",
+                "Pubcrawl(Person) -> Pubcrawl(Person)",
+            ]),
+            &f,
+        )
+        .unwrap();
+        assert!(out.starts_with("IMPLIED"), "{out}");
+        let out = run(&args(&["batch", SCHEMA, "deps.txt", "empty.txt"]), &f).unwrap();
+        assert_eq!(out, "0/0 implied, 0 not\n");
+        let out = run(&args(&["lint", "L(A, B)", "empty.txt"]), &f).unwrap();
+        assert_eq!(out, "");
+    }
+
+    #[test]
+    fn global_flags_are_extracted_anywhere() {
+        let (rest, _) = extract_global_flags(&args(&[
+            "check",
+            "--timeout",
+            "5000",
+            SCHEMA,
+            "--max-atoms",
+            "64",
+            "deps.txt",
+            "x",
+            "--max-depth",
+            "32",
+        ]))
+        .unwrap();
+        assert_eq!(rest, args(&["check", SCHEMA, "deps.txt", "x"]));
+        // value errors are usage errors
+        let e = extract_global_flags(&args(&["check", "--timeout"])).unwrap_err();
+        assert_eq!(e.code, 2);
+        let e = extract_global_flags(&args(&["check", "--timeout", "soon"])).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("--timeout"), "{}", e.message);
+    }
+
+    #[test]
+    fn max_atoms_flag_yields_exit_code_3() {
+        let e = run(
+            &args(&[
+                "--max-atoms",
+                "2",
+                "closure",
+                SCHEMA,
+                "deps.txt",
+                "Pubcrawl(Person)",
+            ]),
+            &files(),
+        )
+        .unwrap_err();
+        assert_eq!(e.code, EXIT_RESOURCE);
+        assert!(e.message.contains("basis attributes"), "{}", e.message);
+        // lattice enforces it too
+        let e = run(&args(&["lattice", SCHEMA, "--max-atoms", "2"]), &files()).unwrap_err();
+        assert_eq!(e.code, EXIT_RESOURCE);
+    }
+
+    #[test]
+    fn max_depth_flag_rejects_deep_schemas_with_exit_code_3() {
+        // Depth violations are parse errors, but they honour the
+        // resource contract `--max-depth` documents: exit code 3.
+        let e = run(
+            &args(&[
+                "--max-depth",
+                "1",
+                "closure",
+                SCHEMA,
+                "deps.txt",
+                "Pubcrawl(Person)",
+            ]),
+            &files(),
+        )
+        .unwrap_err();
+        assert_eq!(e.code, EXIT_RESOURCE);
+        assert!(e.message.contains("nesting deeper"), "{}", e.message);
+    }
+
+    #[test]
+    fn expired_timeout_yields_exit_code_3() {
+        let e = run(
+            &args(&["--timeout", "0", "normalize", SCHEMA, "deps.txt"]),
+            &files(),
+        )
+        .unwrap_err();
+        assert_eq!(e.code, EXIT_RESOURCE);
+        assert!(e.message.contains("deadline"), "{}", e.message);
+    }
+
+    #[test]
+    fn batch_reports_per_item_errors_and_exit_code_3() {
+        use nalist::guard::{FailAction, FailPoint, INJECTED_PANIC};
+        let mut f = files();
+        f.0.insert(
+            "queries.txt".to_string(),
+            "Pubcrawl(Person) -> Pubcrawl(Visit[λ])\n\
+             Pubcrawl(Visit[λ]) -> Pubcrawl(Person)\n\
+             Pubcrawl(Visit[Drink(Beer)]) ->> Pubcrawl(Visit[Drink(Pub)])\n"
+                .to_string(),
+        );
+        // Panic injected into the second distinct closure computation:
+        // that one query degrades to an ERROR line, the others still get
+        // verdicts, and the command exits 3.
+        let budget = Budget::unlimited().with_failpoint(FailPoint::nth(
+            "membership::closure",
+            1,
+            FailAction::Panic,
+        ));
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let e = run_with_budget(
+            &args(&["batch", SCHEMA, "deps.txt", "queries.txt", "--threads", "1"]),
+            &f,
+            &budget,
+        )
+        .unwrap_err();
+        std::panic::set_hook(prev);
+        assert_eq!(e.code, EXIT_RESOURCE);
+        assert!(e.message.contains("ERROR"), "{}", e.message);
+        assert!(e.message.contains(INJECTED_PANIC), "{}", e.message);
+        assert!(e.message.contains("IMPLIED"), "{}", e.message);
+        assert!(e.message.contains("1 failed"), "{}", e.message);
+    }
+
+    #[test]
+    fn usage_text_documents_global_flags_and_exit_codes() {
+        let text = usage_text();
+        for f in GLOBAL_FLAGS {
+            assert!(text.contains(f.name), "usage misses {}", f.name);
+        }
+        assert!(text.contains("exit codes"));
+        assert!(text.contains("3 resource budget exhausted"));
     }
 }

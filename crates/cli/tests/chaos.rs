@@ -1,0 +1,174 @@
+//! Chaos harness: every CLI command, fed every pathological input in
+//! the chaos corpus, must terminate within its deadline with exit code
+//! 0, 1, 2 or 3 — never a panic, never a runaway computation.
+//!
+//! Runs [`nalist_cli::run`] in-process (through the [`Files`] seam) so a
+//! panic anywhere in the stack is caught by `catch_unwind` and failed
+//! loudly, and wall-clock per invocation can be asserted directly.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use nalist::gen::chaos::{corpus, Expectation};
+use nalist::guard::{Budget, FailAction, FailPoint};
+use nalist_cli::{run, run_with_budget, Files};
+
+struct MemFiles(BTreeMap<String, String>);
+
+impl Files for MemFiles {
+    fn read(&self, path: &str) -> Result<String, String> {
+        self.0
+            .get(path)
+            .cloned()
+            .ok_or_else(|| format!("no such file: {path}"))
+    }
+}
+
+const TIMEOUT_MS: u64 = 2_000;
+
+/// Every command template exercised against each corpus case. `{s}` is
+/// the schema (passed inline), file names resolve through [`MemFiles`].
+const COMMAND_TEMPLATES: &[&[&str]] = &[
+    &["check", "{s}", "deps.txt", "λ -> λ"],
+    &["batch", "{s}", "deps.txt", "deps.txt"],
+    &["prove", "{s}", "deps.txt", "λ -> λ"],
+    &["closure", "{s}", "deps.txt", "λ"],
+    &["basis", "{s}", "deps.txt", "λ"],
+    &["trace", "{s}", "deps.txt", "λ"],
+    &["verify", "{s}", "deps.txt", "data.txt"],
+    &["chase", "{s}", "deps.txt", "data.txt"],
+    &["normalize", "{s}", "deps.txt"],
+    &["lint", "{s}", "deps.txt"],
+    &["lattice", "{s}"],
+];
+
+fn invoke(argv: &[String], files: &MemFiles) -> (i32, Duration) {
+    let started = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| run(argv, files)));
+    let elapsed = started.elapsed();
+    let code = match outcome {
+        Ok(Ok(_)) => 0,
+        Ok(Err(e)) => e.code,
+        Err(_) => panic!("PANIC escaped `run` for argv {argv:?}"),
+    };
+    (code, elapsed)
+}
+
+#[test]
+fn every_command_survives_the_whole_corpus() {
+    for case in corpus() {
+        let mut files = BTreeMap::new();
+        files.insert("deps.txt".to_string(), case.deps.clone());
+        files.insert("data.txt".to_string(), String::new());
+        let files = MemFiles(files);
+        for template in COMMAND_TEMPLATES {
+            let mut argv: Vec<String> = template
+                .iter()
+                .map(|a| {
+                    if *a == "{s}" {
+                        case.schema.clone()
+                    } else {
+                        (*a).to_string()
+                    }
+                })
+                .collect();
+            argv.extend(
+                [
+                    "--timeout",
+                    &TIMEOUT_MS.to_string(),
+                    "--max-atoms",
+                    "512",
+                    "--max-depth",
+                    "256",
+                ]
+                .iter()
+                .map(|s| (*s).to_string()),
+            );
+            let (code, elapsed) = invoke(&argv, &files);
+            assert!(
+                (0..=3).contains(&code),
+                "case {} / {}: exit code {code} outside 0..=3",
+                case.name,
+                template[0]
+            );
+            // The hard ceiling from the failure model: never more than
+            // 2x the budget (plus scheduling slack).
+            assert!(
+                elapsed < Duration::from_millis(2 * TIMEOUT_MS + 250),
+                "case {} / {}: took {elapsed:?} against a {TIMEOUT_MS} ms budget",
+                case.name,
+                template[0]
+            );
+            if case.expect == Expectation::Accept {
+                assert!(
+                    code != 2 && code != 3,
+                    "case {} / {}: valid input rejected with exit code {code}",
+                    case.name,
+                    template[0]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn expired_deadline_is_exit_code_3_everywhere() {
+    let mut files = BTreeMap::new();
+    files.insert("deps.txt".to_string(), "L(A) -> L(B)\n".to_string());
+    files.insert("data.txt".to_string(), String::new());
+    let files = MemFiles(files);
+    for template in COMMAND_TEMPLATES {
+        if template[0] == "lattice" {
+            // lattice charges no per-step fuel on tiny inputs; covered by
+            // the atom cap instead.
+            continue;
+        }
+        let mut argv: Vec<String> = template
+            .iter()
+            .map(|a| {
+                if *a == "{s}" {
+                    "L(A, B)".to_string()
+                } else {
+                    (*a).to_string()
+                }
+            })
+            .collect();
+        argv.extend(["--timeout", "0"].iter().map(|s| (*s).to_string()));
+        let (code, _) = invoke(&argv, &files);
+        assert_eq!(code, 3, "{}: expected resource exhaustion", template[0]);
+    }
+}
+
+#[test]
+fn injected_fuel_exhaustion_in_closure_is_exit_code_3() {
+    let mut files = BTreeMap::new();
+    files.insert("deps.txt".to_string(), "L(A) -> L(B)\n".to_string());
+    let files = MemFiles(files);
+    let budget = Budget::unlimited().with_failpoint(FailPoint::every(
+        "membership::closure",
+        FailAction::ExhaustFuel,
+    ));
+    let argv: Vec<String> = ["closure", "L(A, B)", "deps.txt", "L(A)"]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+    let e = run_with_budget(&argv, &files, &budget).unwrap_err();
+    assert_eq!(e.code, 3);
+}
+
+#[test]
+fn injected_chase_fault_is_exit_code_3() {
+    let mut files = BTreeMap::new();
+    files.insert("deps.txt".to_string(), "L(A) ->> L(B)\n".to_string());
+    files.insert("data.txt".to_string(), "(a, b, c)\n".to_string());
+    let files = MemFiles(files);
+    let budget = Budget::unlimited()
+        .with_failpoint(FailPoint::every("deps::chase", FailAction::ExhaustFuel));
+    let argv: Vec<String> = ["chase", "L(A, B, C)", "deps.txt", "data.txt"]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+    let e = run_with_budget(&argv, &files, &budget).unwrap_err();
+    assert_eq!(e.code, 3);
+}

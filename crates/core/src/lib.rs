@@ -54,6 +54,7 @@ pub mod theory;
 pub use nalist_algebra as algebra;
 pub use nalist_deps as deps;
 pub use nalist_gen as gen;
+pub use nalist_guard as guard;
 pub use nalist_lint as lint;
 pub use nalist_membership as membership;
 pub use nalist_schema as schema;
@@ -65,17 +66,20 @@ pub mod prelude {
     pub use nalist_deps::{
         chase, parse_sigma, ChaseError, ChaseResult, CompiledDep, DepKind, Dependency, Instance,
     };
+    pub use nalist_guard::{Budget, CancelToken, ResourceExhausted, ResourceKind};
     pub use nalist_membership::{
-        certified_closure_and_basis, certify, closure_and_basis, closure_and_basis_paper,
-        closure_and_basis_traced, implies, refute, CertifiedBasis, DependencyBasis, Reasoner,
-        Witness,
+        certified_closure_and_basis, certify, closure_and_basis, closure_and_basis_governed,
+        closure_and_basis_paper, closure_and_basis_traced, implies, refute, CertifiedBasis,
+        DependencyBasis, QueryError, Reasoner, ReasonerError, Witness,
     };
     pub use nalist_schema::{
         binary_split, candidate_keys, decompose_4nf, equivalent, is_fourth_nf, is_superkey,
         minimal_cover, verify_lossless,
     };
-    pub use nalist_types::parser::{parse_attr, parse_subattr_of, parse_value};
-    pub use nalist_types::{NestedAttr, Universe, Value};
+    pub use nalist_types::parser::{
+        parse_attr, parse_attr_with, parse_subattr_of, parse_value, ParseLimits,
+    };
+    pub use nalist_types::{NestedAttr, ParseError, Universe, Value};
 }
 
 #[cfg(test)]

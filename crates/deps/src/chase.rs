@@ -16,6 +16,7 @@
 //! reported rather than chased.
 
 use nalist_algebra::Algebra;
+use nalist_guard::{Budget, ResourceExhausted};
 use nalist_types::parser::DepKind;
 use nalist_types::value::Value;
 
@@ -64,6 +65,9 @@ pub enum ChaseError {
         /// The configured bound.
         max_tuples: usize,
     },
+    /// The chase ran out of its resource [`Budget`] (fuel, deadline or
+    /// cancellation) before reaching a fixpoint.
+    Resource(ResourceExhausted),
 }
 
 impl std::fmt::Display for ChaseError {
@@ -80,6 +84,7 @@ impl std::fmt::Display for ChaseError {
             ChaseError::TooLarge { max_tuples } => {
                 write!(f, "chase exceeded {max_tuples} tuples")
             }
+            ChaseError::Resource(e) => write!(f, "chase stopped: {e}"),
         }
     }
 }
@@ -94,6 +99,23 @@ pub fn chase(
     instance: &Instance,
     max_tuples: usize,
 ) -> Result<ChaseResult, ChaseError> {
+    chase_governed(alg, sigma, instance, max_tuples, &Budget::unlimited())
+}
+
+/// [`chase`] under a resource [`Budget`]: fuel is charged per projected
+/// tuple and per attempted recombination (the two places where chase work
+/// actually accrues), so runaway fixpoints stop with
+/// [`ChaseError::Resource`] instead of spinning past their deadline.
+pub fn chase_governed(
+    alg: &Algebra,
+    sigma: &[CompiledDep],
+    instance: &Instance,
+    max_tuples: usize,
+    budget: &Budget,
+) -> Result<ChaseResult, ChaseError> {
+    budget
+        .failpoint("deps::chase")
+        .map_err(ChaseError::Resource)?;
     let mut r = instance.clone();
     let original = instance.len();
     let mut rounds = 0usize;
@@ -111,6 +133,7 @@ pub fn chase(
             use std::collections::BTreeMap;
             let mut groups: BTreeMap<Value, Vec<(Value, Value, Value)>> = BTreeMap::new();
             for t in r.iter() {
+                budget.charge(1).map_err(ChaseError::Resource)?;
                 let px = nalist_types::projection::project_unchecked(r.attr(), &x_attr, t)
                     .expect("tuples conform");
                 let pl = nalist_types::projection::project_unchecked(r.attr(), &left_attr, t)
@@ -122,6 +145,7 @@ pub fn chase(
             for members in groups.values() {
                 for (l1, _, t1) in members {
                     for (_, r2, t2) in members {
+                        budget.charge(1).map_err(ChaseError::Resource)?;
                         match merge_values(&left_attr, &right_attr, l1, r2) {
                             Some(t) => {
                                 if !r.contains(&t) {
@@ -278,6 +302,38 @@ mod tests {
         let out = chase(&alg, &sigma, &r, 100).unwrap();
         assert!(out.instance.satisfies_all(&alg, &sigma));
         assert!(out.instance.len() >= 8, "{}", out.instance.len());
+    }
+
+    #[test]
+    fn governed_chase_stops_at_fuel() {
+        let (alg, sigma) = setup("L(A, B, C, D)", &["L(A) ->> L(B)", "L(A) ->> L(C)"]);
+        let r = Instance::from_strs(alg.attr().clone(), &["(a, b1, c1, d1)", "(a, b2, c2, d2)"])
+            .unwrap();
+        let starved = Budget::unlimited().with_fuel(3);
+        match chase_governed(&alg, &sigma, &r, 100, &starved) {
+            Err(ChaseError::Resource(e)) => {
+                assert_eq!(e.kind, nalist_guard::ResourceKind::Fuel);
+            }
+            other => panic!("expected Resource, got {other:?}"),
+        }
+        // With ample fuel the governed chase agrees with the ungoverned one.
+        let roomy = Budget::unlimited().with_fuel(1_000_000);
+        let out = chase_governed(&alg, &sigma, &r, 100, &roomy).unwrap();
+        assert_eq!(out.instance, chase(&alg, &sigma, &r, 100).unwrap().instance);
+    }
+
+    #[test]
+    fn governed_chase_failpoint() {
+        let (alg, sigma) = setup("L(A, B, C)", &["L(A) ->> L(B)"]);
+        let r = Instance::from_strs(alg.attr().clone(), &["(a, b1, c1)"]).unwrap();
+        let b = Budget::unlimited().with_failpoint(nalist_guard::FailPoint::every(
+            "deps::chase",
+            nalist_guard::FailAction::ExhaustFuel,
+        ));
+        assert!(matches!(
+            chase_governed(&alg, &sigma, &r, 100, &b),
+            Err(ChaseError::Resource(_))
+        ));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::fmt;
 use nalist_algebra::{Algebra, AtomSet};
 use nalist_types::attr::NestedAttr;
 use nalist_types::error::{ParseError, TypeError};
-use nalist_types::parser::{parse_dependency_of, DepKind};
+use nalist_types::parser::{parse_dependency_of, parse_dependency_of_with, DepKind, ParseLimits};
 
 /// A dependency `X → Y` (FD) or `X ↠ Y` (MVD) with tree-level sides.
 ///
@@ -45,6 +45,12 @@ impl Dependency {
     /// abbreviated notation, resolved against the ambient attribute `n`.
     pub fn parse(n: &NestedAttr, src: &str) -> Result<Self, ParseError> {
         let (kind, lhs, rhs) = parse_dependency_of(n, src)?;
+        Ok(Dependency { kind, lhs, rhs })
+    }
+
+    /// [`Dependency::parse`] with explicit [`ParseLimits`].
+    pub fn parse_with(n: &NestedAttr, src: &str, limits: ParseLimits) -> Result<Self, ParseError> {
+        let (kind, lhs, rhs) = parse_dependency_of_with(n, src, limits)?;
         Ok(Dependency { kind, lhs, rhs })
     }
 
@@ -159,10 +165,19 @@ impl CompiledDep {
 /// Parses a whole set `Σ` of dependencies, one per line (blank lines and
 /// `#` comments ignored).
 pub fn parse_sigma(n: &NestedAttr, src: &str) -> Result<Vec<Dependency>, ParseError> {
+    parse_sigma_with(n, src, ParseLimits::default())
+}
+
+/// [`parse_sigma`] with explicit [`ParseLimits`].
+pub fn parse_sigma_with(
+    n: &NestedAttr,
+    src: &str,
+    limits: ParseLimits,
+) -> Result<Vec<Dependency>, ParseError> {
     src.lines()
         .map(str::trim)
         .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .map(|l| Dependency::parse(n, l))
+        .map(|l| Dependency::parse_with(n, l, limits))
         .collect()
 }
 

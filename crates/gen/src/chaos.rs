@@ -1,0 +1,232 @@
+//! Pathological inputs for fault-tolerance testing.
+//!
+//! Every case in [`corpus`] is something a hostile (or merely unlucky)
+//! user could feed the toolchain: schemas nested thousands of levels
+//! deep, megabyte-long identifiers, atom-count bombs, byte-order marks,
+//! CRLF and NUL bytes, truncated dependency lines, and names that look
+//! like filesystem paths. The contract under test is uniform — every
+//! public entry point, given any of these, either succeeds or returns a
+//! structured error within its deadline. It never panics and never runs
+//! unbounded.
+//!
+//! Fault *injection* (as opposed to hostile input) is the other half of
+//! the chaos harness: [`FailPoint`]s, re-exported here from
+//! `nalist-guard`, let a test make a specific internal site fail or
+//! panic on its nth execution.
+
+pub use nalist_guard::{FailAction, FailPoint, INJECTED_PANIC};
+
+/// One pathological spec: a schema source and a dependency-file source,
+/// plus the coarse outcome the harness should expect.
+#[derive(Debug, Clone)]
+pub struct ChaosCase {
+    /// Short unique identifier, used in test output.
+    pub name: &'static str,
+    /// The schema file contents (one nested attribute, possibly mangled).
+    pub schema: String,
+    /// The dependency file contents (possibly mangled).
+    pub deps: String,
+    /// Whether a correct implementation can accept this input at all.
+    pub expect: Expectation,
+}
+
+/// The coarse contract for a chaos case. Deliberately loose — the
+/// harness asserts *termination with a structured outcome*, not specific
+/// answers — but distinguishing the two keeps accidental rejections of
+/// valid input visible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expectation {
+    /// Valid input: must load (possibly with diagnostics), never error.
+    Accept,
+    /// Invalid or resource-hostile input: a structured error (parse,
+    /// domain or resource) is acceptable; success is too, if the
+    /// implementation is generous. Only a panic or a hang is a failure.
+    Survive,
+}
+
+/// A schema nested far beyond any sane limit, properly closed.
+pub fn depth_bomb(depth: usize) -> String {
+    let mut s = String::with_capacity(depth * 3 + 1);
+    for _ in 0..depth {
+        s.push_str("L[");
+    }
+    s.push('λ');
+    for _ in 0..depth {
+        s.push(']');
+    }
+    s
+}
+
+/// A depth bomb with the closing brackets missing: deep *and* truncated.
+pub fn truncated_depth_bomb(depth: usize) -> String {
+    "L[".repeat(depth)
+}
+
+/// A record with `width` distinct flat attributes: `|SubB(N)| = width`,
+/// so the subattribute lattice has `2^width` elements.
+pub fn atom_bomb(width: usize) -> String {
+    let mut s = String::from("Bomb(");
+    for i in 0..width {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push('A');
+        s.push_str(&i.to_string());
+    }
+    s.push(')');
+    s
+}
+
+/// A schema whose single attribute name is `len` bytes long.
+pub fn megabyte_identifier(len: usize) -> String {
+    format!("L({})", "A".repeat(len))
+}
+
+/// The full corpus, in a deterministic order.
+#[must_use]
+pub fn corpus() -> Vec<ChaosCase> {
+    let plain_dep = "L(A) -> L(B)\n".to_owned();
+    vec![
+        ChaosCase {
+            name: "empty_schema",
+            schema: String::new(),
+            deps: String::new(),
+            expect: Expectation::Survive,
+        },
+        ChaosCase {
+            name: "empty_deps",
+            schema: "L(A, B)".to_owned(),
+            deps: String::new(),
+            expect: Expectation::Accept,
+        },
+        ChaosCase {
+            name: "comment_only_deps",
+            schema: "L(A, B)".to_owned(),
+            deps: "# nothing here\n\n   \n# still nothing\n".to_owned(),
+            expect: Expectation::Accept,
+        },
+        ChaosCase {
+            name: "depth_bomb_closed",
+            schema: depth_bomb(4096),
+            deps: String::new(),
+            expect: Expectation::Survive,
+        },
+        ChaosCase {
+            name: "depth_bomb_truncated",
+            schema: truncated_depth_bomb(65_536),
+            deps: String::new(),
+            expect: Expectation::Survive,
+        },
+        ChaosCase {
+            name: "depth_bomb_in_dependency",
+            schema: "L(A, B)".to_owned(),
+            deps: format!("L(A) -> {}\n", truncated_depth_bomb(4096)),
+            expect: Expectation::Survive,
+        },
+        ChaosCase {
+            name: "atom_bomb_wide",
+            schema: atom_bomb(10_000),
+            deps: plain_dep.clone(),
+            expect: Expectation::Survive,
+        },
+        ChaosCase {
+            name: "megabyte_identifier",
+            schema: megabyte_identifier(1 << 20),
+            deps: String::new(),
+            expect: Expectation::Survive,
+        },
+        ChaosCase {
+            name: "bom_prefixed_schema",
+            schema: "\u{feff}L(A, B)".to_owned(),
+            deps: plain_dep.clone(),
+            expect: Expectation::Survive,
+        },
+        ChaosCase {
+            name: "crlf_deps",
+            schema: "L(A, B)".to_owned(),
+            deps: "L(A) -> L(B)\r\nL(B) ->> L(A)\r\n".to_owned(),
+            expect: Expectation::Accept,
+        },
+        ChaosCase {
+            name: "nul_byte_in_schema",
+            schema: "L(A\0B)".to_owned(),
+            deps: String::new(),
+            expect: Expectation::Survive,
+        },
+        ChaosCase {
+            name: "nul_byte_in_deps",
+            schema: "L(A, B)".to_owned(),
+            deps: "L(A) -> L(B\0)\n".to_owned(),
+            expect: Expectation::Survive,
+        },
+        ChaosCase {
+            name: "truncated_dependency",
+            schema: "L(A, B)".to_owned(),
+            deps: "L(A) ->\n".to_owned(),
+            expect: Expectation::Survive,
+        },
+        ChaosCase {
+            name: "arrow_soup",
+            schema: "L(A, B)".to_owned(),
+            deps: "-> ->> -> L(A)\n->>->\n".to_owned(),
+            expect: Expectation::Survive,
+        },
+        ChaosCase {
+            name: "duplicate_attribute_names",
+            schema: "L(A, A)".to_owned(),
+            deps: "L(A) -> L(A, A)\n".to_owned(),
+            expect: Expectation::Survive,
+        },
+        ChaosCase {
+            name: "path_like_identifiers",
+            // Identifiers that look like relative filesystem paths must
+            // be treated as opaque names, never dereferenced.
+            schema: "Dir(DotDotSlashEtc, SelfDir, Con, Nul)".to_owned(),
+            deps: "Dir(DotDotSlashEtc) -> Dir(SelfDir)\n".to_owned(),
+            expect: Expectation::Accept,
+        },
+        ChaosCase {
+            name: "unbalanced_brackets",
+            schema: "L(A, B]".to_owned(),
+            deps: String::new(),
+            expect: Expectation::Survive,
+        },
+        ChaosCase {
+            name: "whitespace_soup",
+            schema: "  \t  L(A, B)  \t ".to_owned(),
+            deps: "   L(A)   ->    L(B)   \n\t\n".to_owned(),
+            expect: Expectation::Accept,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_with_unique_names() {
+        let a = corpus();
+        let b = corpus();
+        assert_eq!(a.len(), b.len());
+        let mut names: Vec<&str> = a.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), a.len(), "duplicate case names");
+    }
+
+    #[test]
+    fn bombs_have_the_advertised_shape() {
+        assert!(megabyte_identifier(1 << 20).len() > 1 << 20);
+        assert_eq!(truncated_depth_bomb(3), "L[L[L[");
+        assert_eq!(depth_bomb(2), "L[L[λ]]");
+        let bomb = atom_bomb(100);
+        assert_eq!(bomb.matches(',').count(), 99);
+    }
+
+    #[test]
+    fn failpoint_reexport_is_usable() {
+        let fp = FailPoint::every("chaos::test", FailAction::ExhaustFuel);
+        assert_eq!(fp.site(), "chaos::test");
+    }
+}

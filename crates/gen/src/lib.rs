@@ -10,18 +10,23 @@
 //! * [`scenarios`] — fixed named workloads: the paper's pub-crawl
 //!   example, a genomic sequence database, and an XML-style order store;
 //! * [`defects`] — seeders that plant a known defect (trivial, duplicate,
-//!   subsumed, inflated LHS) into a Σ, for exercising the lint rules.
+//!   subsumed, inflated LHS) into a Σ, for exercising the lint rules;
+//! * [`chaos`] — pathological corpora (depth bombs, atom bombs, megabyte
+//!   identifiers, mangled spec files) and fail-point re-exports for the
+//!   fault-tolerance harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod attr_gen;
+pub mod chaos;
 pub mod defects;
 pub mod instance_gen;
 pub mod scenarios;
 pub mod sigma_gen;
 
 pub use attr_gen::{attr_with_atoms, flat_attr, random_attr, AttrConfig};
+pub use chaos::{ChaosCase, Expectation};
 pub use defects::{render_sigma, seed_duplicate, seed_inflated_lhs, seed_trivial, seed_weakened};
 pub use instance_gen::{random_instance, random_value, satisfying_instance, InstanceConfig};
 pub use scenarios::Scenario;

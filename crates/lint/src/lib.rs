@@ -50,8 +50,9 @@ pub mod spec;
 
 pub use diagnostic::{render_human, render_json, Diagnostic, LintReport, Severity};
 pub use rules::{rules, run_rules, LintCtx, Rule};
-pub use spec::{load_spec, Entry, Spec};
+pub use spec::{load_spec, load_spec_governed, Entry, Spec, SpecError};
 
+use nalist_guard::Budget;
 use nalist_types::error::ParseError;
 use nalist_types::Span;
 
@@ -61,10 +62,28 @@ use nalist_types::Span;
 /// not parse; all dependency-file problems come back as diagnostics.
 pub fn lint_spec(schema_src: &str, deps_src: &str) -> Result<LintReport, ParseError> {
     let spec = load_spec(schema_src, deps_src)?;
+    Ok(report_for(&spec))
+}
+
+/// [`lint_spec`] under a resource budget: spec loading parses, builds the
+/// algebra and walks the dependency file governed (see
+/// [`load_spec_governed`]); exhaustion surfaces as
+/// [`SpecError::Resource`] instead of a partial report.
+pub fn lint_spec_governed(
+    schema_src: &str,
+    deps_src: &str,
+    budget: &Budget,
+) -> Result<LintReport, SpecError> {
+    let spec = load_spec_governed(schema_src, deps_src, budget)?;
+    budget.check_deadline()?;
+    Ok(report_for(&spec))
+}
+
+fn report_for(spec: &Spec) -> LintReport {
     let mut diagnostics = spec.load_diagnostics.clone();
-    diagnostics.extend(run_rules(&spec));
+    diagnostics.extend(run_rules(spec));
     diagnostics.sort_by_key(|d| (d.span.start, d.code));
-    Ok(LintReport { diagnostics })
+    LintReport { diagnostics }
 }
 
 /// Convenience for tests and tools: lint and render in one call.

@@ -11,14 +11,53 @@
 
 use nalist_algebra::Algebra;
 use nalist_deps::{CompiledDep, Dependency};
+use nalist_guard::{Budget, ResourceExhausted};
 use nalist_types::attr::NestedAttr;
 use nalist_types::error::ParseError;
 use nalist_types::parser::{
-    parse_attr, parse_dependency_spanned, resolve_loose, SpannedDependency, SpannedLoose,
+    parse_attr_with, parse_dependency_spanned_with, resolve_loose, ParseLimits, SpannedDependency,
+    SpannedLoose,
 };
 use nalist_types::Span;
 
 use crate::diagnostic::{Diagnostic, Severity};
+
+/// Hard failures from governed spec loading. Dependency-*line* problems
+/// never land here — they become diagnostics in the returned [`Spec`];
+/// this type covers only the schema itself being unusable or the budget
+/// running dry mid-load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The schema attribute failed to parse (including exceeding the
+    /// nesting limit derived from the budget).
+    Parse(ParseError),
+    /// The budget was exhausted while building the algebra or walking
+    /// the dependency file.
+    Resource(ResourceExhausted),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Parse(e) => write!(f, "schema error: {e}"),
+            SpecError::Resource(e) => write!(f, "spec loading stopped: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<ParseError> for SpecError {
+    fn from(e: ParseError) -> Self {
+        SpecError::Parse(e)
+    }
+}
+
+impl From<ResourceExhausted> for SpecError {
+    fn from(e: ResourceExhausted) -> Self {
+        SpecError::Resource(e)
+    }
+}
 
 /// Rule code for syntax errors in the dependency file.
 pub const SYNTAX: &str = "L000";
@@ -63,8 +102,29 @@ pub struct Spec {
 /// *schema* itself is unparseable — dependency-file problems become
 /// diagnostics in the returned [`Spec`].
 pub fn load_spec(schema_src: &str, deps_src: &str) -> Result<Spec, ParseError> {
-    let n = parse_attr(schema_src.trim())?;
-    let alg = Algebra::new(&n);
+    match load_spec_governed(schema_src, deps_src, &Budget::unlimited()) {
+        Ok(spec) => Ok(spec),
+        Err(SpecError::Parse(e)) => Err(e),
+        Err(SpecError::Resource(e)) => {
+            unreachable!("unlimited budget cannot be exhausted: {e}")
+        }
+    }
+}
+
+/// [`load_spec`] under a resource budget: the schema (and every
+/// dependency line) parses under the budget's nesting limit, the algebra
+/// construction respects its atom cap and fuel, and each processed line
+/// charges one unit of fuel. A dependency line that is nested too deeply
+/// is *not* a hard error — it degrades to an L000 diagnostic like any
+/// other malformed line.
+pub fn load_spec_governed(
+    schema_src: &str,
+    deps_src: &str,
+    budget: &Budget,
+) -> Result<Spec, SpecError> {
+    let limits = ParseLimits::from_budget(budget);
+    let n = parse_attr_with(schema_src.trim(), limits)?;
+    let alg = Algebra::try_new(&n, budget)?;
     let mut entries = Vec::new();
     let mut load_diagnostics = Vec::new();
     let mut offset = 0usize;
@@ -73,7 +133,8 @@ pub fn load_spec(schema_src: &str, deps_src: &str) -> Result<Spec, ParseError> {
         let line = raw.strip_suffix('\n').unwrap_or(raw);
         let line = line.strip_suffix('\r').unwrap_or(line);
         if !line.trim().is_empty() && !line.trim_start().starts_with('#') {
-            match load_line(&n, &alg, line, line_no, offset) {
+            budget.charge(1)?;
+            match load_line(&n, &alg, line, line_no, offset, limits) {
                 Ok(entry) => entries.push(entry),
                 Err(d) => load_diagnostics.push(d),
             }
@@ -94,9 +155,10 @@ fn load_line(
     line: &str,
     line_no: usize,
     offset: usize,
+    limits: ParseLimits,
 ) -> Result<Entry, Diagnostic> {
-    let mut spanned =
-        parse_dependency_spanned(line).map_err(|e| syntax_diagnostic(&e, line, offset))?;
+    let mut spanned = parse_dependency_spanned_with(line, limits)
+        .map_err(|e| syntax_diagnostic(&e, line, offset))?;
     let lhs = resolve_side(n, &spanned.lhs, line, offset)?;
     let rhs = resolve_side(n, &spanned.rhs, line, offset)?;
     shift_spans(&mut spanned, offset);
@@ -134,7 +196,7 @@ fn syntax_diagnostic(e: &ParseError, line: &str, offset: usize) -> Diagnostic {
     // Map the parser's byte position (relative to the line) to a
     // file-global span pointing at the offending character(s).
     let span = match e {
-        ParseError::Unexpected { at, .. } => {
+        ParseError::Unexpected { at, .. } | ParseError::TooDeep { at, .. } => {
             let width = line[*at..].chars().next().map_or(1, char::len_utf8);
             Span::new(at + offset, at + width + offset)
         }
@@ -261,6 +323,8 @@ fn levenshtein(a: &str, b: &str) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nalist_guard::ResourceKind;
+    use nalist_types::parser::parse_attr;
 
     const SCHEMA: &str = "Pubcrawl(Person, Visit[Drink(Beer, Pub)])";
 
@@ -344,6 +408,54 @@ mod tests {
         assert_eq!(spec.entries.len(), 1);
         assert_eq!(spec.entries[0].line, 2);
         assert_eq!(spec.load_diagnostics.len(), 1);
+    }
+
+    #[test]
+    fn depth_bomb_line_degrades_to_l000() {
+        // A pathologically nested dependency line must not take the whole
+        // spec down: it becomes an L000 diagnostic whose span points at
+        // the bracket that crossed the limit, and later lines still load.
+        let bomb = format!(
+            "Pubcrawl(Person) -> {}λ{}\n",
+            "Visit[".repeat(200),
+            "]".repeat(200)
+        );
+        let deps = format!("{bomb}Pubcrawl(Person) -> Pubcrawl(Visit[λ])\n");
+        let spec = load_spec(SCHEMA, &deps).unwrap();
+        assert_eq!(spec.entries.len(), 1);
+        assert_eq!(spec.entries[0].line, 2);
+        assert_eq!(spec.load_diagnostics.len(), 1);
+        let d = &spec.load_diagnostics[0];
+        assert_eq!(d.code, SYNTAX);
+        assert!(d.message.contains("nesting deeper"));
+        assert_eq!(d.span.text(&deps), "[");
+    }
+
+    #[test]
+    fn governed_load_charges_per_line() {
+        let deps = "Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])\n\
+                    Pubcrawl(Person) -> Pubcrawl(Visit[λ])\n";
+        // Ample budget: identical to the ungoverned load.
+        let ok = load_spec_governed(SCHEMA, deps, &Budget::unlimited().with_fuel(10_000)).unwrap();
+        assert_eq!(ok.entries.len(), 2);
+        // Starved budget: the algebra construction and the first line eat
+        // the fuel and the load reports exhaustion rather than a partial
+        // spec.
+        let err = load_spec_governed(SCHEMA, deps, &Budget::unlimited().with_fuel(3)).unwrap_err();
+        match err {
+            SpecError::Resource(e) => assert_eq!(e.kind, ResourceKind::Fuel),
+            SpecError::Parse(e) => panic!("expected resource exhaustion, got {e}"),
+        }
+    }
+
+    #[test]
+    fn governed_load_applies_budget_depth_to_schema() {
+        let budget = Budget::unlimited().with_max_depth(2);
+        let err = load_spec_governed(SCHEMA, "", &budget).unwrap_err();
+        assert!(matches!(
+            err,
+            SpecError::Parse(ParseError::TooDeep { limit: 2, .. })
+        ));
     }
 
     #[test]

@@ -46,6 +46,7 @@ use std::collections::BTreeSet;
 
 use nalist_algebra::{Algebra, AtomSet};
 use nalist_deps::{CompiledDep, DepKind};
+use nalist_guard::{Budget, ResourceExhausted};
 
 /// The output of Algorithm 5.1 for a fixed `X` and `Σ`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -106,6 +107,18 @@ pub fn closure_and_basis(alg: &Algebra, sigma: &[CompiledDep], x: &AtomSet) -> D
     crate::worklist::closure_and_basis_worklist(alg, sigma, x)
 }
 
+/// [`closure_and_basis`] under a resource [`Budget`]. A successful return
+/// is always the exact fixpoint; a truncated run surfaces as
+/// [`ResourceExhausted`], never as a partial answer.
+pub fn closure_and_basis_governed(
+    alg: &Algebra,
+    sigma: &[CompiledDep],
+    x: &AtomSet,
+    budget: &Budget,
+) -> Result<DependencyBasis, ResourceExhausted> {
+    crate::worklist::closure_and_basis_worklist_governed(alg, sigma, x, budget)
+}
+
 /// Computes `X⁺` and `DepB(X)` with the paper-faithful pass engine
 /// (process every dependency every pass, clone-and-compare fixpoint
 /// detection). Kept as the reference baseline for benchmarks and
@@ -115,7 +128,18 @@ pub fn closure_and_basis_paper(
     sigma: &[CompiledDep],
     x: &AtomSet,
 ) -> DependencyBasis {
-    run(alg, sigma, x, None)
+    run(alg, sigma, x, None, &Budget::unlimited()).expect("unlimited budget cannot be exhausted")
+}
+
+/// [`closure_and_basis_paper`] under a resource [`Budget`] (one fuel unit
+/// per dependency step per pass).
+pub fn closure_and_basis_paper_governed(
+    alg: &Algebra,
+    sigma: &[CompiledDep],
+    x: &AtomSet,
+    budget: &Budget,
+) -> Result<DependencyBasis, ResourceExhausted> {
+    run(alg, sigma, x, None, budget)
 }
 
 /// Computes `X⁺` and `DepB(X)` and records the full per-step trace.
@@ -130,7 +154,8 @@ pub fn closure_and_basis_traced(
         order: Vec::new(),
         passes: Vec::new(),
     };
-    let basis = run(alg, sigma, x, Some(&mut trace));
+    let basis = run(alg, sigma, x, Some(&mut trace), &Budget::unlimited())
+        .expect("unlimited budget cannot be exhausted");
     (basis, trace)
 }
 
@@ -139,7 +164,8 @@ fn run(
     sigma: &[CompiledDep],
     x: &AtomSet,
     mut trace: Option<&mut Trace>,
-) -> DependencyBasis {
+    budget: &Budget,
+) -> Result<DependencyBasis, ResourceExhausted> {
     debug_assert!(alg.is_downward_closed(x), "X must be an element of Sub(N)");
 
     // the paper's loop processes all FDs, then all MVDs, per pass
@@ -171,6 +197,7 @@ fn run(
         let mut pass_steps: Vec<StepTrace> = Vec::new();
 
         for (k, &i) in order.iter().enumerate() {
+            budget.charge(1)?;
             let dep = &sigma[i];
             // Ū := ⊔{W ∈ DB | ∃ atom a possessed by W, a ∉ X_new, a ∈ SubB(U)}
             let mut ubar = AtomSet::empty(alg.atom_count());
@@ -249,11 +276,11 @@ fn run(
     for a in x_new.iter() {
         basis.insert(alg.downward_closure(&AtomSet::from_indices(alg.atom_count(), [a])));
     }
-    DependencyBasis {
+    Ok(DependencyBasis {
         closure: x_new,
         blocks: sorted(&db),
         basis: basis.into_iter().collect(),
-    }
+    })
 }
 
 impl DependencyBasis {

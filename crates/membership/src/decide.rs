@@ -10,15 +10,19 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 use nalist_algebra::{Algebra, AtomSet};
 use nalist_deps::{CompiledDep, DepKind, Dependency};
+use nalist_guard::{Budget, ResourceExhausted};
 use nalist_types::attr::NestedAttr;
 use nalist_types::error::{ParseError, TypeError};
+use nalist_types::parser::ParseLimits;
 
-use crate::closure::{closure_and_basis, DependencyBasis};
+use crate::closure::{closure_and_basis, closure_and_basis_governed, DependencyBasis};
+use crate::witness::WitnessError;
 
 /// Number of independently locked cache shards. Spreading entries over
 /// 16 mutexes keeps contention negligible at any realistic thread count.
@@ -31,6 +35,12 @@ const CACHE_SHARDS: usize = 16;
 /// *computed* — two threads racing on the same fresh LHS may both compute
 /// it, but the computation is deterministic, so the duplicate insert is
 /// idempotent and harmless.
+///
+/// The same no-lock-while-computing discipline is what makes poison
+/// recovery sound: a worker can only panic *outside* the critical
+/// sections (every value is fully constructed before `insert` takes the
+/// lock), so a poisoned mutex never guards half-written data and the
+/// cache simply keeps serving after a worker dies.
 #[derive(Debug, Default)]
 struct BasisCache {
     shards: [Mutex<HashMap<AtomSet, DependencyBasis>>; CACHE_SHARDS],
@@ -46,7 +56,7 @@ impl BasisCache {
     fn get(&self, x: &AtomSet) -> Option<DependencyBasis> {
         self.shard(x)
             .lock()
-            .expect("cache lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(x)
             .cloned()
     }
@@ -54,13 +64,13 @@ impl BasisCache {
     fn insert(&self, x: AtomSet, basis: DependencyBasis) {
         self.shard(&x)
             .lock()
-            .expect("cache lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(x, basis);
     }
 
     fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("cache lock poisoned").clear();
+            shard.lock().unwrap_or_else(PoisonError::into_inner).clear();
         }
     }
 }
@@ -121,6 +131,12 @@ pub enum ReasonerError {
     Parse(ParseError),
     /// Dependency sides are not subattributes of the ambient attribute.
     Type(TypeError),
+    /// The query ran out of its resource [`Budget`] (fuel, deadline,
+    /// size cap, or cooperative cancellation).
+    Resource(ResourceExhausted),
+    /// Witness construction failed while refuting a non-implied
+    /// dependency.
+    Witness(WitnessError),
 }
 
 impl std::fmt::Display for ReasonerError {
@@ -128,22 +144,73 @@ impl std::fmt::Display for ReasonerError {
         match self {
             ReasonerError::Parse(e) => write!(f, "parse error: {e}"),
             ReasonerError::Type(e) => write!(f, "type error: {e}"),
+            ReasonerError::Resource(e) => write!(f, "{e}"),
+            ReasonerError::Witness(e) => write!(f, "witness error: {e}"),
         }
     }
 }
 
 impl std::error::Error for ReasonerError {}
 
+impl From<ResourceExhausted> for ReasonerError {
+    fn from(e: ResourceExhausted) -> Self {
+        ReasonerError::Resource(e)
+    }
+}
+
+/// Per-item failure inside a batch call ([`Reasoner::implies_batch_governed`],
+/// [`Reasoner::dependency_basis_batch_governed`]): the failed query is
+/// reported here while the rest of the batch completes normally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query ran out of the batch's shared resource [`Budget`].
+    Resource(ResourceExhausted),
+    /// The query panicked; the panic was confined to this item.
+    Panicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Resource(e) => write!(f, "{e}"),
+            QueryError::Panicked { message } => write!(f, "query panicked: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Renders a caught panic payload for [`QueryError::Panicked`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 impl Reasoner {
     /// Creates a reasoner over the ambient attribute `n` with empty `Σ`.
     pub fn new(n: &NestedAttr) -> Self {
-        Reasoner {
+        Reasoner::try_new(n, &Budget::unlimited()).expect("unlimited budget cannot be exhausted")
+    }
+
+    /// [`Reasoner::new`] under a resource [`Budget`]: algebra
+    /// construction (the memory hot spot — see [`Algebra::try_new`])
+    /// honours the budget's `max_atoms`, fuel and deadline.
+    pub fn try_new(n: &NestedAttr, budget: &Budget) -> Result<Self, ResourceExhausted> {
+        Ok(Reasoner {
             attr: n.clone(),
-            alg: Algebra::new(n),
+            alg: Algebra::try_new(n, budget)?,
             sigma: Vec::new(),
             compiled: Vec::new(),
             cache: BasisCache::default(),
-        }
+        })
     }
 
     /// The ambient attribute.
@@ -187,12 +254,36 @@ impl Reasoner {
         Ok(self.implies_compiled(&c))
     }
 
+    /// [`Reasoner::implies`] under a resource [`Budget`]. The answer, when
+    /// one is returned, is exactly the unbudgeted answer — a starved run
+    /// yields [`ReasonerError::Resource`], never a wrong verdict.
+    pub fn implies_governed(
+        &self,
+        dep: &Dependency,
+        budget: &Budget,
+    ) -> Result<bool, ReasonerError> {
+        let c = dep.compile(&self.alg).map_err(ReasonerError::Type)?;
+        Ok(self.implies_compiled_governed(&c, budget)?)
+    }
+
     fn implies_compiled(&self, c: &CompiledDep) -> bool {
         let basis = self.dependency_basis(&c.lhs);
         match c.kind {
             DepKind::Fd => basis.fd_derivable(&c.rhs),
             DepKind::Mvd => basis.mvd_derivable(&c.rhs),
         }
+    }
+
+    fn implies_compiled_governed(
+        &self,
+        c: &CompiledDep,
+        budget: &Budget,
+    ) -> Result<bool, ResourceExhausted> {
+        let basis = self.dependency_basis_governed(&c.lhs, budget)?;
+        Ok(match c.kind {
+            DepKind::Fd => basis.fd_derivable(&c.rhs),
+            DepKind::Mvd => basis.mvd_derivable(&c.rhs),
+        })
     }
 
     /// Decides `Σ ⊨ σ` for every dependency in `deps`, in parallel.
@@ -211,26 +302,51 @@ impl Reasoner {
         deps: &[Dependency],
         threads: NonZeroUsize,
     ) -> Result<Vec<bool>, ReasonerError> {
+        let items = self.implies_batch_governed_with(deps, &Budget::unlimited(), threads)?;
+        Ok(items
+            .into_iter()
+            .map(|r| match r {
+                Ok(b) => b,
+                // Unreachable with an unlimited, failpoint-free budget.
+                Err(QueryError::Resource(e)) => {
+                    unreachable!("unlimited budget cannot be exhausted: {e}")
+                }
+                // An internal-invariant panic: re-surface it rather than
+                // silently degrading the infallible legacy signature.
+                Err(QueryError::Panicked { message }) => {
+                    panic!("batch worker panicked: {message}")
+                }
+            })
+            .collect())
+    }
+
+    /// Decides `Σ ⊨ σ` for every dependency in `deps` under a shared
+    /// resource [`Budget`], with **per-query fault isolation**: a query
+    /// that exhausts the budget or panics yields a per-item `Err` while
+    /// the rest of the batch completes — graceful degradation, not
+    /// all-or-nothing. Compilation errors (malformed queries) are still
+    /// reported up front, before any work is spawned.
+    pub fn implies_batch_governed(
+        &self,
+        deps: &[Dependency],
+        budget: &Budget,
+    ) -> Result<Vec<Result<bool, QueryError>>, ReasonerError> {
+        self.implies_batch_governed_with(deps, budget, default_threads())
+    }
+
+    /// [`Reasoner::implies_batch_governed`] with an explicit worker count.
+    pub fn implies_batch_governed_with(
+        &self,
+        deps: &[Dependency],
+        budget: &Budget,
+        threads: NonZeroUsize,
+    ) -> Result<Vec<Result<bool, QueryError>>, ReasonerError> {
         let compiled = deps
             .iter()
             .map(|d| d.compile(&self.alg).map_err(ReasonerError::Type))
             .collect::<Result<Vec<_>, _>>()?;
-        let workers = threads.get().min(compiled.len());
-        if workers <= 1 {
-            return Ok(compiled.iter().map(|c| self.implies_compiled(c)).collect());
-        }
-        let results: Vec<AtomicBool> = compiled.iter().map(|_| AtomicBool::new(false)).collect();
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(c) = compiled.get(i) else { break };
-                    results[i].store(self.implies_compiled(c), Ordering::Relaxed);
-                });
-            }
-        });
-        Ok(results.into_iter().map(AtomicBool::into_inner).collect())
+        let run_one = |c: &CompiledDep| self.isolated(|| self.implies_compiled_governed(c, budget));
+        Ok(run_batch(&compiled, threads, run_one))
     }
 
     /// Computes the dependency basis for every `X` in `xs`, in parallel
@@ -247,26 +363,56 @@ impl Reasoner {
         xs: &[AtomSet],
         threads: NonZeroUsize,
     ) -> Vec<DependencyBasis> {
-        let workers = threads.get().min(xs.len());
-        if workers <= 1 {
-            return xs.iter().map(|x| self.dependency_basis(x)).collect();
-        }
-        let slots: Vec<OnceLock<DependencyBasis>> = xs.iter().map(|_| OnceLock::new()).collect();
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(x) = xs.get(i) else { break };
-                    let filled = slots[i].set(self.dependency_basis(x));
-                    debug_assert!(filled.is_ok(), "slot {i} claimed twice");
-                });
-            }
-        });
-        slots
+        self.dependency_basis_batch_governed_with(xs, &Budget::unlimited(), threads)
             .into_iter()
-            .map(|s| s.into_inner().expect("every slot was claimed exactly once"))
+            .map(|r| match r {
+                Ok(b) => b,
+                Err(QueryError::Resource(e)) => {
+                    unreachable!("unlimited budget cannot be exhausted: {e}")
+                }
+                Err(QueryError::Panicked { message }) => {
+                    panic!("batch worker panicked: {message}")
+                }
+            })
             .collect()
+    }
+
+    /// [`Reasoner::dependency_basis_batch`] under a shared resource
+    /// [`Budget`] with per-query fault isolation (see
+    /// [`Reasoner::implies_batch_governed`]).
+    pub fn dependency_basis_batch_governed(
+        &self,
+        xs: &[AtomSet],
+        budget: &Budget,
+    ) -> Vec<Result<DependencyBasis, QueryError>> {
+        self.dependency_basis_batch_governed_with(xs, budget, default_threads())
+    }
+
+    /// [`Reasoner::dependency_basis_batch_governed`] with an explicit
+    /// worker count.
+    pub fn dependency_basis_batch_governed_with(
+        &self,
+        xs: &[AtomSet],
+        budget: &Budget,
+        threads: NonZeroUsize,
+    ) -> Vec<Result<DependencyBasis, QueryError>> {
+        let run_one = |x: &AtomSet| self.isolated(|| self.dependency_basis_governed(x, budget));
+        run_batch(xs, threads, run_one)
+    }
+
+    /// Runs one batch item with panic confinement: a panicking query
+    /// becomes [`QueryError::Panicked`] instead of unwinding through the
+    /// worker (the sharded cache tolerates the poisoned shard — see
+    /// [`BasisCache`]).
+    fn isolated<T>(
+        &self,
+        f: impl FnOnce() -> Result<T, ResourceExhausted>,
+    ) -> Result<T, QueryError> {
+        catch_unwind(AssertUnwindSafe(f))
+            .map_err(|payload| QueryError::Panicked {
+                message: panic_message(payload),
+            })?
+            .map_err(QueryError::Resource)
     }
 
     /// Decides `Σ ⊨ σ` for a dependency written as text.
@@ -275,12 +421,37 @@ impl Reasoner {
         self.implies(&dep)
     }
 
+    /// [`Reasoner::implies_str`] under a resource [`Budget`]: the budget's
+    /// `max_depth` also caps the query text's nesting.
+    pub fn implies_str_governed(&self, src: &str, budget: &Budget) -> Result<bool, ReasonerError> {
+        let dep = Dependency::parse_with(&self.attr, src, ParseLimits::from_budget(budget))
+            .map_err(ReasonerError::Parse)?;
+        self.implies_governed(&dep, budget)
+    }
+
     /// Attribute-set closure `X⁺` of a subattribute given as text.
     pub fn closure_str(&self, src: &str) -> Result<NestedAttr, ReasonerError> {
         let x = nalist_types::parser::parse_subattr_of(&self.attr, src)
             .map_err(ReasonerError::Parse)?;
         let xs = self.alg.from_attr(&x).map_err(ReasonerError::Type)?;
         let b = closure_and_basis(&self.alg, &self.compiled, &xs);
+        Ok(self.alg.to_attr(&b.closure))
+    }
+
+    /// [`Reasoner::closure_str`] under a resource [`Budget`].
+    pub fn closure_str_governed(
+        &self,
+        src: &str,
+        budget: &Budget,
+    ) -> Result<NestedAttr, ReasonerError> {
+        let x = nalist_types::parser::parse_subattr_of_with(
+            &self.attr,
+            src,
+            ParseLimits::from_budget(budget),
+        )
+        .map_err(ReasonerError::Parse)?;
+        let xs = self.alg.from_attr(&x).map_err(ReasonerError::Type)?;
+        let b = closure_and_basis_governed(&self.alg, &self.compiled, &xs, budget)?;
         Ok(self.alg.to_attr(&b.closure))
     }
 
@@ -296,12 +467,45 @@ impl Reasoner {
         basis
     }
 
+    /// [`Reasoner::dependency_basis`] under a resource [`Budget`]. Only
+    /// complete fixpoints are ever cached: a budget-truncated run returns
+    /// `Err` without touching the cache, so later (better-funded) queries
+    /// can never observe a partial basis.
+    pub fn dependency_basis_governed(
+        &self,
+        x: &AtomSet,
+        budget: &Budget,
+    ) -> Result<DependencyBasis, ResourceExhausted> {
+        if let Some(hit) = self.cache.get(x) {
+            return Ok(hit);
+        }
+        let basis = closure_and_basis_governed(&self.alg, &self.compiled, x, budget)?;
+        self.cache.insert(x.clone(), basis.clone());
+        Ok(basis)
+    }
+
     /// Dependency basis for a subattribute given in abbreviated notation.
     pub fn dependency_basis_str(&self, src: &str) -> Result<DependencyBasis, ReasonerError> {
         let x = nalist_types::parser::parse_subattr_of(&self.attr, src)
             .map_err(ReasonerError::Parse)?;
         let xs = self.alg.from_attr(&x).map_err(ReasonerError::Type)?;
         Ok(self.dependency_basis(&xs))
+    }
+
+    /// [`Reasoner::dependency_basis_str`] under a resource [`Budget`].
+    pub fn dependency_basis_str_governed(
+        &self,
+        src: &str,
+        budget: &Budget,
+    ) -> Result<DependencyBasis, ReasonerError> {
+        let x = nalist_types::parser::parse_subattr_of_with(
+            &self.attr,
+            src,
+            ParseLimits::from_budget(budget),
+        )
+        .map_err(ReasonerError::Parse)?;
+        let xs = self.alg.from_attr(&x).map_err(ReasonerError::Type)?;
+        Ok(self.dependency_basis_governed(&xs, budget)?)
     }
 
     /// Decides `Σ ⊨ σ` and returns evidence: a checkable derivation DAG
@@ -313,13 +517,8 @@ impl Reasoner {
             Some(proof) => Ok(Evidence::Implied { proof }),
             None => {
                 let witness = crate::witness::refute(&self.alg, &self.compiled, &c)
-                    .map_err(|e| {
-                        ReasonerError::Type(nalist_types::error::TypeError::ValueMismatch {
-                            attr: self.attr.to_string(),
-                            value: e.to_string(),
-                        })
-                    })?
-                    .expect("not implied implies a witness exists");
+                    .map_err(ReasonerError::Witness)?
+                    .expect("Σ ⊭ σ guarantees the completeness construction yields a witness");
                 Ok(Evidence::NotImplied {
                     witness: Box::new(witness),
                 })
@@ -331,6 +530,38 @@ impl Reasoner {
 /// Default batch-worker count: one per available CPU.
 fn default_threads() -> NonZeroUsize {
     std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
+}
+
+/// The work-stealing loop shared by every batch entry point: items are
+/// claimed off a shared counter and results land in index-aligned slots.
+/// `run_one` must not unwind (the batch entry points wrap each item in
+/// [`Reasoner::isolated`]); if it somehow does, the scope re-raises the
+/// panic rather than returning garbage.
+fn run_batch<I: Sync, T: Send + Sync>(
+    items: &[I],
+    threads: NonZeroUsize,
+    run_one: impl Fn(&I) -> T + Sync,
+) -> Vec<T> {
+    let workers = threads.get().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(run_one).collect();
+    }
+    let slots: Vec<OnceLock<T>> = items.iter().map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let filled = slots[i].set(run_one(item));
+                debug_assert!(filled.is_ok(), "slot {i} claimed twice");
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("every slot was claimed exactly once"))
+        .collect()
 }
 
 /// Evidence accompanying a membership verdict (see
@@ -520,6 +751,173 @@ mod tests {
             assert_eq!(batch, sequential, "threads = {threads}");
         }
         assert_eq!(r.dependency_basis_batch(&xs), sequential);
+    }
+
+    /// Runs `f` with the default panic hook silenced, so intentionally
+    /// injected panics don't spray backtraces over test output.
+    fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    #[test]
+    fn governed_implies_never_wrong_only_starved() {
+        let n = parse_attr("A'(B, C[D(E, F[G])])").unwrap();
+        let mut r = Reasoner::new(&n);
+        r.add_str("A'(B) ->> A'(C[D(E)])").unwrap();
+        r.add_str("A'(C[λ]) -> A'(B)").unwrap();
+        let dep = Dependency::parse(&n, "A'(B) -> A'(C[λ])").unwrap();
+        let truth = r.implies(&dep).unwrap();
+        for fuel in 0..20 {
+            // fresh reasoner per fuel level so the cache can't answer
+            let mut fresh = Reasoner::new(&n);
+            fresh.add_str("A'(B) ->> A'(C[D(E)])").unwrap();
+            fresh.add_str("A'(C[λ]) -> A'(B)").unwrap();
+            let b = Budget::unlimited().with_fuel(fuel);
+            match fresh.implies_governed(&dep, &b) {
+                Ok(answer) => assert_eq!(answer, truth, "fuel = {fuel}"),
+                Err(ReasonerError::Resource(e)) => {
+                    assert_eq!(e.kind, nalist_guard::ResourceKind::Fuel, "fuel = {fuel}");
+                }
+                Err(other) => panic!("unexpected error at fuel {fuel}: {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn governed_cache_never_holds_partial_results() {
+        let n = parse_attr("L(A, B, C)").unwrap();
+        let mut r = Reasoner::new(&n);
+        r.add_str("L(A) -> L(B)").unwrap();
+        r.add_str("L(B) -> L(C)").unwrap();
+        let dep = Dependency::parse(&n, "L(A) -> L(C)").unwrap();
+        // starve a query: it must NOT leave a truncated basis behind
+        let starved = Budget::unlimited().with_fuel(1);
+        assert!(matches!(
+            r.implies_governed(&dep, &starved),
+            Err(ReasonerError::Resource(_))
+        ));
+        // the same reasoner answers correctly afterwards
+        assert!(r.implies(&dep).unwrap());
+    }
+
+    #[test]
+    fn poisoned_batch_item_degrades_gracefully() {
+        let n = parse_attr("L(A, B, C, D)").unwrap();
+        let mut r = Reasoner::new(&n);
+        r.add_str("L(A) -> L(B)").unwrap();
+        r.add_str("L(B) ->> L(C)").unwrap();
+        let queries = [
+            "L(A) -> L(B)",
+            "L(B) -> L(A)",
+            "L(A) ->> L(C)",
+            "L(A) -> L(D)",
+        ];
+        let deps: Vec<Dependency> = queries
+            .iter()
+            .map(|q| Dependency::parse(&n, q).unwrap())
+            .collect();
+        let expected: Vec<bool> = deps.iter().map(|d| r.implies(d).unwrap()).collect();
+        // Inject a panic into the closure computation with 0-based hit
+        // index 1 — with threads=1 and LHSs A, B, A, A that is exactly
+        // the L(B)-LHS query (the repeated A queries hit the cache).
+        for threads in [1, 4] {
+            let fresh = r.clone();
+            let b = Budget::unlimited().with_failpoint(nalist_guard::FailPoint::nth(
+                "membership::closure",
+                1,
+                nalist_guard::FailAction::Panic,
+            ));
+            let items = quiet_panics(|| {
+                fresh
+                    .implies_batch_governed_with(&deps, &b, NonZeroUsize::new(threads).unwrap())
+                    .unwrap()
+            });
+            assert_eq!(items.len(), deps.len());
+            let panicked = items
+                .iter()
+                .filter(|r| matches!(r, Err(QueryError::Panicked { .. })))
+                .count();
+            assert_eq!(
+                panicked, 1,
+                "threads = {threads}: exactly one poisoned query"
+            );
+            for (i, item) in items.iter().enumerate() {
+                if let Ok(answer) = item {
+                    assert_eq!(*answer, expected[i], "threads = {threads}, item {i}");
+                }
+                if let Err(QueryError::Panicked { message }) = item {
+                    assert!(
+                        message.contains(nalist_guard::INJECTED_PANIC),
+                        "panic message should carry the injection marker: {message}"
+                    );
+                }
+            }
+            // cache survives the worker panic: same reasoner still works
+            for (d, want) in deps.iter().zip(&expected) {
+                assert_eq!(fresh.implies(d).unwrap(), *want);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_budget_starvation_is_per_item_not_all_or_nothing() {
+        let n = parse_attr("L(A, B, C)").unwrap();
+        let mut r = Reasoner::new(&n);
+        r.add_str("L(A) -> L(B)").unwrap();
+        let deps: Vec<Dependency> = ["L(A) -> L(B)", "L(B) -> L(A)", "L(C) ->> L(B)"]
+            .iter()
+            .map(|q| Dependency::parse(&n, q).unwrap())
+            .collect();
+        // one unit of fuel covers exactly the first closure (one worklist
+        // step); the later distinct-LHS items starve but still get
+        // individual answers
+        let b = Budget::unlimited().with_fuel(1);
+        let items = r
+            .implies_batch_governed_with(&deps, &b, NonZeroUsize::MIN)
+            .unwrap();
+        assert!(items[0].is_ok());
+        assert!(items
+            .iter()
+            .any(|i| matches!(i, Err(QueryError::Resource(_)))));
+    }
+
+    #[test]
+    fn try_new_respects_atom_cap() {
+        let n = parse_attr("L(A, B, C, D, E)").unwrap();
+        let b = Budget::unlimited().with_max_atoms(3);
+        let err = Reasoner::try_new(&n, &b).unwrap_err();
+        assert_eq!(err.kind, nalist_guard::ResourceKind::Atoms);
+        assert!(Reasoner::try_new(&n, &Budget::unlimited().with_max_atoms(5)).is_ok());
+    }
+
+    #[test]
+    fn governed_string_helpers_agree_with_ungoverned() {
+        let n = parse_attr("Pubcrawl(Person, Visit[Drink(Beer, Pub)])").unwrap();
+        let mut r = Reasoner::new(&n);
+        r.add_str("Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])")
+            .unwrap();
+        let roomy = Budget::unlimited().with_fuel(1_000_000);
+        let q = "Pubcrawl(Person) -> Pubcrawl(Visit[λ])";
+        assert_eq!(
+            r.implies_str_governed(q, &roomy).unwrap(),
+            r.implies_str(q).unwrap()
+        );
+        assert_eq!(
+            r.closure_str_governed("Pubcrawl(Person)", &roomy).unwrap(),
+            r.closure_str("Pubcrawl(Person)").unwrap()
+        );
+        // the budget's max_depth also guards the query text
+        let shallow = Budget::unlimited().with_max_depth(1);
+        assert!(matches!(
+            r.implies_str_governed(q, &shallow),
+            Err(ReasonerError::Parse(
+                nalist_types::error::ParseError::TooDeep { .. }
+            ))
+        ));
     }
 
     #[test]

@@ -29,7 +29,8 @@ pub mod worklist;
 
 pub use certify::{certified_closure_and_basis, certify, CertifiedBasis};
 pub use closure::{
-    closure_and_basis, closure_and_basis_paper, closure_and_basis_traced, DependencyBasis, Trace,
+    closure_and_basis, closure_and_basis_governed, closure_and_basis_paper,
+    closure_and_basis_paper_governed, closure_and_basis_traced, DependencyBasis, Trace,
 };
-pub use decide::{implies, Evidence, Reasoner, ReasonerError};
+pub use decide::{implies, Evidence, QueryError, Reasoner, ReasonerError};
 pub use witness::{refute, Witness, WitnessError};

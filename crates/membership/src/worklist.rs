@@ -48,6 +48,7 @@
 
 use nalist_algebra::{Algebra, AtomSet, BlockPartition};
 use nalist_deps::{CompiledDep, DepKind, PreparedDep};
+use nalist_guard::{Budget, ResourceExhausted};
 
 use crate::closure::DependencyBasis;
 
@@ -60,6 +61,23 @@ pub fn closure_and_basis_worklist(
     sigma: &[CompiledDep],
     x: &AtomSet,
 ) -> DependencyBasis {
+    closure_and_basis_worklist_governed(alg, sigma, x, &Budget::unlimited())
+        .expect("unlimited budget cannot be exhausted")
+}
+
+/// [`closure_and_basis_worklist`] under a resource [`Budget`]: one fuel
+/// unit is charged per dependency step pulled off the worklist (the unit
+/// of work Theorem 6.4's `O(|N|⁴·|Σ|)` bound counts), and the deadline is
+/// sampled along the way. A successful return is always the exact
+/// fixpoint — a truncated run surfaces as [`ResourceExhausted`], never as
+/// a partial answer.
+pub fn closure_and_basis_worklist_governed(
+    alg: &Algebra,
+    sigma: &[CompiledDep],
+    x: &AtomSet,
+    budget: &Budget,
+) -> Result<DependencyBasis, ResourceExhausted> {
+    budget.failpoint("membership::closure")?;
     debug_assert!(alg.is_downward_closed(x), "X must be an element of Sub(N)");
     let n = alg.atom_count();
 
@@ -100,6 +118,7 @@ pub fn closure_and_basis_worklist(
             if !dirty[j] {
                 continue;
             }
+            budget.charge(1)?;
             dirty[j] = false;
             n_dirty -= 1;
             if engine.step(&prepared[j]) {
@@ -114,7 +133,7 @@ pub fn closure_and_basis_worklist(
         }
     }
 
-    engine.finish()
+    Ok(engine.finish())
 }
 
 struct Engine<'a> {

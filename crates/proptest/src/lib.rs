@@ -44,6 +44,16 @@ impl ProptestConfig {
             Err(_) => self.seed,
         }
     }
+
+    /// The effective case count: the `PROPTEST_CASES` environment
+    /// variable, when set to a valid number, overrides the configured
+    /// value (CI uses this to run deeper sweeps without code changes).
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(s) => s.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
 }
 
 /// Error type carried by `prop_assert*` failures.
@@ -180,7 +190,7 @@ macro_rules! proptest {
                 let config: $crate::ProptestConfig = $cfg;
                 let base_seed = config.effective_seed();
                 let strat = $strat;
-                for case in 0..config.cases {
+                for case in 0..config.effective_cases() {
                     let case_seed = base_seed
                         .wrapping_add((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
                     let mut __proptest_rng =

@@ -116,6 +116,16 @@ pub enum ParseError {
         /// Byte offset of the first trailing character.
         at: usize,
     },
+    /// Nesting exceeded the configured depth limit
+    /// ([`crate::parser::ParseLimits::max_depth`]). Deep `L[L[…]]` towers
+    /// would otherwise overflow the stack: parsing, rendering and even
+    /// dropping the attribute tree all recurse over it.
+    TooDeep {
+        /// Byte offset where the limit was exceeded.
+        at: usize,
+        /// The configured depth limit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for ParseError {
@@ -146,6 +156,9 @@ impl fmt::Display for ParseError {
             }
             ParseError::TrailingInput { at } => {
                 write!(f, "trailing input starting at byte {at}")
+            }
+            ParseError::TooDeep { at, limit } => {
+                write!(f, "at byte {at}: nesting deeper than the limit of {limit}")
             }
         }
     }

@@ -32,14 +32,76 @@ pub enum DepKind {
     Mvd,
 }
 
+/// Default nesting-depth cap for all parse entry points.
+///
+/// Generous for any hand-written or paper-derived schema (the deepest
+/// attribute in the paper nests 5 levels) while keeping adversarial
+/// `L[L[L[…]]]` towers from overflowing the stack — parsing, rendering
+/// and dropping a [`NestedAttr`] all recurse over its structure, so the
+/// parse-time cap bounds every later traversal too.
+pub const DEFAULT_MAX_DEPTH: usize = 128;
+
+/// Limits applied while parsing untrusted text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum bracket-nesting depth (`(`/`[`) before
+    /// [`ParseError::TooDeep`] is returned.
+    pub max_depth: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits {
+            max_depth: DEFAULT_MAX_DEPTH,
+        }
+    }
+}
+
+impl ParseLimits {
+    /// Derives parse limits from a [`nalist_guard::Budget`]: its
+    /// `max_depth` if armed, [`DEFAULT_MAX_DEPTH`] otherwise.
+    pub fn from_budget(budget: &nalist_guard::Budget) -> Self {
+        match budget.max_depth() {
+            Some(d) => ParseLimits {
+                max_depth: usize::try_from(d).unwrap_or(usize::MAX),
+            },
+            None => ParseLimits::default(),
+        }
+    }
+}
+
 struct Cursor<'a> {
     src: &'a str,
     pos: usize,
+    depth: usize,
+    limits: ParseLimits,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(src: &'a str) -> Self {
-        Cursor { src, pos: 0 }
+    fn with_limits(src: &'a str, limits: ParseLimits) -> Self {
+        Cursor {
+            src,
+            pos: 0,
+            depth: 0,
+            limits,
+        }
+    }
+
+    /// Called on entering a bracketed construct; the matching
+    /// [`Cursor::ascend`] runs when the construct closes.
+    fn descend(&mut self) -> Result<(), ParseError> {
+        if self.depth >= self.limits.max_depth {
+            return Err(ParseError::TooDeep {
+                at: self.pos,
+                limit: self.limits.max_depth,
+            });
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
+    fn ascend(&mut self) {
+        self.depth -= 1;
     }
 
     fn rest(&self) -> &'a str {
@@ -159,6 +221,7 @@ fn parse_loose_spanned_inner(
     cur.skip_ws();
     match cur.peek() {
         Some('(') => {
+            cur.descend()?;
             cur.bump();
             let mut components = Vec::new();
             loop {
@@ -170,15 +233,18 @@ fn parse_loose_spanned_inner(
                 cur.expect(')')?;
                 break;
             }
+            cur.ascend();
             Ok((
                 Loose::Record(name.to_owned(), components),
                 Span::new(name_span.start, cur.pos),
             ))
         }
         Some('[') => {
+            cur.descend()?;
             cur.bump();
             let inner = parse_loose_spanned_inner(cur, idents)?.0;
             cur.expect(']')?;
+            cur.ascend();
             Ok((
                 Loose::List(name.to_owned(), Box::new(inner)),
                 Span::new(name_span.start, cur.pos),
@@ -194,6 +260,11 @@ pub fn parse_loose(src: &str) -> Result<Loose, ParseError> {
     parse_loose_spanned(src).map(|s| s.node)
 }
 
+/// [`parse_loose`] with explicit [`ParseLimits`].
+pub fn parse_loose_with(src: &str, limits: ParseLimits) -> Result<Loose, ParseError> {
+    parse_loose_spanned_with(src, limits).map(|s| s.node)
+}
+
 /// [`parse_loose`] with byte-span tracking for the whole term and every
 /// identifier in it.
 ///
@@ -206,7 +277,15 @@ pub fn parse_loose(src: &str) -> Result<Loose, ParseError> {
 /// assert_eq!(names, ["L1", "A", "L2"]);
 /// ```
 pub fn parse_loose_spanned(src: &str) -> Result<SpannedLoose, ParseError> {
-    let mut cur = Cursor::new(src);
+    parse_loose_spanned_with(src, ParseLimits::default())
+}
+
+/// [`parse_loose_spanned`] with explicit [`ParseLimits`].
+pub fn parse_loose_spanned_with(
+    src: &str,
+    limits: ParseLimits,
+) -> Result<SpannedLoose, ParseError> {
+    let mut cur = Cursor::with_limits(src, limits);
     let mut idents = Vec::new();
     let (node, span) = parse_loose_spanned_inner(&mut cur, &mut idents)?;
     cur.done()?;
@@ -238,7 +317,12 @@ fn loose_to_attr(d: &Loose) -> Result<NestedAttr, ParseError> {
 /// assert_eq!(n.to_string(), "Pubcrawl(Person, Visit[Drink(Beer, Pub)])");
 /// ```
 pub fn parse_attr(src: &str) -> Result<NestedAttr, ParseError> {
-    let d = parse_loose(src)?;
+    parse_attr_with(src, ParseLimits::default())
+}
+
+/// [`parse_attr`] with explicit [`ParseLimits`].
+pub fn parse_attr_with(src: &str, limits: ParseLimits) -> Result<NestedAttr, ParseError> {
+    let d = parse_loose_with(src, limits)?;
     loose_to_attr(&d)
 }
 
@@ -253,7 +337,16 @@ pub fn parse_attr(src: &str) -> Result<NestedAttr, ParseError> {
 /// assert_eq!(x.to_string(), "L1(A, λ, L2[L3(λ, λ)])");
 /// ```
 pub fn parse_subattr_of(n: &NestedAttr, src: &str) -> Result<NestedAttr, ParseError> {
-    let d = parse_loose(src)?;
+    parse_subattr_of_with(n, src, ParseLimits::default())
+}
+
+/// [`parse_subattr_of`] with explicit [`ParseLimits`].
+pub fn parse_subattr_of_with(
+    n: &NestedAttr,
+    src: &str,
+    limits: ParseLimits,
+) -> Result<NestedAttr, ParseError> {
+    let d = parse_loose_with(src, limits)?;
     resolve_loose(n, &d, src)
 }
 
@@ -293,7 +386,16 @@ pub fn parse_dependency_of(
     n: &NestedAttr,
     src: &str,
 ) -> Result<(DepKind, NestedAttr, NestedAttr), ParseError> {
-    let d = parse_dependency_spanned(src)?;
+    parse_dependency_of_with(n, src, ParseLimits::default())
+}
+
+/// [`parse_dependency_of`] with explicit [`ParseLimits`].
+pub fn parse_dependency_of_with(
+    n: &NestedAttr,
+    src: &str,
+    limits: ParseLimits,
+) -> Result<(DepKind, NestedAttr, NestedAttr), ParseError> {
+    let d = parse_dependency_spanned_with(src, limits)?;
     let x = resolve_loose(n, &d.lhs.node, src)?;
     let y = resolve_loose(n, &d.rhs.node, src)?;
     Ok((d.kind, x, y))
@@ -337,7 +439,15 @@ impl SpannedDependency {
 /// assert_eq!(d.rhs.span.text(src), "L(B, C[λ])");
 /// ```
 pub fn parse_dependency_spanned(src: &str) -> Result<SpannedDependency, ParseError> {
-    let mut cur = Cursor::new(src);
+    parse_dependency_spanned_with(src, ParseLimits::default())
+}
+
+/// [`parse_dependency_spanned`] with explicit [`ParseLimits`].
+pub fn parse_dependency_spanned_with(
+    src: &str,
+    limits: ParseLimits,
+) -> Result<SpannedDependency, ParseError> {
+    let mut cur = Cursor::with_limits(src, limits);
     let mut lhs_idents = Vec::new();
     let (lhs_node, lhs_span) = parse_loose_spanned_inner(&mut cur, &mut lhs_idents)?;
     cur.skip_ws();
@@ -380,6 +490,7 @@ fn parse_value_inner(cur: &mut Cursor<'_>) -> Result<Value, ParseError> {
     cur.skip_ws();
     match cur.peek() {
         Some('(') => {
+            cur.descend()?;
             cur.bump();
             let mut items = Vec::new();
             loop {
@@ -391,9 +502,11 @@ fn parse_value_inner(cur: &mut Cursor<'_>) -> Result<Value, ParseError> {
                 cur.expect(')')?;
                 break;
             }
+            cur.ascend();
             Ok(Value::Tuple(items))
         }
         Some('[') => {
+            cur.descend()?;
             cur.bump();
             cur.skip_ws();
             let mut items = Vec::new();
@@ -408,6 +521,7 @@ fn parse_value_inner(cur: &mut Cursor<'_>) -> Result<Value, ParseError> {
                     break;
                 }
             }
+            cur.ascend();
             Ok(Value::List(items))
         }
         Some('"') => {
@@ -467,7 +581,12 @@ fn parse_value_inner(cur: &mut Cursor<'_>) -> Result<Value, ParseError> {
 /// assert_eq!(parse_value("[]").unwrap(), Value::empty_list());
 /// ```
 pub fn parse_value(src: &str) -> Result<Value, ParseError> {
-    let mut cur = Cursor::new(src);
+    parse_value_with(src, ParseLimits::default())
+}
+
+/// [`parse_value`] with explicit [`ParseLimits`].
+pub fn parse_value_with(src: &str, limits: ParseLimits) -> Result<Value, ParseError> {
+    let mut cur = Cursor::with_limits(src, limits);
     let v = parse_value_inner(&mut cur)?;
     cur.done()?;
     Ok(v)
@@ -638,6 +757,79 @@ mod tests {
         let d2 = parse_dependency_spanned("lambda -> L(A)").unwrap();
         assert!(d2.lhs.idents.is_empty());
         assert_eq!(d2.lhs.span.text("lambda -> L(A)"), "lambda");
+    }
+
+    #[test]
+    fn depth_bomb_rejected_structurally() {
+        // 4096 nested lists: must return TooDeep, not overflow the stack.
+        let bomb = format!("{}A{}", "L[".repeat(4096), "]".repeat(4096));
+        match parse_attr(&bomb) {
+            Err(ParseError::TooDeep { at, limit }) => {
+                assert_eq!(limit, DEFAULT_MAX_DEPTH);
+                // The offending byte is the bracket that would exceed the cap.
+                assert_eq!(&bomb[at..=at], "[");
+            }
+            other => panic!("expected TooDeep, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn depth_at_limit_accepted() {
+        let limits = ParseLimits { max_depth: 4 };
+        let ok = "L[L[L[L[A]]]]"; // depth exactly 4
+        assert!(parse_attr_with(ok, limits).is_ok());
+        let too_deep = "L[L[L[L[L[A]]]]]"; // depth 5
+        assert!(matches!(
+            parse_attr_with(too_deep, limits),
+            Err(ParseError::TooDeep { limit: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn depth_counts_nesting_not_siblings() {
+        // Many siblings at the same level never trip the cap.
+        let limits = ParseLimits { max_depth: 2 };
+        let wide = format!(
+            "L({})",
+            (0..64)
+                .map(|i| format!("A{i}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        assert!(parse_attr_with(&wide, limits).is_ok());
+    }
+
+    #[test]
+    fn value_depth_bomb_rejected() {
+        let bomb = format!("{}1{}", "[".repeat(4096), "]".repeat(4096));
+        assert!(matches!(
+            parse_value(&bomb),
+            Err(ParseError::TooDeep { .. })
+        ));
+        let limits = ParseLimits { max_depth: 3 };
+        assert!(parse_value_with("[(1, 2)]", limits).is_ok());
+        assert!(parse_value_with("[[[[1]]]]", limits).is_err());
+    }
+
+    #[test]
+    fn parse_limits_from_budget() {
+        let b = nalist_guard::Budget::unlimited().with_max_depth(7);
+        assert_eq!(ParseLimits::from_budget(&b).max_depth, 7);
+        let unarmed = nalist_guard::Budget::unlimited();
+        assert_eq!(
+            ParseLimits::from_budget(&unarmed).max_depth,
+            DEFAULT_MAX_DEPTH
+        );
+    }
+
+    #[test]
+    fn dependency_depth_cap_applies_to_both_sides() {
+        let limits = ParseLimits { max_depth: 2 };
+        assert!(parse_dependency_spanned_with("L(A) -> L(B)", limits).is_ok());
+        assert!(matches!(
+            parse_dependency_spanned_with("L(A) -> L(M[P[Q[B]]])", limits),
+            Err(ParseError::TooDeep { .. })
+        ));
     }
 
     #[test]

@@ -68,9 +68,15 @@ fn deep_list_chain_algebra() {
     // the downward closure of the leaf is the whole chain
     let leaf = alg.downward_closure(&AtomSet::from_indices(alg.atom_count(), [depth]));
     assert_eq!(leaf.count(), depth + 1);
-    // parser round-trip at depth
+    // parser round-trip at depth: beyond the default nesting cap, so the
+    // explicit opt-out via `ParseLimits` is required
     let printed = n.to_string();
-    assert_eq!(parse_attr(&printed).unwrap(), n);
+    assert!(matches!(
+        parse_attr(&printed),
+        Err(ParseError::TooDeep { .. })
+    ));
+    let limits = ParseLimits { max_depth: depth };
+    assert_eq!(parse_attr_with(&printed, limits).unwrap(), n);
 }
 
 #[test]
