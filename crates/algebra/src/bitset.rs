@@ -164,6 +164,30 @@ impl AtomSet {
         }
     }
 
+    /// In-place union that reports whether any new bit was set — the
+    /// fused `a ⊔ b`-with-changed-flag kernel of the worklist engine,
+    /// replacing a separate `is_subset` probe plus `union_with` pass.
+    pub fn union_with_changed(&mut self, other: &AtomSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut grew = 0u64;
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
+            grew |= b & !*a;
+            *a |= b;
+        }
+        grew != 0
+    }
+
+    /// `self ⊔= a ⊓ ¬b`, fused in one word pass: the and-not is never
+    /// materialised as an intermediate set. This is the worklist engine's
+    /// "accumulate the newly-dirtied atoms" kernel.
+    pub fn union_andnot(&mut self, a: &AtomSet, b: &AtomSet) {
+        debug_assert_eq!(self.len, a.len);
+        debug_assert_eq!(self.len, b.len);
+        for ((s, x), y) in self.words_mut().iter_mut().zip(a.words()).zip(b.words()) {
+            *s |= x & !y;
+        }
+    }
+
     /// In-place intersection.
     pub fn intersect_with(&mut self, other: &AtomSet) {
         debug_assert_eq!(self.len, other.len);
@@ -373,6 +397,35 @@ mod tests {
             assert_eq!(c, a);
             c.clear();
             assert!(c.is_empty());
+        }
+    }
+
+    #[test]
+    fn fused_kernels_match_composed_ops() {
+        // inline capacity and heap capacity take different storage paths
+        for cap in [100usize, 200] {
+            let a = AtomSet::from_indices(cap, [0, 63, 64, 97]);
+            let b = AtomSet::from_indices(cap, [63, 97, 99]);
+
+            // union_with_changed == (grew?) + union_with
+            let mut u = a.clone();
+            assert!(u.union_with_changed(&b));
+            assert_eq!(u, a.union(&b));
+            let mut again = u.clone();
+            assert!(!again.union_with_changed(&b), "no new bits the second time");
+            assert_eq!(again, u);
+            let mut from_empty = AtomSet::empty(cap);
+            assert!(!from_empty.union_with_changed(&AtomSet::empty(cap)));
+
+            // union_andnot == union_with(difference)
+            let mut acc = AtomSet::from_indices(cap, [5]);
+            acc.union_andnot(&a, &b);
+            let mut expect = AtomSet::from_indices(cap, [5]);
+            expect.union_with(&a.difference(&b));
+            assert_eq!(acc, expect);
+            let mut acc2 = AtomSet::empty(cap);
+            acc2.union_andnot(&b, &b);
+            assert!(acc2.is_empty(), "x ⊓ ¬x accumulates nothing");
         }
     }
 

@@ -542,6 +542,107 @@ fn engine_speedup() {
         Ok(()) => println!("machine-readable results written to BENCH_closure.json"),
         Err(e) => println!("could not write BENCH_closure.json: {e}"),
     }
+
+    incremental_maintenance();
+}
+
+/// Incremental Σ maintenance: re-query cost over a warm LHS pool after a
+/// single-dependency edit, selective invalidation vs the cache-clearing
+/// baseline (the pre-incremental `Reasoner::add` behaviour). Emits
+/// `BENCH_incremental.json`.
+fn incremental_maintenance() {
+    let ew = nalist_bench::incremental_edit_workload(10, 64, 32, 32);
+    let requery = |r: &Reasoner| {
+        let mut acc = 0usize;
+        for x in &ew.lhss {
+            acc += r.dependency_basis(x).basis.len();
+        }
+        acc
+    };
+    // how much of the warm cache the edit actually touches
+    let mut probe = ew.reasoner.clone();
+    probe.add(ew.edit.clone()).expect("edit compiles");
+    let after_add = probe.cache_stats();
+    println!(
+        "\nincremental Σ maintenance (|N| = 64, |Σ| = 32, 32-LHS warm pool, one narrow FD edit):\n\
+         \u{20} the edit evicts {} of {} cached bases ({} retained)",
+        after_add.evicted,
+        after_add.evicted + after_add.retained,
+        after_add.retained
+    );
+    let mut json_rows: Vec<String> = Vec::new();
+    println!(
+        "{:>24} {:>14} {:>14} {:>9}",
+        "re-query after", "cache-clearing", "incremental", "speedup"
+    );
+    for (label, remove) in [("add", false), ("remove", true)] {
+        // for the remove row, start from a reasoner warm for Σ ∪ {edit}
+        let warm = if remove {
+            let mut w = ew.reasoner.clone();
+            w.add(ew.edit.clone()).expect("edit compiles");
+            for x in &ew.lhss {
+                w.dependency_basis(x);
+            }
+            w
+        } else {
+            ew.reasoner.clone()
+        };
+        let apply = |r: &mut Reasoner| {
+            if remove {
+                assert!(r.remove(&ew.edit).expect("edit compiles"), "edit is in Σ");
+            } else {
+                r.add(ew.edit.clone()).expect("edit compiles");
+            }
+        };
+        // both sides time the FIRST re-query of the whole pool after the
+        // same edit (edit + clone applied outside the timer): the
+        // incremental side recomputes only the evicted bases, the
+        // baseline models the old clear-on-edit behaviour where every
+        // edit empties the cache and every re-query recomputes
+        let timed_requery = |clear: bool| {
+            let mut samples: Vec<u128> = (0..5)
+                .map(|_| {
+                    let mut r = warm.clone();
+                    apply(&mut r);
+                    if clear {
+                        r.clear_cache();
+                    }
+                    let t = std::time::Instant::now();
+                    std::hint::black_box(requery(&r));
+                    t.elapsed().as_nanos()
+                })
+                .collect();
+            samples.sort_unstable();
+            samples[samples.len() / 2]
+        };
+        let t_cold = timed_requery(true);
+        let t_inc = timed_requery(false);
+        let speedup = t_cold as f64 / t_inc.max(1) as f64;
+        println!(
+            "{:>24} {:>14} {:>14} {:>8.1}x",
+            format!("{label} one FD"),
+            fmt_nanos(t_cold),
+            fmt_nanos(t_inc),
+            speedup
+        );
+        json_rows.push(format!(
+            "  {{\"id\": \"incremental_{label}(seed=10, atoms=64, sigma=32, lhs_pool=32)\", \
+             \"atoms\": 64, \"sigma\": 32, \"lhs_pool\": 32, \"edit\": \"{label}\", \
+             \"median_ns_cache_clearing\": {t_cold}, \"median_ns_incremental\": {t_inc}, \
+             \"speedup\": {speedup:.2}, \
+             \"entries_evicted_by_add\": {}, \"entries_retained_by_add\": {}}}",
+            after_add.evicted, after_add.retained
+        ));
+    }
+    println!(
+        "incremental answers are bit-identical to from-scratch recomputation \
+         (proptest-asserted in tests/incremental.rs)"
+    );
+    let json = format!("[\n{}\n]\n", json_rows.join(",\n"));
+    match std::fs::write("BENCH_incremental.json", &json) {
+        Ok(()) => println!("machine-readable results written to BENCH_incremental.json"),
+        Err(e) => println!("could not write BENCH_incremental.json: {e}"),
+    }
 }
 
 // ------------------------------------------------------------------ E-THM64a

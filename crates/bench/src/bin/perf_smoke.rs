@@ -1,0 +1,89 @@
+//! CI perf smoke test: times a pinned tiny workload and fails (exit 1)
+//! if wall time regresses more than 3x against the checked-in baseline
+//! `ci/perf_baseline.json`. The bound is deliberately loose — CI boxes
+//! are noisy; this catches order-of-magnitude regressions (a dropped
+//! cache, an accidental O(n²) pass), not percent-level drift.
+//!
+//! Re-bless the baseline after an intentional perf change with
+//! `UPDATE_PERF_BASELINE=1 cargo run --release -p nalist-bench --bin perf_smoke`.
+
+use nalist_bench::{
+    fmt_nanos, incremental_edit_workload, median_nanos, nested_workload, run_closures,
+};
+
+const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../ci/perf_baseline.json");
+const MAX_RATIO: f64 = 3.0;
+
+/// Extracts `"field": <digits>` from a hand-written JSON object — the
+/// baseline file is emitted by this binary, so the grammar is fixed and
+/// a full parser would be dead weight.
+fn parse_field(text: &str, field: &str) -> Option<u128> {
+    let key = format!("\"{field}\"");
+    let at = text.find(&key)? + key.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+fn main() {
+    // pinned workloads, small enough that the whole binary runs in a few
+    // seconds even on a loaded CI box
+    let w = nested_workload(7, 32, 16);
+    let closure_ns = median_nanos(7, || {
+        std::hint::black_box(run_closures(&w));
+    });
+    let ew = incremental_edit_workload(10, 32, 16, 16);
+    let edit_ns = median_nanos(7, || {
+        let mut inc = ew.reasoner.clone();
+        inc.add(ew.edit.clone()).expect("edit compiles");
+        let mut acc = 0usize;
+        for x in &ew.lhss {
+            acc += inc.dependency_basis(x).basis.len();
+        }
+        std::hint::black_box(acc);
+    });
+    let total_ns = closure_ns + edit_ns;
+    println!(
+        "perf smoke: closure {} + incremental edit {} = {}",
+        fmt_nanos(closure_ns),
+        fmt_nanos(edit_ns),
+        fmt_nanos(total_ns)
+    );
+
+    if std::env::var_os("UPDATE_PERF_BASELINE").is_some() {
+        let json = format!(
+            "{{\n  \"closure_ns\": {closure_ns},\n  \"edit_ns\": {edit_ns},\n  \"total_ns\": {total_ns}\n}}\n"
+        );
+        std::fs::write(BASELINE_PATH, json).unwrap_or_else(|e| {
+            eprintln!("cannot write {BASELINE_PATH}: {e}");
+            std::process::exit(2);
+        });
+        println!("baseline blessed: {BASELINE_PATH}");
+        return;
+    }
+
+    let text = std::fs::read_to_string(BASELINE_PATH).unwrap_or_else(|e| {
+        eprintln!(
+            "cannot read {BASELINE_PATH}: {e}\n\
+             run with UPDATE_PERF_BASELINE=1 to create it"
+        );
+        std::process::exit(2);
+    });
+    let baseline = parse_field(&text, "total_ns").unwrap_or_else(|| {
+        eprintln!("no \"total_ns\" field in {BASELINE_PATH}");
+        std::process::exit(2);
+    });
+    let ratio = total_ns as f64 / baseline.max(1) as f64;
+    println!(
+        "baseline total {} → ratio {ratio:.2} (limit {MAX_RATIO:.1})",
+        fmt_nanos(baseline)
+    );
+    if ratio > MAX_RATIO {
+        eprintln!(
+            "PERF REGRESSION: pinned workload is {ratio:.2}x the checked-in baseline \
+             (limit {MAX_RATIO:.1}x). If intentional, re-bless with UPDATE_PERF_BASELINE=1."
+        );
+        std::process::exit(1);
+    }
+    println!("perf smoke passed");
+}

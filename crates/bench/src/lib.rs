@@ -78,6 +78,70 @@ pub fn flat_workload(seed: u64, width: usize, sigma_count: usize) -> Workload {
     }
 }
 
+/// A deterministic incremental-edit workload: a [`Reasoner`] warm for a
+/// pool of query left-hand sides, plus a non-trivial dependency to
+/// `add`/`remove` — the unit of work the incremental-maintenance
+/// benchmarks measure (re-query cost after a `Σ` edit, incremental vs
+/// cache-clearing).
+pub struct EditWorkload {
+    /// Reasoner over the generated schema, `Σ` loaded, every LHS in
+    /// `lhss` already queried (cache warm).
+    pub reasoner: Reasoner,
+    /// The query pool.
+    pub lhss: Vec<AtomSet>,
+    /// A narrow non-trivial FD to add and/or remove.
+    pub edit: Dependency,
+}
+
+/// Builds an [`EditWorkload`] with exactly `atoms` atoms, `sigma_count`
+/// dependencies and `lhs_count` warm query LHSs, deterministic in
+/// `seed`.
+pub fn incremental_edit_workload(
+    seed: u64,
+    atoms: usize,
+    sigma_count: usize,
+    lhs_count: usize,
+) -> EditWorkload {
+    let w = nested_workload(seed, atoms, sigma_count);
+    let mut r = Reasoner::new(&w.attr);
+    for d in &w.sigma {
+        r.add(d.decompile(&w.alg)).expect("generated Σ compiles");
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+    let lhss: Vec<AtomSet> = (0..lhs_count)
+        .map(|_| nalist::gen::random_subattr(&mut rng, &w.alg, 0.3))
+        .collect();
+    // anchor the edit's LHS inside the first pool entry so it
+    // demonstrably fires there (selective eviction has real work to do),
+    // with a fresh random RHS so most other cached bases survive —
+    // realistic single-constraint churn touches a small part of the
+    // schema
+    let anchor = lhss.first().cloned().unwrap_or_else(|| w.alg.bottom_set());
+    let fresh_edit = |rng: &mut StdRng| {
+        CompiledDep::fd(
+            w.alg
+                .meet(&anchor, &nalist::gen::random_subattr(rng, &w.alg, 0.7)),
+            nalist::gen::random_subattr(rng, &w.alg, 0.15),
+        )
+    };
+    let mut edit = fresh_edit(&mut rng);
+    for _ in 0..32 {
+        if !edit.is_trivial(&w.alg) && !edit.lhs.is_empty() {
+            break;
+        }
+        edit = fresh_edit(&mut rng);
+    }
+    let edit = edit.decompile(&w.alg);
+    for x in &lhss {
+        r.dependency_basis(x);
+    }
+    EditWorkload {
+        reasoner: r,
+        lhss,
+        edit,
+    }
+}
+
 /// An adversarial workload for the worst-case pass count of
 /// Algorithm 5.1: a flat FD chain `A0 → A1, …, A{n-2} → A{n-1}` listed in
 /// *reverse* order, so each REPEAT-UNTIL pass can absorb only one more
@@ -176,6 +240,22 @@ mod tests {
         assert_eq!(a.attr, b.attr);
         assert_eq!(a.sigma, b.sigma);
         assert_eq!(run_closures(&a), run_closures(&b));
+    }
+
+    #[test]
+    fn edit_workload_is_warm_and_deterministic() {
+        let a = incremental_edit_workload(10, 16, 8, 6);
+        let b = incremental_edit_workload(10, 16, 8, 6);
+        assert_eq!(a.edit, b.edit);
+        assert_eq!(a.lhss, b.lhss);
+        // warm: re-querying the pool on a fresh-counter clone is all hits
+        let warm = a.reasoner.clone();
+        for x in &a.lhss {
+            warm.dependency_basis(x);
+        }
+        let stats = warm.cache_stats();
+        assert_eq!(stats.misses, 0, "pool was not warm");
+        assert_eq!(stats.hits, a.lhss.len() as u64);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! nalist check     <schema> <deps-file> <dependency>   decide Σ ⊨ σ (witness on "no")
 //! nalist batch     <schema> <deps-file> <queries-file> [--threads N]
 //!                                                      decide Σ ⊨ σ for many σ in parallel
+//! nalist replay    <schema> <script-file>              replay a Σ edit script (add/remove/
+//!                                                      query) on the incremental reasoner
 //! nalist prove     <schema> <deps-file> <dependency>   emit a machine-checked derivation
 //! nalist closure   <schema> <deps-file> <subattr>      attribute-set closure X⁺
 //! nalist basis     <schema> <deps-file> <subattr>      dependency basis DepB(X)
@@ -136,6 +138,11 @@ pub const COMMANDS: &[CommandSpec] = &[
         name: "batch",
         synopsis: "<schema> <deps-file> <queries-file> [--threads N]",
         summary: "decide Σ ⊨ σ for every query line, in parallel",
+    },
+    CommandSpec {
+        name: "replay",
+        synopsis: "<schema> <script-file>",
+        summary: "replay a Σ edit script (add/remove/query) incrementally",
     },
     CommandSpec {
         name: "prove",
@@ -457,6 +464,72 @@ pub fn run_with_budget(
             }
             out.push('\n');
         }
+        ("replay", [schema, script]) => {
+            let limits = ParseLimits::from_budget(budget);
+            let n = parse_attr_with(schema, limits).map_err(|e| schema_error(&e))?;
+            let mut r = Reasoner::try_new(&n, budget).map_err(CliError::resource)?;
+            let text = files.read(script).map_err(CliError::file)?;
+            let (mut adds, mut removes, mut queries) = (0u64, 0u64, 0u64);
+            for (lineno, raw) in text.lines().enumerate() {
+                let line = raw.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                checkpoint(budget)?;
+                let here = |e: &dyn std::fmt::Display| {
+                    CliError::domain(format!("{script}:{}: {e}", lineno + 1))
+                };
+                let (op, payload) = line
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| here(&"expected '<op> <dependency>'"))?;
+                let payload = payload.trim();
+                let parse = || Dependency::parse_with(&n, payload, limits).map_err(|e| here(&e));
+                match op {
+                    "+" | "add" => {
+                        let dep = parse()?;
+                        r.add(dep).map_err(|e| here(&e))?;
+                        adds += 1;
+                        writeln!(out, "add          {payload}").unwrap();
+                    }
+                    "-" | "remove" => {
+                        let dep = parse()?;
+                        if !r.remove(&dep).map_err(|e| here(&e))? {
+                            return Err(here(&format!("dependency not in Σ: {payload}")));
+                        }
+                        removes += 1;
+                        writeln!(out, "remove       {payload}").unwrap();
+                    }
+                    "?" | "query" => {
+                        let dep = parse()?;
+                        let verdict = r.implies_governed(&dep, budget).map_err(|e| match e {
+                            ReasonerError::Resource(res) => CliError::resource(res),
+                            other => here(&other),
+                        })?;
+                        queries += 1;
+                        let tag = if verdict { "IMPLIED" } else { "NOT IMPLIED" };
+                        writeln!(out, "{tag:<12} {payload}").unwrap();
+                    }
+                    other => {
+                        return Err(here(&format!(
+                            "unknown op '{other}' (expected +/add, -/remove or ?/query)"
+                        )))
+                    }
+                }
+            }
+            let stats = r.cache_stats();
+            writeln!(
+                out,
+                "Σ: {} dependencies after {adds} add(s), {removes} remove(s), {queries} query(ies)",
+                r.sigma().len()
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "cache: {} hits, {} misses, {} retained, {} evicted across edits",
+                stats.hits, stats.misses, stats.retained, stats.evicted
+            )
+            .unwrap();
+        }
         ("prove", [schema, deps, dep]) => {
             let r = load_reasoner(files, schema, deps, budget)?;
             let alg = r.algebra();
@@ -703,6 +776,13 @@ pub fn run_with_budget(
                 .ok_or_else(|| CliError::usage(format!("unknown command `{topic}`")))?;
             writeln!(out, "nalist {} {}", t.name, t.synopsis).unwrap();
             writeln!(out, "\n  {}", t.summary).unwrap();
+            if t.name == "replay" {
+                writeln!(
+                    out,
+                    "\n  script lines (one op per line, '#' comments):\n    + X -> Y     add the dependency to Σ   (alias: add)\n    - X ->> Y    remove it from Σ          (alias: remove)\n    ? X -> Y     decide Σ ⊨ σ              (alias: query)\n\n  Queries reuse cached dependency bases across edits: an edit\n  evicts only the bases it can affect, and the final line reports\n  the cache's hit/miss/retention counters."
+                )
+                .unwrap();
+            }
             if t.name == "lint" {
                 writeln!(out, "\n  rules:").unwrap();
                 for r in nalist::lint::rules() {
@@ -801,6 +881,61 @@ mod tests {
 
     fn args(v: &[&str]) -> Vec<String> {
         v.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    fn replay_files(script: &str) -> MemFiles {
+        let mut m = BTreeMap::new();
+        m.insert("edits.txt".to_string(), script.to_string());
+        MemFiles(m)
+    }
+
+    #[test]
+    fn replay_script_end_to_end() {
+        let script = "# build Σ incrementally\n\
+                      + L(A) -> L(B)\n\
+                      ? L(A) -> L(B)\n\
+                      add L(B) -> L(C)\n\
+                      ? L(A) -> L(C)\n\
+                      - L(B) -> L(C)\n\
+                      query L(A) -> L(C)\n";
+        let out = run(
+            &args(&["replay", "L(A, B, C)", "edits.txt"]),
+            &replay_files(script),
+        )
+        .unwrap();
+        assert!(out.contains("add          L(A) -> L(B)"), "{out}");
+        assert!(out.contains("IMPLIED      L(A) -> L(C)"), "{out}");
+        assert!(out.contains("remove       L(B) -> L(C)"), "{out}");
+        assert!(out.contains("NOT IMPLIED  L(A) -> L(C)"), "{out}");
+        assert!(
+            out.contains("Σ: 1 dependencies after 2 add(s), 1 remove(s), 3 query(ies)"),
+            "{out}"
+        );
+        assert!(out.contains("cache:"), "{out}");
+    }
+
+    #[test]
+    fn replay_remove_absent_is_a_located_domain_error() {
+        let err = run(
+            &args(&["replay", "L(A, B)", "edits.txt"]),
+            &replay_files("+ L(A) -> L(B)\n- L(B) -> L(A)\n"),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("edits.txt:2"), "{}", err.message);
+        assert!(err.message.contains("not in Σ"), "{}", err.message);
+    }
+
+    #[test]
+    fn replay_unknown_op_is_a_located_domain_error() {
+        let err = run(
+            &args(&["replay", "L(A, B)", "edits.txt"]),
+            &replay_files("! L(A) -> L(B)\n"),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("edits.txt:1"), "{}", err.message);
+        assert!(err.message.contains("unknown op"), "{}", err.message);
     }
 
     #[test]

@@ -32,6 +32,7 @@ const TIMEOUT_MS: u64 = 2_000;
 const COMMAND_TEMPLATES: &[&[&str]] = &[
     &["check", "{s}", "deps.txt", "λ -> λ"],
     &["batch", "{s}", "deps.txt", "deps.txt"],
+    &["replay", "{s}", "edits.txt"],
     &["prove", "{s}", "deps.txt", "λ -> λ"],
     &["closure", "{s}", "deps.txt", "λ"],
     &["basis", "{s}", "deps.txt", "λ"],
@@ -61,6 +62,17 @@ fn every_command_survives_the_whole_corpus() {
         let mut files = BTreeMap::new();
         files.insert("deps.txt".to_string(), case.deps.clone());
         files.insert("data.txt".to_string(), String::new());
+        // the same corpus dependencies as a replay script: add each,
+        // then query each (each line doubles as its own membership probe)
+        let mut edits = String::new();
+        for line in case.deps.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            edits.push_str(&format!("+ {line}\n? {line}\n"));
+        }
+        files.insert("edits.txt".to_string(), edits);
         let files = MemFiles(files);
         for template in COMMAND_TEMPLATES {
             let mut argv: Vec<String> = template

@@ -1,0 +1,149 @@
+//! Random `Σ` edit scripts for exercising the incremental reasoner
+//! (`Reasoner::add` / `Reasoner::remove` / `implies`) and the CLI
+//! `replay` subcommand.
+
+use nalist_algebra::Algebra;
+use nalist_deps::CompiledDep;
+use rand::Rng;
+
+use crate::sigma_gen::random_dep;
+
+/// One operation of a `Σ` edit script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditOp {
+    /// Append the dependency to `Σ`.
+    Add(CompiledDep),
+    /// Remove the first matching dependency from `Σ` (always a
+    /// dependency a previous [`EditOp::Add`] inserted, so generated
+    /// scripts never remove something absent).
+    Remove(CompiledDep),
+    /// Decide `Σ ⊨ σ` for the dependency.
+    Query(CompiledDep),
+}
+
+/// Parameters for [`random_edit_script`].
+#[derive(Debug, Clone, Copy)]
+pub struct EditConfig {
+    /// Number of operations in the script.
+    pub ops: usize,
+    /// Probability of a query op (the remainder splits between add and
+    /// remove; a remove is only emitted while `Σ` is non-empty).
+    pub query_prob: f64,
+    /// Probability that a non-query op is a remove rather than an add.
+    pub remove_prob: f64,
+    /// Expected atom density of generated dependencies.
+    pub density: f64,
+    /// Probability that a generated dependency is an FD.
+    pub fd_prob: f64,
+}
+
+impl Default for EditConfig {
+    fn default() -> Self {
+        EditConfig {
+            ops: 24,
+            query_prob: 0.5,
+            remove_prob: 0.4,
+            density: 0.3,
+            fd_prob: 0.5,
+        }
+    }
+}
+
+/// A random edit script over `alg`. Removals always target a dependency
+/// currently live (tracked by replaying the adds/removes while
+/// generating), so the script replays cleanly on an initially empty
+/// reasoner.
+pub fn random_edit_script(rng: &mut impl Rng, alg: &Algebra, cfg: &EditConfig) -> Vec<EditOp> {
+    let mut live: Vec<CompiledDep> = Vec::new();
+    let mut out = Vec::with_capacity(cfg.ops);
+    for _ in 0..cfg.ops {
+        if rng.gen_bool(cfg.query_prob) {
+            out.push(EditOp::Query(random_dep(
+                rng,
+                alg,
+                cfg.density,
+                cfg.fd_prob,
+            )));
+        } else if !live.is_empty() && rng.gen_bool(cfg.remove_prob) {
+            let victim = live.remove(rng.gen_range(0..live.len()));
+            out.push(EditOp::Remove(victim));
+        } else {
+            let dep = random_dep(rng, alg, cfg.density, cfg.fd_prob);
+            live.push(dep.clone());
+            out.push(EditOp::Add(dep));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr_gen::attr_with_atoms;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scripts_never_remove_an_absent_dependency() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = attr_with_atoms(&mut rng, 16);
+        let alg = Algebra::new(&n);
+        for seed in 0..20 {
+            let script = random_edit_script(
+                &mut StdRng::seed_from_u64(seed),
+                &alg,
+                &EditConfig::default(),
+            );
+            let mut live: Vec<&CompiledDep> = Vec::new();
+            for op in &script {
+                match op {
+                    EditOp::Add(d) => live.push(d),
+                    EditOp::Remove(d) => {
+                        let i = live
+                            .iter()
+                            .position(|have| *have == d)
+                            .expect("remove targets a live dependency");
+                        live.remove(i);
+                    }
+                    EditOp::Query(_) => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let n = attr_with_atoms(&mut StdRng::seed_from_u64(12), 12);
+        let alg = Algebra::new(&n);
+        let cfg = EditConfig::default();
+        let s1 = random_edit_script(&mut StdRng::seed_from_u64(3), &alg, &cfg);
+        let s2 = random_edit_script(&mut StdRng::seed_from_u64(3), &alg, &cfg);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), cfg.ops);
+    }
+
+    #[test]
+    fn scripts_mix_all_three_ops() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = attr_with_atoms(&mut rng, 16);
+        let alg = Algebra::new(&n);
+        let cfg = EditConfig {
+            ops: 64,
+            ..EditConfig::default()
+        };
+        let script = random_edit_script(&mut rng, &alg, &cfg);
+        let adds = script
+            .iter()
+            .filter(|o| matches!(o, EditOp::Add(_)))
+            .count();
+        let removes = script
+            .iter()
+            .filter(|o| matches!(o, EditOp::Remove(_)))
+            .count();
+        let queries = script
+            .iter()
+            .filter(|o| matches!(o, EditOp::Query(_)))
+            .count();
+        assert!(adds > 0 && removes > 0 && queries > 0, "{script:?}");
+    }
+}

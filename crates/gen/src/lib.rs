@@ -5,6 +5,8 @@
 //! * [`attr_gen`] — random nested attributes with exact atom counts
 //!   (`|N| = |SubB(N)|` sweeps for the complexity experiments);
 //! * [`sigma_gen`] — random subattributes and dependency sets;
+//! * [`edits`] — random `Σ` edit scripts (add/remove/query) for the
+//!   incremental-maintenance cross-validation and benchmarks;
 //! * [`instance_gen`] — random values/instances and Σ-satisfying
 //!   instances via the completeness construction;
 //! * [`scenarios`] — fixed named workloads: the paper's pub-crawl
@@ -21,6 +23,7 @@
 pub mod attr_gen;
 pub mod chaos;
 pub mod defects;
+pub mod edits;
 pub mod instance_gen;
 pub mod scenarios;
 pub mod sigma_gen;
@@ -28,6 +31,7 @@ pub mod sigma_gen;
 pub use attr_gen::{attr_with_atoms, flat_attr, random_attr, AttrConfig};
 pub use chaos::{ChaosCase, Expectation};
 pub use defects::{render_sigma, seed_duplicate, seed_inflated_lhs, seed_trivial, seed_weakened};
+pub use edits::{random_edit_script, EditConfig, EditOp};
 pub use instance_gen::{random_instance, random_value, satisfying_instance, InstanceConfig};
 pub use scenarios::Scenario;
 pub use sigma_gen::{random_dep, random_sigma, random_subattr, SigmaConfig};

@@ -4,18 +4,28 @@
 //! [`Reasoner`] answers queries either one at a time or in parallel
 //! batches ([`Reasoner::implies_batch`]); batch workers share the per-LHS
 //! basis cache, which is sharded across mutexes so concurrent queries
-//! with distinct left-hand sides rarely contend.
+//! with distinct left-hand sides rarely contend. Batches are first run
+//! through a query *planner* that deduplicates items by left-hand side —
+//! each distinct LHS basis is computed exactly once per batch — and
+//! answers cache-warm LHSs before cold ones.
+//!
+//! The reasoner is *incremental*: `Σ` edits ([`Reasoner::add`] /
+//! [`Reasoner::remove`]) no longer clear the cache. Each cached basis
+//! carries the set of dependencies that fired while it was computed;
+//! an edit evicts only the entries the edited dependency could actually
+//! affect (see the soundness argument in [`crate::worklist`]), and a
+//! from-scratch recompute of every surviving entry is bit-identical.
 
-use std::collections::hash_map::DefaultHasher;
+use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
 
 use nalist_algebra::{Algebra, AtomSet};
-use nalist_deps::{CompiledDep, DepKind, Dependency};
+use nalist_deps::{CompiledDep, DepKind, Dependency, PreparedDep};
 use nalist_guard::{Budget, ResourceExhausted};
 use nalist_types::attr::NestedAttr;
 use nalist_types::error::{ParseError, TypeError};
@@ -23,18 +33,48 @@ use nalist_types::parser::ParseLimits;
 
 use crate::closure::{closure_and_basis, closure_and_basis_governed, DependencyBasis};
 use crate::witness::WitnessError;
+use crate::worklist::{closure_and_basis_worklist_run_governed, step_would_change};
 
 /// Number of independently locked cache shards. Spreading entries over
 /// 16 mutexes keeps contention negligible at any realistic thread count.
 const CACHE_SHARDS: usize = 16;
 
+/// One cached basis plus its invalidation index: the stable ids (see
+/// [`Reasoner::add`]) of the dependencies that fired while it was
+/// computed, ascending.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    basis: DependencyBasis,
+    fired: Vec<u64>,
+}
+
+/// Cache-effectiveness counters ([`Reasoner::cache_stats`]). `misses`
+/// counts full Algorithm 5.1 runs, so a batch with duplicated left-hand
+/// sides must raise it by the number of *distinct* LHSs only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered straight from the cache.
+    pub hits: u64,
+    /// Queries that ran Algorithm 5.1 (one miss == one basis
+    /// computation).
+    pub misses: u64,
+    /// Entries that survived `Σ` edits because the edited dependency
+    /// provably could not affect them.
+    pub retained: u64,
+    /// Entries evicted — by a `Σ` edit that could affect them, or by
+    /// [`Reasoner::clear_cache`].
+    pub evicted: u64,
+    /// Entries currently live.
+    pub entries: u64,
+}
+
 /// A thread-safe per-LHS dependency-basis cache, sharded by the hash of
 /// the left-hand side.
 ///
 /// Lookups lock exactly one shard, and no lock is held while a basis is
-/// *computed* — two threads racing on the same fresh LHS may both compute
-/// it, but the computation is deterministic, so the duplicate insert is
-/// idempotent and harmless.
+/// *computed*; within one batch the planner guarantees a distinct LHS is
+/// computed once, and concurrent *independent* callers racing on the
+/// same fresh LHS produce deterministic, idempotent inserts.
 ///
 /// The same no-lock-while-computing discipline is what makes poison
 /// recovery sound: a worker can only panic *outside* the critical
@@ -43,34 +83,97 @@ const CACHE_SHARDS: usize = 16;
 /// cache simply keeps serving after a worker dies.
 #[derive(Debug, Default)]
 struct BasisCache {
-    shards: [Mutex<HashMap<AtomSet, DependencyBasis>>; CACHE_SHARDS],
+    shards: [Mutex<HashMap<AtomSet, CacheEntry>>; CACHE_SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+    retained: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl Clone for BasisCache {
+    /// Deep copy: the clone owns independent shard storage (mutating
+    /// either side can never leak entries across), with counters reset.
+    fn clone(&self) -> Self {
+        let cloned = BasisCache::default();
+        for (src, dst) in self.shards.iter().zip(&cloned.shards) {
+            let src = src.lock().unwrap_or_else(PoisonError::into_inner);
+            *dst.lock().unwrap_or_else(PoisonError::into_inner) = src.clone();
+        }
+        cloned
+    }
 }
 
 impl BasisCache {
-    fn shard(&self, x: &AtomSet) -> &Mutex<HashMap<AtomSet, DependencyBasis>> {
+    fn shard(&self, x: &AtomSet) -> &Mutex<HashMap<AtomSet, CacheEntry>> {
         let mut h = DefaultHasher::new();
         x.hash(&mut h);
         &self.shards[h.finish() as usize % CACHE_SHARDS]
     }
 
     fn get(&self, x: &AtomSet) -> Option<DependencyBasis> {
-        self.shard(x)
+        let hit = self
+            .shard(x)
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .get(x)
-            .cloned()
+            .map(|e| e.basis.clone());
+        let counter = if hit.is_some() {
+            &self.hits
+        } else {
+            &self.misses
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        hit
     }
 
-    fn insert(&self, x: AtomSet, basis: DependencyBasis) {
+    /// Warmth probe for the batch planner — no stats impact.
+    fn contains(&self, x: &AtomSet) -> bool {
+        self.shard(x)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .contains_key(x)
+    }
+
+    fn insert(&self, x: AtomSet, entry: CacheEntry) {
         self.shard(&x)
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .insert(x, basis);
+            .insert(x, entry);
+    }
+
+    /// Keeps only the entries `keep` approves, updating the
+    /// retained/evicted counters.
+    fn retain(&self, mut keep: impl FnMut(&CacheEntry) -> bool) {
+        for shard in &self.shards {
+            let mut map = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            let before = map.len() as u64;
+            map.retain(|_, e| keep(e));
+            let after = map.len() as u64;
+            self.retained.fetch_add(after, Ordering::Relaxed);
+            self.evicted.fetch_add(before - after, Ordering::Relaxed);
+        }
     }
 
     fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().unwrap_or_else(PoisonError::into_inner).clear();
+            let mut map = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            self.evicted.fetch_add(map.len() as u64, Ordering::Relaxed);
+            map.clear();
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        let entries = self
+            .shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len() as u64)
+            .sum();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            retained: self.retained.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            entries,
         }
     }
 }
@@ -104,22 +207,32 @@ pub struct Reasoner {
     alg: Algebra,
     sigma: Vec<Dependency>,
     compiled: Vec<CompiledDep>,
-    /// per-LHS dependency-basis cache, invalidated when Σ changes
+    /// stable id of each `sigma[i]`, parallel to `sigma`/`compiled`;
+    /// ids are never reused, so cached `fired` lists stay unambiguous
+    /// across removals
+    ids: Vec<u64>,
+    /// next id handed out by [`Reasoner::add`]
+    next_id: u64,
+    /// per-LHS dependency-basis cache, *selectively* invalidated when Σ
+    /// changes (see [`Reasoner::add`] / [`Reasoner::remove`])
     cache: BasisCache,
 }
 
 impl Clone for Reasoner {
-    /// The clone starts with an *empty* cache: entries are cheap to
-    /// recompute, and a clone that secretly shared cache storage with its
-    /// original would be a correctness hazard once either side mutates
-    /// `Σ`.
+    /// The clone carries a *deep copy* of the basis cache: warm entries
+    /// keep answering on the clone without recomputation, and because
+    /// the storage is copied (never shared), a later `Σ` edit on either
+    /// side evicts only from that side's own cache. Stats counters
+    /// restart at zero on the clone.
     fn clone(&self) -> Self {
         Reasoner {
             attr: self.attr.clone(),
             alg: self.alg.clone(),
             sigma: self.sigma.clone(),
             compiled: self.compiled.clone(),
-            cache: BasisCache::default(),
+            ids: self.ids.clone(),
+            next_id: self.next_id,
+            cache: self.cache.clone(),
         }
     }
 }
@@ -209,6 +322,8 @@ impl Reasoner {
             alg: Algebra::try_new(n, budget)?,
             sigma: Vec::new(),
             compiled: Vec::new(),
+            ids: Vec::new(),
+            next_id: 0,
             cache: BasisCache::default(),
         })
     }
@@ -233,12 +348,26 @@ impl Reasoner {
         &self.compiled
     }
 
-    /// Adds a dependency to `Σ`.
+    /// Adds a dependency to `Σ`, evicting only the cached bases the new
+    /// dependency can actually change.
+    ///
+    /// A cached basis survives iff one step of the new dependency is a
+    /// no-op at that basis ([`step_would_change`] replays the step
+    /// non-mutatingly): the cached state is then a fixpoint of
+    /// `Σ ∪ {dep}` too, and by the confluence theorem (Theorem 6.3)
+    /// every fixpoint *is* the canonical basis — so the surviving entry
+    /// is bit-identical to a from-scratch recompute. Note the weaker
+    /// "does `dep`'s footprint intersect the entry's LHS?" test is
+    /// unsound here: a dependency can anchor on atoms the original run
+    /// never touched.
     pub fn add(&mut self, dep: Dependency) -> Result<(), ReasonerError> {
         let c = dep.compile(&self.alg).map_err(ReasonerError::Type)?;
-        self.cache.clear();
+        let prepared = c.prepare(&self.alg);
+        self.evict_if_step_fires(&prepared);
         self.sigma.push(dep);
         self.compiled.push(c);
+        self.ids.push(self.next_id);
+        self.next_id += 1;
         Ok(())
     }
 
@@ -246,6 +375,66 @@ impl Reasoner {
     pub fn add_str(&mut self, src: &str) -> Result<(), ReasonerError> {
         let dep = Dependency::parse(&self.attr, src).map_err(ReasonerError::Parse)?;
         self.add(dep)
+    }
+
+    /// Removes the first dependency of `Σ` equal to `dep` (compiled
+    /// comparison, so distinct spellings of the same dependency match).
+    /// Returns whether anything was removed.
+    ///
+    /// Only cached bases whose computation the removed dependency
+    /// *fired in* are evicted: a dependency that never fired contributed
+    /// no step to the run's trajectory, so replaying the run without it
+    /// visits the exact same states and converges to the bit-identical
+    /// basis.
+    pub fn remove(&mut self, dep: &Dependency) -> Result<bool, ReasonerError> {
+        let c = dep.compile(&self.alg).map_err(ReasonerError::Type)?;
+        match self.compiled.iter().position(|have| *have == c) {
+            Some(i) => {
+                self.remove_at(i);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// [`Reasoner::remove`] for a dependency written as `"X -> Y"` /
+    /// `"X ->> Y"`.
+    pub fn remove_str(&mut self, src: &str) -> Result<bool, ReasonerError> {
+        let dep = Dependency::parse(&self.attr, src).map_err(ReasonerError::Parse)?;
+        self.remove(&dep)
+    }
+
+    /// Removes `sigma()[i]`, evicting only the cached bases it fired in.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn remove_at(&mut self, i: usize) -> Dependency {
+        let removed_id = self.ids.remove(i);
+        self.compiled.remove(i);
+        let dep = self.sigma.remove(i);
+        self.cache
+            .retain(|entry| !entry.fired.contains(&removed_id));
+        dep
+    }
+
+    /// Evicts every cached entry at which one step of `prepared` would
+    /// change the basis (the `add` eviction rule).
+    fn evict_if_step_fires(&self, prepared: &PreparedDep) {
+        self.cache
+            .retain(|entry| !step_would_change(&self.alg, prepared, &entry.basis));
+    }
+
+    /// Drops every cached basis. This is the pre-incremental behaviour
+    /// of `Σ` edits, kept public as the cold-cache baseline for
+    /// benchmarks and tests.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Cache-effectiveness counters for this reasoner (clones restart
+    /// from zero).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Decides `Σ ⊨ σ` (using the per-LHS basis cache).
@@ -345,8 +534,16 @@ impl Reasoner {
             .iter()
             .map(|d| d.compile(&self.alg).map_err(ReasonerError::Type))
             .collect::<Result<Vec<_>, _>>()?;
-        let run_one = |c: &CompiledDep| self.isolated(|| self.implies_compiled_governed(c, budget));
-        Ok(run_batch(&compiled, threads, run_one))
+        let groups = self.plan_groups(compiled.iter().map(|c| &c.lhs));
+        Ok(
+            self.run_planned(&groups, compiled.len(), threads, budget, |basis, i| {
+                let c = &compiled[i];
+                match c.kind {
+                    DepKind::Fd => basis.fd_derivable(&c.rhs),
+                    DepKind::Mvd => basis.mvd_derivable(&c.rhs),
+                }
+            }),
+        )
     }
 
     /// Computes the dependency basis for every `X` in `xs`, in parallel
@@ -396,8 +593,100 @@ impl Reasoner {
         budget: &Budget,
         threads: NonZeroUsize,
     ) -> Vec<Result<DependencyBasis, QueryError>> {
-        let run_one = |x: &AtomSet| self.isolated(|| self.dependency_basis_governed(x, budget));
-        run_batch(xs, threads, run_one)
+        let groups = self.plan_groups(xs.iter());
+        self.run_planned(&groups, xs.len(), threads, budget, |basis, _| basis.clone())
+    }
+
+    /// The batch query planner: deduplicates batch items by left-hand
+    /// side (each distinct LHS becomes one [`PlanGroup`], computed
+    /// exactly once) and orders cache-warm LHSs before cold ones —
+    /// warm groups answer instantly, freeing workers and the shared
+    /// budget's headroom for the cold groups as early as possible.
+    /// Warm/cold ordering is stable by first occurrence, so single-thread
+    /// execution is deterministic.
+    fn plan_groups<'a>(&self, lhss: impl Iterator<Item = &'a AtomSet>) -> Vec<PlanGroup> {
+        let mut index: HashMap<&'a AtomSet, usize> = HashMap::new();
+        let mut groups: Vec<PlanGroup> = Vec::new();
+        for (i, x) in lhss.enumerate() {
+            match index.entry(x) {
+                Entry::Occupied(e) => groups[*e.get()].members.push(i),
+                Entry::Vacant(v) => {
+                    v.insert(groups.len());
+                    groups.push(PlanGroup {
+                        x: x.clone(),
+                        members: vec![i],
+                    });
+                }
+            }
+        }
+        let (warm, cold): (Vec<_>, Vec<_>) =
+            groups.into_iter().partition(|g| self.cache.contains(&g.x));
+        warm.into_iter().chain(cold).collect()
+    }
+
+    /// Executes a planned batch: workers steal whole groups, compute the
+    /// group's basis once (panic- and budget-isolated), then fan the
+    /// result out to every member item through `eval`. Per-item slots
+    /// keep the output index-aligned with the original batch.
+    fn run_planned<T: Send + Sync>(
+        &self,
+        groups: &[PlanGroup],
+        n_items: usize,
+        threads: NonZeroUsize,
+        budget: &Budget,
+        eval: impl Fn(&DependencyBasis, usize) -> T + Sync,
+    ) -> Vec<Result<T, QueryError>> {
+        let slots: Vec<OnceLock<Result<T, QueryError>>> =
+            (0..n_items).map(|_| OnceLock::new()).collect();
+        let fill = |g: &PlanGroup| {
+            match self.isolated(|| self.dependency_basis_governed(&g.x, budget)) {
+                Ok(basis) => {
+                    for &i in &g.members {
+                        // `eval` is also confined per item: a panic while
+                        // deriving one member's answer must not take down
+                        // its LHS-mates.
+                        let r =
+                            catch_unwind(AssertUnwindSafe(|| eval(&basis, i))).map_err(|payload| {
+                                QueryError::Panicked {
+                                    message: panic_message(payload),
+                                }
+                            });
+                        let filled = slots[i].set(r);
+                        debug_assert!(filled.is_ok(), "item {i} claimed twice");
+                    }
+                }
+                Err(e) => {
+                    for &i in &g.members {
+                        let filled = slots[i].set(Err(e.clone()));
+                        debug_assert!(filled.is_ok(), "item {i} claimed twice");
+                    }
+                }
+            }
+        };
+        let workers = threads.get().min(groups.len());
+        if workers <= 1 {
+            for g in groups {
+                fill(g);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let gi = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(g) = groups.get(gi) else { break };
+                        fill(g);
+                    });
+                }
+            });
+        }
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("every item belongs to exactly one group")
+            })
+            .collect()
     }
 
     /// Runs one batch item with panic confinement: a panicking query
@@ -456,15 +745,12 @@ impl Reasoner {
     }
 
     /// Full dependency basis for a subattribute `X`. Results are cached
-    /// per left-hand side until `Σ` changes, so repeated queries with the
-    /// same `X` (common in cover/normal-form workloads) pay once.
+    /// per left-hand side, and `Σ` edits evict only the entries they can
+    /// affect, so repeated queries with the same `X` (common in
+    /// cover/normal-form workloads) pay once even across edits.
     pub fn dependency_basis(&self, x: &AtomSet) -> DependencyBasis {
-        if let Some(hit) = self.cache.get(x) {
-            return hit;
-        }
-        let basis = closure_and_basis(&self.alg, &self.compiled, x);
-        self.cache.insert(x.clone(), basis.clone());
-        basis
+        self.dependency_basis_governed(x, &Budget::unlimited())
+            .expect("unlimited budget cannot be exhausted")
     }
 
     /// [`Reasoner::dependency_basis`] under a resource [`Budget`]. Only
@@ -479,9 +765,18 @@ impl Reasoner {
         if let Some(hit) = self.cache.get(x) {
             return Ok(hit);
         }
-        let basis = closure_and_basis_governed(&self.alg, &self.compiled, x, budget)?;
-        self.cache.insert(x.clone(), basis.clone());
-        Ok(basis)
+        let run = closure_and_basis_worklist_run_governed(&self.alg, &self.compiled, x, budget)?;
+        // `run.fired` indexes Σ in ascending order and ids grow with the
+        // index, so the mapped list stays ascending.
+        let fired = run.fired.iter().map(|&i| self.ids[i]).collect();
+        self.cache.insert(
+            x.clone(),
+            CacheEntry {
+                basis: run.basis.clone(),
+                fired,
+            },
+        );
+        Ok(run.basis)
     }
 
     /// Dependency basis for a subattribute given in abbreviated notation.
@@ -532,36 +827,11 @@ fn default_threads() -> NonZeroUsize {
     std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
 }
 
-/// The work-stealing loop shared by every batch entry point: items are
-/// claimed off a shared counter and results land in index-aligned slots.
-/// `run_one` must not unwind (the batch entry points wrap each item in
-/// [`Reasoner::isolated`]); if it somehow does, the scope re-raises the
-/// panic rather than returning garbage.
-fn run_batch<I: Sync, T: Send + Sync>(
-    items: &[I],
-    threads: NonZeroUsize,
-    run_one: impl Fn(&I) -> T + Sync,
-) -> Vec<T> {
-    let workers = threads.get().min(items.len());
-    if workers <= 1 {
-        return items.iter().map(run_one).collect();
-    }
-    let slots: Vec<OnceLock<T>> = items.iter().map(|_| OnceLock::new()).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                let filled = slots[i].set(run_one(item));
-                debug_assert!(filled.is_ok(), "slot {i} claimed twice");
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.into_inner().expect("every slot was claimed exactly once"))
-        .collect()
+/// One deduplicated unit of planned batch work: a distinct left-hand
+/// side and the indices of every batch item that shares it.
+struct PlanGroup {
+    x: AtomSet,
+    members: Vec<usize>,
 }
 
 /// Evidence accompanying a membership verdict (see
@@ -660,7 +930,7 @@ mod tests {
         for _ in 0..3 {
             assert!(r.implies_str("L(A) -> L(C)").unwrap());
         }
-        // clones start with their own cache and remain independent
+        // clones carry a deep copy of the cache and remain independent
         let r2 = r.clone();
         assert!(r2.implies_str("L(A) -> L(C)").unwrap());
     }
@@ -753,6 +1023,144 @@ mod tests {
         assert_eq!(r.dependency_basis_batch(&xs), sequential);
     }
 
+    #[test]
+    fn batch_planner_computes_each_distinct_lhs_once() {
+        // Regression for the duplicate-LHS double-compute race: before
+        // the planner, two workers racing on the same cold LHS both ran
+        // Algorithm 5.1 (the shard lock is dropped during compute). The
+        // planner folds equal LHSs into one group, so `misses` — which
+        // counts full basis computations — must equal the number of
+        // *distinct* LHSs at any thread count.
+        let n = parse_attr("L(A, B, C, D)").unwrap();
+        let mut r = Reasoner::new(&n);
+        r.add_str("L(A) ->> L(B)").unwrap();
+        r.add_str("L(B) -> L(C)").unwrap();
+        let sub = |s: &str| {
+            let sub = nalist_types::parser::parse_subattr_of(&n, s).unwrap();
+            r.algebra().from_attr(&sub).unwrap()
+        };
+        let xs = vec![
+            sub("L(A)"),
+            sub("L(B)"),
+            sub("L(A)"),
+            sub("L(A)"),
+            sub("L(B)"),
+            sub("L(A)"),
+        ];
+        for threads in [1, 4] {
+            let fresh = r.clone();
+            fresh.clear_cache();
+            let batch = fresh.dependency_basis_batch_with(&xs, NonZeroUsize::new(threads).unwrap());
+            assert_eq!(batch.len(), xs.len());
+            assert_eq!(batch[0], batch[2]);
+            assert_eq!(batch[1], batch[4]);
+            let stats = fresh.cache_stats();
+            assert_eq!(
+                stats.misses, 2,
+                "threads = {threads}: each distinct LHS computed exactly once"
+            );
+            assert_eq!(stats.entries, 2, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn clone_carries_warm_cache() {
+        // Regression: `Reasoner::clone` used to silently drop every
+        // cached basis. The clone must answer warm LHSs without any new
+        // basis computation.
+        let n = parse_attr("L(A, B, C)").unwrap();
+        let mut r = Reasoner::new(&n);
+        r.add_str("L(A) -> L(B)").unwrap();
+        assert!(r.implies_str("L(A) -> L(B)").unwrap());
+        let warmed = r.cache_stats();
+        assert_eq!((warmed.misses, warmed.entries), (1, 1));
+        let r2 = r.clone();
+        // stats restart on the clone, but the entries came along
+        assert_eq!(r2.cache_stats().entries, 1);
+        assert!(r2.implies_str("L(A) -> L(B)").unwrap());
+        let after = r2.cache_stats();
+        assert_eq!(after.misses, 0, "warm query on the clone recomputed");
+        assert_eq!(after.hits, 1);
+    }
+
+    #[test]
+    fn add_evicts_only_affected_entries() {
+        let n = parse_attr("L(A, B, C, D)").unwrap();
+        let mut r = Reasoner::new(&n);
+        r.add_str("L(A) -> L(B)").unwrap();
+        // warm two entries: LHS = L(A) (closure {A, B, λ}) and LHS = L(C)
+        // (closure {C, λ})
+        assert!(r.implies_str("L(A) -> L(B)").unwrap());
+        assert!(!r.implies_str("L(C) -> L(D)").unwrap());
+        assert_eq!(r.cache_stats().entries, 2);
+        // C -> D fires at the L(C) entry but is a no-op at the L(A)
+        // entry (C is not in {A, B}⁺), so exactly one entry survives
+        r.add_str("L(C) -> L(D)").unwrap();
+        let stats = r.cache_stats();
+        assert_eq!(stats.entries, 1, "only the affected entry evicted");
+        assert_eq!(stats.evicted, 1);
+        assert_eq!(stats.retained, 1);
+        // the survivor still answers correctly without recomputation...
+        assert!(r.implies_str("L(A) -> L(B)").unwrap());
+        assert_eq!(r.cache_stats().misses, 2, "surviving entry was a hit");
+        // ...and the evicted LHS reflects the new Σ
+        assert!(r.implies_str("L(C) -> L(D)").unwrap());
+    }
+
+    #[test]
+    fn remove_evicts_only_entries_the_dependency_fired_in() {
+        let n = parse_attr("L(A, B, C, D)").unwrap();
+        let mut r = Reasoner::new(&n);
+        r.add_str("L(A) -> L(B)").unwrap();
+        r.add_str("L(C) -> L(D)").unwrap();
+        // L(A): only A -> B fires; L(C): only C -> D fires
+        assert!(r.implies_str("L(A) -> L(B)").unwrap());
+        assert!(r.implies_str("L(C) -> L(D)").unwrap());
+        assert_eq!(r.cache_stats().entries, 2);
+        // removing C -> D must keep the L(A) entry
+        assert!(r.remove_str("L(C) -> L(D)").unwrap());
+        assert_eq!(r.sigma().len(), 1);
+        let stats = r.cache_stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evicted, 1);
+        // answers track the edited Σ
+        assert!(r.implies_str("L(A) -> L(B)").unwrap());
+        assert!(!r.implies_str("L(C) -> L(D)").unwrap());
+        // removing something absent is reported, not an error
+        assert!(!r.remove_str("L(C) -> L(D)").unwrap());
+        assert!(r.remove_str("L(A) -> L(B)").unwrap());
+        assert!(r.sigma().is_empty());
+        assert!(!r.implies_str("L(A) -> L(B)").unwrap());
+    }
+
+    #[test]
+    fn add_then_remove_round_trips_to_identical_answers() {
+        let n = parse_attr("A'(B, C[D(E, F[G])])").unwrap();
+        let mut r = Reasoner::new(&n);
+        r.add_str("A'(B) ->> A'(C[D(E)])").unwrap();
+        r.add_str("A'(C[λ]) -> A'(B)").unwrap();
+        let queries = [
+            "A'(B) -> A'(C[λ])",
+            "A'(B) ->> A'(C[D(F[λ])])",
+            "A'(C[λ]) ->> A'(B, C[D(E)])",
+            "A'(C[D(E)]) -> A'(B)",
+        ];
+        let before: Vec<bool> = queries.iter().map(|q| r.implies_str(q).unwrap()).collect();
+        r.add_str("A'(B) -> A'(C[D(E, F[G])])").unwrap();
+        assert!(r.remove_str("A'(B) -> A'(C[D(E, F[G])])").unwrap());
+        let after: Vec<bool> = queries.iter().map(|q| r.implies_str(q).unwrap()).collect();
+        assert_eq!(before, after);
+        // and the bases themselves are bit-identical to a fresh build
+        let mut fresh = Reasoner::new(&n);
+        fresh.add_str("A'(B) ->> A'(C[D(E)])").unwrap();
+        fresh.add_str("A'(C[λ]) -> A'(B)").unwrap();
+        for q in &queries {
+            let dep = Dependency::parse(&n, q).unwrap();
+            let c = dep.compile(r.algebra()).unwrap();
+            assert_eq!(r.dependency_basis(&c.lhs), fresh.dependency_basis(&c.lhs));
+        }
+    }
+
     /// Runs `f` with the default panic hook silenced, so intentionally
     /// injected panics don't spray backtraces over test output.
     fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
@@ -822,10 +1230,17 @@ mod tests {
             .collect();
         let expected: Vec<bool> = deps.iter().map(|d| r.implies(d).unwrap()).collect();
         // Inject a panic into the closure computation with 0-based hit
-        // index 1 — with threads=1 and LHSs A, B, A, A that is exactly
-        // the L(B)-LHS query (the repeated A queries hit the cache).
+        // index 1. The planner folds the LHSs A, B, A, A into two cold
+        // groups (A with three members, B with one); the second group to
+        // reach the failpoint poisons all of its members: with threads=1
+        // that is deterministically the B group (1 item), with threads=4
+        // the two groups race, so either 1 (B lost) or 3 (A lost) items
+        // report the confined panic.
         for threads in [1, 4] {
             let fresh = r.clone();
+            // the clone carries r's warm cache; start cold so the
+            // failpoint inside the closure computation is reachable
+            fresh.clear_cache();
             let b = Budget::unlimited().with_failpoint(nalist_guard::FailPoint::nth(
                 "membership::closure",
                 1,
@@ -841,10 +1256,14 @@ mod tests {
                 .iter()
                 .filter(|r| matches!(r, Err(QueryError::Panicked { .. })))
                 .count();
-            assert_eq!(
-                panicked, 1,
-                "threads = {threads}: exactly one poisoned query"
-            );
+            if threads == 1 {
+                assert_eq!(panicked, 1, "threads = 1: exactly the L(B) group poisoned");
+            } else {
+                assert!(
+                    panicked == 1 || panicked == 3,
+                    "threads = {threads}: exactly one group poisoned, got {panicked} items"
+                );
+            }
             for (i, item) in items.iter().enumerate() {
                 if let Ok(answer) = item {
                     assert_eq!(*answer, expected[i], "threads = {threads}, item {i}");

@@ -32,5 +32,6 @@ pub use closure::{
     closure_and_basis, closure_and_basis_governed, closure_and_basis_paper,
     closure_and_basis_paper_governed, closure_and_basis_traced, DependencyBasis, Trace,
 };
-pub use decide::{implies, Evidence, QueryError, Reasoner, ReasonerError};
+pub use decide::{implies, CacheStats, Evidence, QueryError, Reasoner, ReasonerError};
 pub use witness::{refute, Witness, WitnessError};
+pub use worklist::{closure_and_basis_worklist_run_governed, step_would_change, WorklistRun};

@@ -42,15 +42,42 @@
 //!
 //! Steps themselves run allocation-free on the hot path: anchoring uses
 //! the precomputed masks of [`PreparedDep`], the lattice ops write into
-//! reused scratch sets (`pdiff_into`/`cc_into`/`compl_into`), and the
-//! partition is a [`BlockPartition`] of inline bitsets instead of a
-//! `BTreeSet` that must be cloned to detect change.
+//! a reused scratch set (`pdiff_into`/`compl_into`) or build the
+//! replacement block directly, the `X_new`/dirty-set updates are the
+//! fused single-pass word kernels `union_with_changed`/`union_andnot`,
+//! and the partition is a [`BlockPartition`] of inline bitsets instead
+//! of a `BTreeSet` that must be cloned to detect change.
+//!
+//! ## Fired-dependency tracking
+//!
+//! [`closure_and_basis_worklist_run_governed`] additionally reports
+//! *which* dependencies fired — changed `X_new` or the partition — at
+//! least once during the run ([`WorklistRun::fired`]). This is the
+//! footprint index behind the incremental [`crate::Reasoner`]: a cached
+//! basis stays valid under `Σ ∖ {d}` whenever `d` never fired while it
+//! was computed (removing pure no-op steps leaves the trajectory — and
+//! hence the canonical output — untouched), and stays valid under
+//! `Σ ∪ {d}` whenever `d`'s step is a no-op at the cached fixpoint
+//! ([`step_would_change`]): the cached state is then a fixpoint of the
+//! larger Σ too, and any fixpoint of the step operators is *the*
+//! dependency basis (Theorem 6.3), which has a canonical representation.
 
 use nalist_algebra::{Algebra, AtomSet, BlockPartition};
 use nalist_deps::{CompiledDep, DepKind, PreparedDep};
 use nalist_guard::{Budget, ResourceExhausted};
 
 use crate::closure::DependencyBasis;
+
+/// The output of one worklist run: the basis plus the indices (into the
+/// caller's `Σ` slice, ascending) of every dependency whose step changed
+/// the engine state at least once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorklistRun {
+    /// The computed closure and dependency basis.
+    pub basis: DependencyBasis,
+    /// Indices into `sigma` of the dependencies that fired, ascending.
+    pub fired: Vec<usize>,
+}
 
 /// Computes `X⁺` and `DepB(X)` with the change-driven worklist engine.
 ///
@@ -77,17 +104,28 @@ pub fn closure_and_basis_worklist_governed(
     x: &AtomSet,
     budget: &Budget,
 ) -> Result<DependencyBasis, ResourceExhausted> {
+    Ok(closure_and_basis_worklist_run_governed(alg, sigma, x, budget)?.basis)
+}
+
+/// [`closure_and_basis_worklist_governed`], also reporting the set of
+/// dependencies that fired (see [`WorklistRun`]).
+pub fn closure_and_basis_worklist_run_governed(
+    alg: &Algebra,
+    sigma: &[CompiledDep],
+    x: &AtomSet,
+    budget: &Budget,
+) -> Result<WorklistRun, ResourceExhausted> {
     budget.failpoint("membership::closure")?;
     debug_assert!(alg.is_downward_closed(x), "X must be an element of Sub(N)");
     let n = alg.atom_count();
 
-    // FDs first, then MVDs — the paper's processing order
-    let prepared: Vec<PreparedDep> = sigma
-        .iter()
-        .filter(|d| d.kind == DepKind::Fd)
-        .chain(sigma.iter().filter(|d| d.kind == DepKind::Mvd))
-        .map(|d| d.prepare(alg))
+    // FDs first, then MVDs — the paper's processing order; `order` maps
+    // each worklist slot back to its index in the caller's Σ
+    let order: Vec<usize> = (0..sigma.len())
+        .filter(|&i| sigma[i].kind == DepKind::Fd)
+        .chain((0..sigma.len()).filter(|&i| sigma[i].kind == DepKind::Mvd))
         .collect();
+    let prepared: Vec<PreparedDep> = order.iter().map(|&i| sigma[i].prepare(alg)).collect();
 
     let mut engine = Engine {
         alg,
@@ -95,9 +133,7 @@ pub fn closure_and_basis_worklist_governed(
         part: BlockPartition::new(n),
         ubar: AtomSet::empty(n),
         vtilde: AtomSet::empty(n),
-        tmp_a: AtomSet::empty(n),
-        tmp_b: AtomSet::empty(n),
-        tmp_c: AtomSet::empty(n),
+        scratch: AtomSet::empty(n),
         delta: AtomSet::empty(n),
     };
 
@@ -112,6 +148,7 @@ pub fn closure_and_basis_worklist_governed(
 
     let k = prepared.len();
     let mut dirty = vec![true; k];
+    let mut fired = vec![false; k];
     let mut n_dirty = k;
     while n_dirty > 0 {
         for j in 0..k {
@@ -122,6 +159,7 @@ pub fn closure_and_basis_worklist_governed(
             dirty[j] = false;
             n_dirty -= 1;
             if engine.step(&prepared[j]) {
+                fired[j] = true;
                 // wake every dependency whose LHS meets the dirty set
                 for (jj, other) in prepared.iter().enumerate() {
                     if !dirty[jj] && engine.delta.intersects(&other.lhs) {
@@ -133,7 +171,78 @@ pub fn closure_and_basis_worklist_governed(
         }
     }
 
-    Ok(engine.finish())
+    let mut fired: Vec<usize> = fired
+        .iter()
+        .enumerate()
+        .filter(|&(_, &f)| f)
+        .map(|(j, _)| order[j])
+        .collect();
+    fired.sort_unstable();
+    Ok(WorklistRun {
+        basis: engine.finish(),
+        fired,
+    })
+}
+
+/// Would processing `dep` change the fixpoint state recorded in `basis`?
+///
+/// This replays exactly the change test of one engine step (anchoring
+/// via the precomputed masks, `Ṽ = V ∸ Ū`, then the FD/MVD mutation
+/// conditions) against `basis.closure` / `basis.blocks` without mutating
+/// anything. At a fixpoint of `Σ` it is `false` for every `d ∈ Σ` by
+/// definition; for a *new* dependency it decides whether a cached basis
+/// survives `Σ ∪ {dep}` — `false` means the cached state is a fixpoint
+/// of the larger Σ as well, hence still the (canonical) dependency
+/// basis.
+pub fn step_would_change(alg: &Algebra, dep: &PreparedDep, basis: &DependencyBasis) -> bool {
+    let closure = &basis.closure;
+    // Ū := ⊔{W ∈ DB | W anchors an un-determined LHS atom}
+    let mut ubar = AtomSet::empty(alg.atom_count());
+    for w in &basis.blocks {
+        if dep.anchors(closure, w) {
+            ubar.union_with(w);
+        }
+    }
+    let vtilde = alg.pdiff(&dep.rhs, &ubar);
+    if vtilde.is_empty() {
+        return false;
+    }
+    match dep.kind {
+        DepKind::Fd => {
+            if !vtilde.is_subset(closure) {
+                return true;
+            }
+            let vt_max = alg.maximal_atoms_of(&vtilde);
+            let mut present = AtomSet::empty(alg.atom_count());
+            for w in &basis.blocks {
+                let wmax = alg.maximal_atoms_of(w);
+                if !wmax.intersects(&vt_max) {
+                    continue;
+                }
+                if wmax.is_subset(&vtilde) && wmax.count() == 1 {
+                    present.union_with(&wmax);
+                    continue;
+                }
+                // a block would genuinely be reduced by Ṽ
+                return true;
+            }
+            // a maximal atom of Ṽ still lacks its singleton block
+            !vt_max.is_subset(&present)
+        }
+        DepKind::Mvd => {
+            // mixed meet: Ṽ ⊓ Ṽ^C must already be inside X_new …
+            let mut mixed = alg.compl(&vtilde);
+            mixed.intersect_with(&vtilde);
+            if !mixed.is_subset(closure) {
+                return true;
+            }
+            // … and no block may straddle Ṽ
+            basis.blocks.iter().any(|w| {
+                let wmax = alg.maximal_atoms_of(w);
+                wmax.intersects(&vtilde) && !wmax.is_subset(&vtilde)
+            })
+        }
+    }
 }
 
 struct Engine<'a> {
@@ -141,11 +250,12 @@ struct Engine<'a> {
     x_new: AtomSet,
     part: BlockPartition,
     // scratch sets, reused across steps so the hot path never allocates
+    // (block replacements are built owned — they live on in the
+    // partition anyway, so building in place saves the old
+    // scratch-then-clone dance)
     ubar: AtomSet,
     vtilde: AtomSet,
-    tmp_a: AtomSet,
-    tmp_b: AtomSet,
-    tmp_c: AtomSet,
+    scratch: AtomSet,
     /// Atoms whose state changed in the last step: new `X_new` members
     /// plus the pre-change contents of every replaced block.
     delta: AtomSet,
@@ -177,14 +287,10 @@ impl Engine<'_> {
     /// `X_new ⊔= Ṽ`; every block is reduced by `Ṽ` and the maximal atoms
     /// of `Ṽ` become singleton blocks.
     fn fd_step(&mut self) -> bool {
-        let mut changed = false;
-        if !self.vtilde.is_subset(&self.x_new) {
-            self.tmp_a.copy_from(&self.vtilde);
-            self.tmp_a.difference_with(&self.x_new);
-            self.delta.union_with(&self.tmp_a);
-            self.x_new.union_with(&self.vtilde);
-            changed = true;
-        }
+        // fused kernels: delta ⊔= Ṽ ⊓ ¬X_new, then X_new ⊔= Ṽ with the
+        // grew-flag — no temp set, no separate subset probe
+        self.delta.union_andnot(&self.vtilde, &self.x_new);
+        let mut changed = self.x_new.union_with_changed(&self.vtilde);
         self.part.bump();
         // vt_max: maximal atoms of Ṽ — the singleton blocks this FD creates
         let vt_max = self.alg.maximal_atoms_of(&self.vtilde);
@@ -213,13 +319,13 @@ impl Engine<'_> {
             // genuine reduction: W ↦ (W ∸ Ṽ)^CC, dropped if empty
             changed = true;
             self.delta.union_with(w);
-            self.alg.pdiff_into(w, &self.vtilde, &mut self.tmp_a);
-            self.alg.cc_into(&self.tmp_a, &mut self.tmp_b);
-            if self.tmp_b.is_empty() {
+            self.alg.pdiff_into(w, &self.vtilde, &mut self.scratch);
+            let reduced = self.alg.cc(&self.scratch);
+            if reduced.is_empty() {
                 self.part.swap_remove(i);
                 // the swapped-in block is processed at the same index
             } else {
-                self.part.replace(i, self.tmp_b.clone());
+                self.part.replace(i, reduced);
                 i += 1;
             }
         }
@@ -237,15 +343,11 @@ impl Engine<'_> {
     /// Mixed meet rule `X_new ⊔= Ṽ ⊓ Ṽ^C`; every block is split along
     /// `Ṽ`.
     fn mvd_step(&mut self) -> bool {
-        let mut changed = false;
-        self.alg.compl_into(&self.vtilde, &mut self.tmp_a);
-        self.tmp_a.intersect_with(&self.vtilde);
-        if !self.tmp_a.is_subset(&self.x_new) {
-            self.tmp_a.difference_with(&self.x_new);
-            self.delta.union_with(&self.tmp_a);
-            self.x_new.union_with(&self.tmp_a);
-            changed = true;
-        }
+        // mixed meet Ṽ ⊓ Ṽ^C, then the fused delta/X_new kernels
+        self.alg.compl_into(&self.vtilde, &mut self.scratch);
+        self.scratch.intersect_with(&self.vtilde);
+        self.delta.union_andnot(&self.scratch, &self.x_new);
+        let mut changed = self.x_new.union_with_changed(&self.scratch);
         self.part.bump();
         let n0 = self.part.len();
         for i in 0..n0 {
@@ -257,13 +359,13 @@ impl Engine<'_> {
             }
             changed = true;
             self.delta.union_with(w);
-            self.tmp_a.copy_from(w);
-            self.tmp_a.intersect_with(&self.vtilde);
-            self.alg.cc_into(&self.tmp_a, &mut self.tmp_b); // (Ṽ ⊓ W)^CC
-            self.alg.pdiff_into(w, &self.vtilde, &mut self.tmp_a);
-            self.alg.cc_into(&self.tmp_a, &mut self.tmp_c); // (W ∸ Ṽ)^CC
-            self.part.replace(i, self.tmp_b.clone());
-            self.part.push(self.tmp_c.clone());
+            self.scratch.copy_from(w);
+            self.scratch.intersect_with(&self.vtilde);
+            let inter = self.alg.cc(&self.scratch); // (Ṽ ⊓ W)^CC
+            self.alg.pdiff_into(w, &self.vtilde, &mut self.scratch);
+            let rest = self.alg.cc(&self.scratch); // (W ∸ Ṽ)^CC
+            self.part.replace(i, inter);
+            self.part.push(rest);
         }
         changed
     }
@@ -354,5 +456,102 @@ mod tests {
     fn empty_sigma_and_top_bottom() {
         check("L(A, B, C)", &[], &["λ", "L(A)", "L(A, B, C)"]);
         check("L[A]", &["λ ->> L[λ]"], &["λ", "L[λ]", "L[A]"]);
+    }
+
+    fn run_for(attr: &str, deps: &[&str], x: &str) -> (Algebra, Vec<CompiledDep>, WorklistRun) {
+        let n = parse_attr(attr).unwrap();
+        let alg = Algebra::new(&n);
+        let sigma: Vec<CompiledDep> = deps
+            .iter()
+            .map(|s| Dependency::parse(&n, s).unwrap().compile(&alg).unwrap())
+            .collect();
+        let set = alg.from_attr(&parse_subattr_of(&n, x).unwrap()).unwrap();
+        let run = closure_and_basis_worklist_run_governed(&alg, &sigma, &set, &Budget::unlimited())
+            .unwrap();
+        (alg, sigma, run)
+    }
+
+    #[test]
+    fn fired_reports_exactly_the_contributing_dependencies() {
+        // From X = L(A): A → B fires; C → D never can (C stays
+        // unanchored inside the block {C, D}, so Ṽ = ∅ every time)
+        let (_, _, run) = run_for("L(A, B, C, D)", &["L(A) -> L(B)", "L(C) -> L(D)"], "L(A)");
+        assert_eq!(run.fired, vec![0]);
+        // with an empty Σ nothing fires
+        let (_, _, none) = run_for("L(A, B, C)", &[], "L(A)");
+        assert!(none.fired.is_empty());
+    }
+
+    #[test]
+    fn fired_indices_refer_to_sigma_order_not_worklist_order() {
+        // Σ lists the MVD before the FD; the worklist processes FDs
+        // first, but `fired` must still index into Σ as given.
+        let (_, _, run) = run_for("L(A, B, C, D)", &["L(A) ->> L(B)", "L(A) -> L(C)"], "L(A)");
+        assert_eq!(run.fired, vec![0, 1]);
+    }
+
+    #[test]
+    fn no_dependency_would_change_its_own_fixpoint() {
+        let cases: &[(&str, &[&str], &[&str])] = &[
+            (
+                "L(A, B, C, D)",
+                &["L(A) -> L(B)", "L(B) ->> L(C)", "L(C, D) -> L(A)"],
+                &["λ", "L(A)", "L(B)", "L(C, D)", "L(A, B, C, D)"],
+            ),
+            (
+                "A'(B, C[D(E, F[G])])",
+                &[
+                    "A'(B) ->> A'(C[D(E)])",
+                    "A'(C[λ]) -> A'(B)",
+                    "A'(C[D(F[λ])]) ->> A'(B, C[D(E)])",
+                ],
+                &["λ", "A'(B)", "A'(C[λ])"],
+            ),
+        ];
+        for (attr, deps, xs) in cases {
+            for x in *xs {
+                let (alg, sigma, run) = run_for(attr, deps, x);
+                for d in &sigma {
+                    assert!(
+                        !step_would_change(&alg, &d.prepare(&alg), &run.basis),
+                        "{} at fixpoint of X = {x} on {attr}",
+                        d.render(&alg)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn step_would_change_predicts_recompute_divergence() {
+        // check both polarities of the predicate against an actual
+        // recompute with the dependency appended
+        let n = parse_attr("L(A, B, C, D)").unwrap();
+        let alg = Algebra::new(&n);
+        let sigma: Vec<CompiledDep> = ["L(A) -> L(B)"]
+            .iter()
+            .map(|s| Dependency::parse(&n, s).unwrap().compile(&alg).unwrap())
+            .collect();
+        let x = alg
+            .from_attr(&parse_subattr_of(&n, "L(A)").unwrap())
+            .unwrap();
+        let before = closure_and_basis_worklist(&alg, &sigma, &x);
+        for (dep, expect_change) in [
+            ("L(B) -> L(C)", true),  // B ∈ X⁺, C outside: fires
+            ("L(C) -> L(D)", false), // C unanchored inside one block: no-op
+            ("L(A) -> L(B)", false), // already in Σ: no-op at fixpoint
+        ] {
+            let d = Dependency::parse(&n, dep).unwrap().compile(&alg).unwrap();
+            let predicted = step_would_change(&alg, &d.prepare(&alg), &before);
+            assert_eq!(predicted, expect_change, "prediction for {dep}");
+            let mut bigger = sigma.clone();
+            bigger.push(d);
+            let after = closure_and_basis_worklist(&alg, &bigger, &x);
+            if !predicted {
+                assert_eq!(after, before, "no-op prediction must mean bit-identical");
+            } else {
+                assert_ne!(after, before, "{dep} was predicted to change the basis");
+            }
+        }
     }
 }

@@ -1,0 +1,146 @@
+//! Cross-validation of incremental `Σ` maintenance (the delta-closure
+//! cache of DESIGN.md's "Incremental maintenance & invalidation"):
+//! random interleaved add/remove/query scripts replayed on ONE long-lived
+//! [`Reasoner`] — whose cache survives edits via selective eviction —
+//! against a reasoner rebuilt from scratch after every single edit.
+//!
+//! The contract under test is exact, not approximate: after any prefix of
+//! edits, every verdict and every `DependencyBasis` the incremental
+//! reasoner produces must be bit-identical to a from-scratch recompute
+//! (soundness of the `fired`-set / one-step-replay eviction rules rests
+//! on the confluence theorem, Theorem 6.3 of the paper).
+
+use nalist::gen::{random_edit_script, EditConfig, EditOp};
+use nalist::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Rebuilds a fresh reasoner holding exactly `live`.
+fn from_scratch(n: &NestedAttr, alg: &Algebra, live: &[CompiledDep]) -> Reasoner {
+    let mut r = Reasoner::new(n);
+    for d in live {
+        r.add(d.decompile(alg)).expect("generated Σ compiles");
+    }
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Interleaved add/remove/query: the long-lived incremental reasoner
+    /// answers every query, and reports every queried LHS's dependency
+    /// basis, bit-identically to a reasoner rebuilt from scratch after
+    /// each edit.
+    #[test]
+    fn interleaved_edits_match_from_scratch(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let atoms = rng.gen_range(4..=20);
+        let n = nalist::gen::attr_with_atoms(&mut rng, atoms);
+        let alg = Algebra::new(&n);
+        let script = random_edit_script(&mut rng, &alg, &EditConfig::default());
+
+        let mut incremental = Reasoner::new(&n);
+        let mut live: Vec<CompiledDep> = Vec::new();
+        for (step, op) in script.iter().enumerate() {
+            match op {
+                EditOp::Add(d) => {
+                    incremental.add(d.decompile(&alg)).expect("generated Σ compiles");
+                    live.push(d.clone());
+                }
+                EditOp::Remove(d) => {
+                    let removed = incremental
+                        .remove(&d.decompile(&alg))
+                        .expect("round-tripped deps compile");
+                    prop_assert!(removed, "step {}: script removes a live dependency", step);
+                    let i = live.iter().position(|have| have == d).expect("live");
+                    live.remove(i);
+                }
+                EditOp::Query(d) => {
+                    let scratch = from_scratch(&n, &alg, &live);
+                    let dep = d.decompile(&alg);
+                    let want = scratch.implies(&dep).expect("compiles");
+                    let got = incremental.implies(&dep).expect("compiles");
+                    prop_assert_eq!(got, want, "step {}: verdict diverged", step);
+                    // the cached basis itself must be bit-identical, not
+                    // merely verdict-equivalent
+                    prop_assert_eq!(
+                        incremental.dependency_basis(&d.lhs),
+                        scratch.dependency_basis(&d.lhs),
+                        "step {}: basis diverged after {} edits",
+                        step,
+                        live.len()
+                    );
+                }
+            }
+        }
+        // final state: every live LHS agrees too, from whatever mix of
+        // warm and evicted entries the script left behind
+        let scratch = from_scratch(&n, &alg, &live);
+        for d in &live {
+            prop_assert_eq!(
+                incremental.dependency_basis(&d.lhs),
+                scratch.dependency_basis(&d.lhs)
+            );
+        }
+    }
+
+    /// The same interleaving under a resource budget. A roomy budget must
+    /// agree exactly with the ungoverned answer; a starved budget may
+    /// refuse with `Resource`, but any answer it does return must be
+    /// correct (budget-truncated runs never populate the cache, so later
+    /// queries can't observe a partial basis either).
+    #[test]
+    fn governed_interleaved_edits_are_resource_or_correct(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let atoms = rng.gen_range(4..=16);
+        let n = nalist::gen::attr_with_atoms(&mut rng, atoms);
+        let alg = Algebra::new(&n);
+        let script = random_edit_script(
+            &mut rng,
+            &alg,
+            &EditConfig { ops: 16, ..EditConfig::default() },
+        );
+
+        let roomy = Budget::unlimited().with_fuel(50_000_000);
+        let starved = Budget::unlimited().with_fuel(rng.gen_range(1..=40));
+        let mut incremental = Reasoner::new(&n);
+        let mut live: Vec<CompiledDep> = Vec::new();
+        for (step, op) in script.iter().enumerate() {
+            match op {
+                EditOp::Add(d) => {
+                    incremental.add(d.decompile(&alg)).expect("generated Σ compiles");
+                    live.push(d.clone());
+                }
+                EditOp::Remove(d) => {
+                    prop_assert!(incremental
+                        .remove(&d.decompile(&alg))
+                        .expect("round-tripped deps compile"));
+                    let i = live.iter().position(|have| have == d).expect("live");
+                    live.remove(i);
+                }
+                EditOp::Query(d) => {
+                    let dep = d.decompile(&alg);
+                    let want = from_scratch(&n, &alg, &live)
+                        .implies(&dep)
+                        .expect("compiles");
+                    prop_assert_eq!(
+                        incremental.implies_governed(&dep, &roomy).expect("roomy budget"),
+                        want,
+                        "step {}: governed verdict diverged",
+                        step
+                    );
+                    match incremental.implies_governed(&dep, &starved) {
+                        Ok(got) => prop_assert_eq!(
+                            got, want,
+                            "step {}: starved budget returned a WRONG verdict",
+                            step
+                        ),
+                        Err(ReasonerError::Resource(_)) => {}
+                        Err(e) => prop_assert!(false, "step {step}: unexpected error {e}"),
+                    }
+                }
+            }
+        }
+    }
+}
