@@ -93,6 +93,31 @@ impl Algebra {
     /// checked before the masks are allocated, one fuel unit is charged
     /// per atom, and the deadline is sampled along the way.
     pub fn try_new(n: &NestedAttr, budget: &Budget) -> Result<Self, ResourceExhausted> {
+        Algebra::try_new_observed(n, budget, nalist_obs::noop())
+    }
+
+    /// [`Algebra::try_new`] with an observability recorder: wraps
+    /// construction in an `algebra::atoms` span (enter payload: basis
+    /// size estimate, exit payload: atoms allocated) and bumps the
+    /// `atoms_allocated` counter. With a disabled recorder this is
+    /// exactly [`Algebra::try_new`].
+    pub fn try_new_observed(
+        n: &NestedAttr,
+        budget: &Budget,
+        rec: &dyn nalist_obs::Recorder,
+    ) -> Result<Self, ResourceExhausted> {
+        if !rec.enabled() {
+            return Algebra::build(n, budget);
+        }
+        let token = rec.enter(nalist_obs::site::ATOMS, n.basis_size() as u64);
+        let result = Algebra::build(n, budget);
+        let allocated = result.as_ref().map_or(0, |a| a.atom_count() as u64);
+        rec.add(nalist_obs::Counter::AtomsAllocated, allocated);
+        rec.exit(token, allocated);
+        result
+    }
+
+    fn build(n: &NestedAttr, budget: &Budget) -> Result<Self, ResourceExhausted> {
         budget.failpoint("algebra::atoms")?;
         let mut collected: Vec<(AtomKind, String, Vec<AtomId>)> = Vec::new();
         collect_atoms(n, &mut Vec::new(), &mut collected);
@@ -474,6 +499,19 @@ mod tests {
             nalist_guard::FailAction::ExhaustFuel,
         ));
         assert!(Algebra::try_new(&n, &b).is_err());
+    }
+
+    #[test]
+    fn observed_build_counts_atoms_and_matches_unobserved() {
+        let n = parse_attr("A'(B, C[D(E, F[G])])").unwrap();
+        let rec = nalist_obs::MetricsRecorder::new();
+        let alg = Algebra::try_new_observed(&n, &Budget::unlimited(), &rec).unwrap();
+        assert_eq!(alg.atom_count(), Algebra::new(&n).atom_count());
+        assert_eq!(rec.counter(nalist_obs::Counter::AtomsAllocated), 5);
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].site, nalist_obs::site::ATOMS);
+        assert_eq!(snap.spans[0].payload_out, 5);
     }
 
     #[test]

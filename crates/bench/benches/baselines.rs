@@ -81,6 +81,7 @@ fn certified_vs_plain(c: &mut Criterion) {
                 let mut acc = 0usize;
                 for q in &w.queries {
                     acc += nalist::membership::certified_closure_and_basis(&w.alg, &w.sigma, q)
+                        .expect("benchmark workloads certify cleanly")
                         .dag
                         .len();
                 }

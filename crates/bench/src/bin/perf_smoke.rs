@@ -1,18 +1,48 @@
 //! CI perf smoke test: times a pinned tiny workload and fails (exit 1)
 //! if wall time regresses more than 3x against the checked-in baseline
-//! `ci/perf_baseline.json`. The bound is deliberately loose — CI boxes
-//! are noisy; this catches order-of-magnitude regressions (a dropped
-//! cache, an accidental O(n²) pass), not percent-level drift.
+//! `ci/perf_baseline.json`. The wall-clock bound is deliberately loose —
+//! CI boxes are noisy; it catches order-of-magnitude regressions (a
+//! dropped cache, an accidental O(n²) pass), not percent-level drift.
+//!
+//! The baseline additionally pins machine-independent *work counters*
+//! (worklist steps, dependencies fired, cache hit/miss/evict totals on
+//! the incremental-edit workload), recorded through the `nalist-obs`
+//! seam. Those are deterministic, so they are compared **exactly**: any
+//! drift means the engine is doing different work, which either is a bug
+//! or deserves a reviewed re-bless.
+//!
+//! The same run asserts the observability seam's disabled cost: the
+//! pinned closure workload through the observed entry point with the
+//! no-op recorder must not be measurably slower than the plain path.
 //!
 //! Re-bless the baseline after an intentional perf change with
 //! `UPDATE_PERF_BASELINE=1 cargo run --release -p nalist-bench --bin perf_smoke`.
 
+use std::sync::Arc;
+
+use nalist::obs::{noop, Counter, MetricsRecorder};
 use nalist_bench::{
     fmt_nanos, incremental_edit_workload, median_nanos, nested_workload, run_closures,
+    run_closures_observed,
 };
 
 const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../ci/perf_baseline.json");
 const MAX_RATIO: f64 = 3.0;
+/// Ceiling for the no-op recorder's overhead on the closure workload.
+/// The disabled path is a single inlined `enabled()` check per entry
+/// point, so anything measurable here is a regression in the seam; the
+/// bound still leaves generous room for scheduler noise.
+const MAX_NOOP_RATIO: f64 = 1.5;
+
+/// The work counters pinned by the baseline, in file order.
+const WORK_COUNTERS: &[&str] = &[
+    "worklist_steps",
+    "deps_fired",
+    "edit_cache_hits",
+    "edit_cache_misses",
+    "edit_cache_evicted",
+    "edit_cache_retained",
+];
 
 /// Extracts `"field": <digits>` from a hand-written JSON object — the
 /// baseline file is emitted by this binary, so the grammar is fixed and
@@ -32,6 +62,9 @@ fn main() {
     let closure_ns = median_nanos(7, || {
         std::hint::black_box(run_closures(&w));
     });
+    let noop_ns = median_nanos(7, || {
+        std::hint::black_box(run_closures_observed(&w, noop()));
+    });
     let ew = incremental_edit_workload(10, 32, 16, 16);
     let edit_ns = median_nanos(7, || {
         let mut inc = ew.reasoner.clone();
@@ -50,10 +83,37 @@ fn main() {
         fmt_nanos(total_ns)
     );
 
+    // machine-independent work counters, one instrumented pass each
+    let closure_rec = MetricsRecorder::new();
+    std::hint::black_box(run_closures_observed(&w, &closure_rec));
+    let edit_rec = Arc::new(MetricsRecorder::new());
+    let mut inc = ew.reasoner.clone().with_recorder(edit_rec.clone());
+    inc.add(ew.edit.clone()).expect("edit compiles");
+    for x in &ew.lhss {
+        std::hint::black_box(inc.dependency_basis(x).basis.len());
+    }
+    let work = [
+        closure_rec.counter(Counter::WorklistSteps),
+        closure_rec.counter(Counter::DepsFired),
+        edit_rec.counter(Counter::CacheHits),
+        edit_rec.counter(Counter::CacheMisses),
+        edit_rec.counter(Counter::CacheEvicted),
+        edit_rec.counter(Counter::CacheRetained),
+    ];
+    print!("work counters:");
+    for (name, value) in WORK_COUNTERS.iter().zip(work) {
+        print!(" {name}={value}");
+    }
+    println!();
+
     if std::env::var_os("UPDATE_PERF_BASELINE").is_some() {
-        let json = format!(
-            "{{\n  \"closure_ns\": {closure_ns},\n  \"edit_ns\": {edit_ns},\n  \"total_ns\": {total_ns}\n}}\n"
+        let mut json = format!(
+            "{{\n  \"closure_ns\": {closure_ns},\n  \"edit_ns\": {edit_ns},\n  \"total_ns\": {total_ns}"
         );
+        for (name, value) in WORK_COUNTERS.iter().zip(work) {
+            json.push_str(&format!(",\n  \"{name}\": {value}"));
+        }
+        json.push_str("\n}\n");
         std::fs::write(BASELINE_PATH, json).unwrap_or_else(|e| {
             eprintln!("cannot write {BASELINE_PATH}: {e}");
             std::process::exit(2);
@@ -78,11 +138,49 @@ fn main() {
         "baseline total {} → ratio {ratio:.2} (limit {MAX_RATIO:.1})",
         fmt_nanos(baseline)
     );
+    let mut failed = false;
     if ratio > MAX_RATIO {
         eprintln!(
             "PERF REGRESSION: pinned workload is {ratio:.2}x the checked-in baseline \
              (limit {MAX_RATIO:.1}x). If intentional, re-bless with UPDATE_PERF_BASELINE=1."
         );
+        failed = true;
+    }
+    let noop_ratio = noop_ns as f64 / closure_ns.max(1) as f64;
+    println!(
+        "no-op recorder: observed path {} vs plain {} → ratio {noop_ratio:.2} \
+         (limit {MAX_NOOP_RATIO:.1})",
+        fmt_nanos(noop_ns),
+        fmt_nanos(closure_ns)
+    );
+    if noop_ratio > MAX_NOOP_RATIO {
+        eprintln!(
+            "OBSERVABILITY OVERHEAD: the disabled-recorder path is {noop_ratio:.2}x the \
+             plain path (limit {MAX_NOOP_RATIO:.1}x); the no-op seam must cost nothing."
+        );
+        failed = true;
+    }
+    for (name, value) in WORK_COUNTERS.iter().zip(work) {
+        match parse_field(&text, name) {
+            Some(expected) if expected == u128::from(value) => {}
+            Some(expected) => {
+                eprintln!(
+                    "WORK COUNTER DRIFT: {name} = {value}, baseline pins {expected}. The \
+                     engine is doing different work on an identical pinned workload; if \
+                     intentional, re-bless with UPDATE_PERF_BASELINE=1 and review the diff."
+                );
+                failed = true;
+            }
+            None => {
+                eprintln!(
+                    "no \"{name}\" field in {BASELINE_PATH}; re-bless with \
+                     UPDATE_PERF_BASELINE=1"
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
     println!("perf smoke passed");

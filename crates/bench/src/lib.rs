@@ -178,6 +178,25 @@ pub fn run_closures(w: &Workload) -> usize {
     acc
 }
 
+/// The same unit of work as [`run_closures`], through the observed
+/// worklist entry point. With the no-op recorder this measures the
+/// observability seam's disabled-path overhead (expected: none); with a
+/// [`nalist::obs::MetricsRecorder`] the recorder's counters afterwards
+/// hold machine-independent work totals (worklist steps, dependencies
+/// fired) for the whole workload.
+pub fn run_closures_observed(w: &Workload, rec: &dyn nalist::obs::Recorder) -> usize {
+    let budget = Budget::unlimited();
+    let mut acc = 0usize;
+    for q in &w.queries {
+        let run = nalist::membership::closure_and_basis_worklist_run_observed(
+            &w.alg, &w.sigma, q, &budget, rec,
+        )
+        .expect("workload queries are downward closed and the budget unlimited");
+        acc += run.basis.closure.count() + run.basis.blocks.len();
+    }
+    acc
+}
+
 /// The same unit of work as [`run_closures`], on the paper-faithful pass
 /// engine — the baseline the worklist engine is measured against.
 pub fn run_closures_paper(w: &Workload) -> usize {
@@ -256,6 +275,25 @@ mod tests {
         let stats = warm.cache_stats();
         assert_eq!(stats.misses, 0, "pool was not warm");
         assert_eq!(stats.hits, a.lhss.len() as u64);
+    }
+
+    #[test]
+    fn observed_runner_matches_plain_and_counts_deterministically() {
+        use nalist::obs::{noop, Counter, MetricsRecorder};
+        let w = nested_workload(7, 32, 16);
+        assert_eq!(run_closures(&w), run_closures_observed(&w, noop()));
+        let (a, b) = (MetricsRecorder::new(), MetricsRecorder::new());
+        assert_eq!(run_closures(&w), run_closures_observed(&w, &a));
+        run_closures_observed(&w, &b);
+        for c in [Counter::WorklistSteps, Counter::DepsFired] {
+            assert_eq!(a.counter(c), b.counter(c), "{} not deterministic", c.name());
+        }
+        assert!(a.counter(Counter::WorklistSteps) > 0);
+        // every link of the FD chain fires when closing {A0}
+        let chain = chain_workload(16);
+        let rec = MetricsRecorder::new();
+        run_closures_observed(&chain, &rec);
+        assert_eq!(rec.counter(Counter::DepsFired), 15);
     }
 
     #[test]

@@ -42,17 +42,32 @@
 //! size and the nesting depth of any parsed input; exceeding one yields
 //! a structured error and exit code 3.
 //!
+//! Observability rides on two more global flags: `--metrics <path>`
+//! writes work counters, latency histograms and the span log as a JSON
+//! document (schema in the `nalist-obs` crate docs; written even when
+//! the command fails, so a metrics file exists for every exit code),
+//! and `--trace` appends a rustc-style span tree to the output. With
+//! neither flag the dispatcher runs on the no-op recorder and the
+//! observed code paths compile away entirely. Under `--metrics` or
+//! `--trace`, `batch` additionally reports a per-query timing
+//! breakdown.
+//!
 //! Exit codes: 0 success, 1 domain error (refuted query, lint findings,
-//! malformed spec contents), 2 usage or file-access error, 3 resource
+//! malformed spec contents), 2 usage or file-access error (also: an
+//! invalid proof-rule instance surfaced by `prove`), 3 resource
 //! exhaustion.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Duration;
 
 use nalist::membership::trace::{render_result, render_trace};
+use nalist::obs::{
+    fmt_ns, site, Counter, MetricsRecorder, MetricsSnapshot, NoopRecorder, Recorder,
+};
 use nalist::prelude::*;
 use nalist::schema::cover::redundant_indices;
 use nalist::schema::normalform::fourth_nf_violations;
@@ -104,10 +119,16 @@ impl CliError {
     }
 
     /// Maps a [`ReasonerError`], routing resource exhaustion to exit
-    /// code 3 and everything else to the domain-error code.
+    /// code 3, invalid certificate construction to exit code 2 (the
+    /// input never produced a sound derivation) and everything else to
+    /// the domain-error code.
     fn reasoner(e: &ReasonerError) -> Self {
         match e {
             ReasonerError::Resource(r) => CliError::resource(r),
+            ReasonerError::Certify(c) => CliError {
+                message: c.to_string(),
+                code: 2,
+            },
             other => CliError::domain(other),
         }
     }
@@ -260,6 +281,62 @@ pub fn extract_global_flags(args: &[String]) -> Result<(Vec<String>, Budget), Cl
     Ok((rest, budget))
 }
 
+/// Observability flags, accepted by every command (same table contract
+/// as [`GLOBAL_FLAGS`]). `--trace` takes no value (empty `value`
+/// column).
+pub const OBS_FLAGS: &[GlobalFlagSpec] = &[
+    GlobalFlagSpec {
+        name: "--metrics",
+        value: "<path>",
+        summary: "write work counters, histograms and spans as JSON to <path>",
+    },
+    GlobalFlagSpec {
+        name: "--trace",
+        value: "",
+        summary: "append a span tree (rustc-style) to the command output",
+    },
+];
+
+/// Observability options extracted from the command line (see
+/// [`OBS_FLAGS`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObsOptions {
+    /// Destination for the metrics JSON document (`--metrics <path>`).
+    pub metrics: Option<String>,
+    /// Append the span tree to the output (`--trace`).
+    pub trace: bool,
+}
+
+impl ObsOptions {
+    /// True when any observability output was requested. When false,
+    /// [`run`] stays on the no-op recorder and pays nothing.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.trace || self.metrics.is_some()
+    }
+}
+
+/// Splits the observability flags out of `args` (they may appear
+/// anywhere). The remaining arguments are returned for normal dispatch.
+pub fn extract_obs_flags(args: &[String]) -> Result<(Vec<String>, ObsOptions), CliError> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut opts = ObsOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => opts.trace = true,
+            "--metrics" => {
+                let path = it
+                    .next()
+                    .ok_or_else(|| CliError::usage("--metrics requires a value <path>"))?;
+                opts.metrics = Some(path.clone());
+            }
+            _ => rest.push(arg.clone()),
+        }
+    }
+    Ok((rest, opts))
+}
+
 /// The usage text, generated from [`COMMANDS`] and [`GLOBAL_FLAGS`].
 pub fn usage_text() -> String {
     let width = COMMANDS.iter().map(|c| c.name.len()).max().unwrap_or(0);
@@ -268,13 +345,21 @@ pub fn usage_text() -> String {
         writeln!(out, "  nalist {:width$} {}", c.name, c.synopsis).unwrap();
     }
     out.push_str("\nglobal flags (any command):\n");
+    let label = |f: &GlobalFlagSpec| {
+        if f.value.is_empty() {
+            f.name.to_string()
+        } else {
+            format!("{} {}", f.name, f.value)
+        }
+    };
     let fwidth = GLOBAL_FLAGS
         .iter()
-        .map(|f| f.name.len() + 1 + f.value.len())
+        .chain(OBS_FLAGS)
+        .map(|f| label(f).len())
         .max()
         .unwrap_or(0);
-    for f in GLOBAL_FLAGS {
-        let flag = format!("{} {}", f.name, f.value);
+    for f in GLOBAL_FLAGS.iter().chain(OBS_FLAGS) {
+        let flag = label(f);
         writeln!(out, "  {flag:fwidth$}  {}", f.summary).unwrap();
     }
     out.push_str(
@@ -294,6 +379,13 @@ exit codes: 0 success, 1 domain error, 2 usage or file error,
 pub trait Files {
     /// Reads a whole file to a string.
     fn read(&self, path: &str) -> Result<String, String>;
+
+    /// Writes a whole file (used by `--metrics`). The default refuses:
+    /// test doubles that never expect writes need not implement it.
+    fn write(&self, path: &str, content: &str) -> Result<(), String> {
+        let _ = content;
+        Err(format!("cannot write {path}: read-only file source"))
+    }
 }
 
 /// Real filesystem access.
@@ -308,6 +400,10 @@ impl Files for OsFiles {
             return Ok(buf);
         }
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    }
+
+    fn write(&self, path: &str, content: &str) -> Result<(), String> {
+        std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))
     }
 }
 
@@ -327,10 +423,12 @@ fn load_reasoner(
     schema: &str,
     deps_path: &str,
     budget: &Budget,
+    rec: &Arc<dyn Recorder>,
 ) -> Result<Reasoner, CliError> {
     let limits = ParseLimits::from_budget(budget);
     let n = parse_attr_with(schema, limits).map_err(|e| schema_error(&e))?;
-    let mut r = Reasoner::try_new(&n, budget).map_err(CliError::resource)?;
+    let mut r =
+        Reasoner::try_new_observed(&n, budget, Arc::clone(rec)).map_err(CliError::resource)?;
     let text = files.read(deps_path).map_err(CliError::file)?;
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -349,20 +447,185 @@ fn checkpoint(budget: &Budget) -> Result<(), CliError> {
     budget.check_deadline().map_err(CliError::resource)
 }
 
-/// Executes a CLI invocation; `args` excludes the program name. Global
-/// resource flags are extracted first (see [`GLOBAL_FLAGS`]); everything
-/// else is dispatched with the resulting [`Budget`].
+/// Executes a CLI invocation; `args` excludes the program name.
+/// Observability flags come out first (see [`OBS_FLAGS`]), then the
+/// global resource flags (see [`GLOBAL_FLAGS`]); everything else is
+/// dispatched with the resulting [`Budget`]. Without `--metrics` or
+/// `--trace` the command runs on the no-op recorder — the observed
+/// paths cost nothing and the output is byte-identical to older
+/// releases.
 pub fn run(args: &[String], files: &dyn Files) -> Result<String, CliError> {
-    let (rest, budget) = extract_global_flags(args)?;
-    run_with_budget(&rest, files, &budget)
+    let (rest, obs) = extract_obs_flags(args)?;
+    let (rest, budget) = extract_global_flags(&rest)?;
+    if obs.enabled() {
+        run_observed(&rest, files, &budget, &obs)
+    } else {
+        run_with_budget(&rest, files, &budget)
+    }
 }
 
 /// [`run`] with an explicit [`Budget`] — the injection point for
-/// fault-tolerance tests (fail points, pre-armed deadlines).
+/// fault-tolerance tests (fail points, pre-armed deadlines). Runs on
+/// the no-op recorder.
 pub fn run_with_budget(
     args: &[String],
     files: &dyn Files,
     budget: &Budget,
+) -> Result<String, CliError> {
+    let rec: Arc<dyn Recorder> = Arc::new(NoopRecorder);
+    dispatch(args, files, budget, &rec)
+}
+
+/// [`run`] under a live [`MetricsRecorder`]: the whole command runs
+/// inside a root `cli::command` span, the budget's spent fuel lands in
+/// the `fuel_spent` counter at exit, `--metrics` serialises the final
+/// snapshot as JSON (even when the command fails — every exit code
+/// leaves a metrics file), and `--trace` appends the rendered span
+/// tree to the output (or to the error message).
+fn run_observed(
+    args: &[String],
+    files: &dyn Files,
+    budget: &Budget,
+    obs: &ObsOptions,
+) -> Result<String, CliError> {
+    let metrics = Arc::new(MetricsRecorder::new());
+    let rec: Arc<dyn Recorder> = metrics.clone();
+    let token = rec.enter(site::CLI_COMMAND, args.len() as u64);
+    let mut result = dispatch(args, files, budget, &rec);
+    rec.add(Counter::FuelSpent, budget.spent());
+    rec.exit(token, u64::from(result.is_ok()));
+    let snap = metrics.snapshot();
+    if args.first().is_some_and(|c| c == "batch") {
+        if let Ok(out) = &mut result {
+            out.push_str(&batch_timing_breakdown(&snap));
+        }
+    }
+    if let Some(path) = &obs.metrics {
+        let exit_code = match &result {
+            Ok(_) => 0,
+            Err(e) => e.code,
+        };
+        let doc = render_metrics_json(args, exit_code, &snap);
+        match files.write(path, &doc) {
+            // A failed metrics write must never mask the command's own
+            // error; it only surfaces when the command itself succeeded.
+            Err(e) if result.is_ok() => return Err(CliError::file(e)),
+            _ => {}
+        }
+    }
+    if obs.trace {
+        let tree = metrics.render_trace();
+        match &mut result {
+            Ok(out) => {
+                if !out.is_empty() && !out.ends_with('\n') {
+                    out.push('\n');
+                }
+                out.push_str(&tree);
+            }
+            Err(e) => {
+                e.message.push('\n');
+                e.message.push_str(tree.trim_end());
+            }
+        }
+    }
+    result
+}
+
+/// Per-query latency lines for `batch`, reconstructed from the
+/// `batch::query` spans (enter payload: query index; exit payload: 1
+/// when the query was answered without error).
+fn batch_timing_breakdown(snap: &MetricsSnapshot) -> String {
+    let mut queries: Vec<_> = snap
+        .spans
+        .iter()
+        .filter(|s| s.site == site::BATCH_QUERY)
+        .collect();
+    if queries.is_empty() {
+        return String::new();
+    }
+    queries.sort_by_key(|s| s.payload_in);
+    let mut out = String::from("per-query timing:\n");
+    for s in &queries {
+        writeln!(
+            out,
+            "  query {:>4}  {:>10}  {}",
+            s.payload_in,
+            fmt_ns(s.dur_ns),
+            if s.payload_out == 1 { "ok" } else { "err" }
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Serialises a [`MetricsSnapshot`] as the `--metrics` JSON document
+/// (`schema_version` 1). Every counter in [`Counter::ALL`] order and
+/// every histogram appear unconditionally, so consumers can rely on
+/// the full key set; spans carry the fields of
+/// [`nalist::obs::SpanRecord`] verbatim.
+fn render_metrics_json(args: &[String], exit_code: i32, snap: &MetricsSnapshot) -> String {
+    use nalist::lint::json::escape;
+    let command = args.first().map_or("", String::as_str);
+    let mut out = String::from("{\n");
+    writeln!(out, "  \"schema_version\": 1,").unwrap();
+    writeln!(out, "  \"command\": {},", escape(command)).unwrap();
+    writeln!(out, "  \"exit_code\": {exit_code},").unwrap();
+    writeln!(out, "  \"elapsed_ns\": {},", snap.elapsed_ns).unwrap();
+    out.push_str("  \"counters\": {\n");
+    for (i, (name, value)) in snap.counters.iter().enumerate() {
+        let sep = if i + 1 == snap.counters.len() {
+            ""
+        } else {
+            ","
+        };
+        writeln!(out, "    {}: {value}{sep}", escape(name)).unwrap();
+    }
+    out.push_str("  },\n  \"histograms\": [\n");
+    for (i, h) in snap.hists.iter().enumerate() {
+        let sep = if i + 1 == snap.hists.len() { "" } else { "," };
+        let buckets: Vec<String> = h
+            .buckets
+            .iter()
+            .map(|(ix, n)| format!("[{ix}, {n}]"))
+            .collect();
+        writeln!(
+            out,
+            "    {{\"name\": {}, \"count\": {}, \"sum\": {}, \"buckets\": [{}]}}{sep}",
+            escape(h.name),
+            h.count,
+            h.sum,
+            buckets.join(", ")
+        )
+        .unwrap();
+    }
+    out.push_str("  ],\n  \"spans\": [\n");
+    for (i, s) in snap.spans.iter().enumerate() {
+        let sep = if i + 1 == snap.spans.len() { "" } else { "," };
+        writeln!(
+            out,
+            "    {{\"site\": {}, \"thread\": {}, \"depth\": {}, \"payload_in\": {}, \
+             \"payload_out\": {}, \"start_ns\": {}, \"dur_ns\": {}}}{sep}",
+            escape(s.site),
+            s.thread,
+            s.depth,
+            s.payload_in,
+            s.payload_out,
+            s.start_ns,
+            s.dur_ns
+        )
+        .unwrap();
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The dispatcher proper: one arm per [`COMMANDS`] row, running under
+/// `budget` and reporting to `rec`.
+fn dispatch(
+    args: &[String],
+    files: &dyn Files,
+    budget: &Budget,
+    rec: &Arc<dyn Recorder>,
 ) -> Result<String, CliError> {
     let mut out = String::new();
     let (cmd, rest) = match args.split_first() {
@@ -379,7 +642,7 @@ pub fn run_with_budget(
     })?;
     match (cmd, rest) {
         ("check", [schema, deps, dep]) => {
-            let r = load_reasoner(files, schema, deps, budget)?;
+            let r = load_reasoner(files, schema, deps, budget, rec)?;
             let alg = r.algebra();
             let target = Dependency::parse_with(r.attr(), dep, ParseLimits::from_budget(budget))
                 .map_err(|e| CliError::domain(format!("bad dependency: {e}")))?
@@ -413,7 +676,7 @@ pub fn run_with_budget(
                 ),
                 _ => return Err(CliError::usage("unknown flags for batch")),
             };
-            let r = load_reasoner(files, schema, deps, budget)?;
+            let r = load_reasoner(files, schema, deps, budget, rec)?;
             let alg = r.algebra();
             let text = files.read(queries).map_err(CliError::file)?;
             let limits = ParseLimits::from_budget(budget);
@@ -467,7 +730,8 @@ pub fn run_with_budget(
         ("replay", [schema, script]) => {
             let limits = ParseLimits::from_budget(budget);
             let n = parse_attr_with(schema, limits).map_err(|e| schema_error(&e))?;
-            let mut r = Reasoner::try_new(&n, budget).map_err(CliError::resource)?;
+            let mut r = Reasoner::try_new_observed(&n, budget, Arc::clone(rec))
+                .map_err(CliError::resource)?;
             let text = files.read(script).map_err(CliError::file)?;
             let (mut adds, mut removes, mut queries) = (0u64, 0u64, 0u64);
             for (lineno, raw) in text.lines().enumerate() {
@@ -531,14 +795,21 @@ pub fn run_with_budget(
             .unwrap();
         }
         ("prove", [schema, deps, dep]) => {
-            let r = load_reasoner(files, schema, deps, budget)?;
+            let r = load_reasoner(files, schema, deps, budget, rec)?;
             let alg = r.algebra();
             let target = Dependency::parse_with(r.attr(), dep, ParseLimits::from_budget(budget))
                 .map_err(|e| CliError::domain(format!("bad dependency: {e}")))?
                 .compile(alg)
                 .map_err(CliError::domain)?;
             checkpoint(budget)?;
-            match nalist::membership::certify(alg, r.compiled_sigma(), &target) {
+            let proof =
+                nalist::membership::certify(alg, r.compiled_sigma(), &target).map_err(|e| {
+                    CliError {
+                        message: e.to_string(),
+                        code: 2,
+                    }
+                })?;
+            match proof {
                 None => {
                     writeln!(
                         out,
@@ -562,7 +833,7 @@ pub fn run_with_budget(
             }
         }
         ("closure", [schema, deps, sub]) => {
-            let r = load_reasoner(files, schema, deps, budget)?;
+            let r = load_reasoner(files, schema, deps, budget, rec)?;
             let c = r
                 .closure_str_governed(sub, budget)
                 .map_err(|e| CliError::reasoner(&e))?;
@@ -575,7 +846,7 @@ pub fn run_with_budget(
             .unwrap();
         }
         ("basis" | "trace", [schema, deps, sub]) => {
-            let r = load_reasoner(files, schema, deps, budget)?;
+            let r = load_reasoner(files, schema, deps, budget, rec)?;
             let alg = r.algebra();
             let x = nalist::types::parser::parse_subattr_of_with(
                 r.attr(),
@@ -592,7 +863,10 @@ pub fn run_with_budget(
             } else {
                 let basis = r
                     .dependency_basis_governed(&xs, budget)
-                    .map_err(CliError::resource)?;
+                    .map_err(|e| match e {
+                        ClosureError::Resource(res) => CliError::resource(res),
+                        other => CliError::domain(other),
+                    })?;
                 writeln!(out, "X+ = {}", alg.render(&basis.closure)).unwrap();
                 writeln!(out, "DepB(X) ({} elements):", basis.basis.len()).unwrap();
                 for b in &basis.basis {
@@ -601,7 +875,7 @@ pub fn run_with_budget(
             }
         }
         ("chase", [schema, deps, data]) => {
-            let r = load_reasoner(files, schema, deps, budget)?;
+            let r = load_reasoner(files, schema, deps, budget, rec)?;
             let alg = r.algebra();
             let mut instance = Instance::new(r.attr().clone());
             let text = files.read(data).map_err(CliError::file)?;
@@ -614,12 +888,13 @@ pub fn run_with_budget(
                     .insert_str(line)
                     .map_err(|e| CliError::domain(format!("{data}:{}: {e}", lineno + 1)))?;
             }
-            match nalist::deps::chase::chase_governed(
+            match nalist::deps::chase::chase_observed(
                 alg,
                 r.compiled_sigma(),
                 &instance,
                 1 << 16,
                 budget,
+                rec.as_ref(),
             ) {
                 Ok(result) => {
                     writeln!(
@@ -637,7 +912,7 @@ pub fn run_with_budget(
             }
         }
         ("verify", [schema, deps, data]) => {
-            let r = load_reasoner(files, schema, deps, budget)?;
+            let r = load_reasoner(files, schema, deps, budget, rec)?;
             let alg = r.algebra();
             let mut instance = Instance::new(r.attr().clone());
             let text = files.read(data).map_err(CliError::file)?;
@@ -679,7 +954,7 @@ pub fn run_with_budget(
             .unwrap();
         }
         ("normalize", [schema, deps]) => {
-            let r = load_reasoner(files, schema, deps, budget)?;
+            let r = load_reasoner(files, schema, deps, budget, rec)?;
             let alg = r.algebra();
             let sigma = r.compiled_sigma();
             checkpoint(budget)?;
@@ -725,7 +1000,8 @@ pub fn run_with_budget(
         ("lattice", [schema, flags @ ..]) => {
             let n = parse_attr_with(schema, ParseLimits::from_budget(budget))
                 .map_err(|e| schema_error(&e))?;
-            let alg = nalist::algebra::Algebra::try_new(&n, budget).map_err(CliError::resource)?;
+            let alg = nalist::algebra::Algebra::try_new_observed(&n, budget, rec.as_ref())
+                .map_err(CliError::resource)?;
             let count = nalist::algebra::lattice::sub_count(&n);
             writeln!(out, "N = {n}").unwrap();
             writeln!(
@@ -847,6 +1123,7 @@ fn parse_lint_flags(flags: &[String]) -> Result<(bool, LintFormat), CliError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nalist::lint::json::Json;
     use std::collections::BTreeMap;
 
     struct MemFiles(BTreeMap<String, String>);
@@ -857,6 +1134,42 @@ mod tests {
                 .get(path)
                 .cloned()
                 .ok_or_else(|| format!("no such file: {path}"))
+        }
+    }
+
+    /// [`MemFiles`] plus a write log, for `--metrics` tests.
+    struct RwFiles {
+        inner: MemFiles,
+        written: std::cell::RefCell<BTreeMap<String, String>>,
+    }
+
+    impl RwFiles {
+        fn new(inner: MemFiles) -> Self {
+            RwFiles {
+                inner,
+                written: std::cell::RefCell::new(BTreeMap::new()),
+            }
+        }
+
+        fn written(&self, path: &str) -> String {
+            self.written
+                .borrow()
+                .get(path)
+                .cloned()
+                .unwrap_or_else(|| panic!("nothing written to {path}"))
+        }
+    }
+
+    impl Files for RwFiles {
+        fn read(&self, path: &str) -> Result<String, String> {
+            self.inner.read(path)
+        }
+
+        fn write(&self, path: &str, content: &str) -> Result<(), String> {
+            self.written
+                .borrow_mut()
+                .insert(path.to_string(), content.to_string());
+            Ok(())
         }
     }
 
@@ -1434,10 +1747,157 @@ mod tests {
     #[test]
     fn usage_text_documents_global_flags_and_exit_codes() {
         let text = usage_text();
-        for f in GLOBAL_FLAGS {
+        for f in GLOBAL_FLAGS.iter().chain(OBS_FLAGS) {
             assert!(text.contains(f.name), "usage misses {}", f.name);
         }
         assert!(text.contains("exit codes"));
         assert!(text.contains("3 resource budget exhausted"));
+    }
+
+    #[test]
+    fn trace_flag_appends_span_tree_without_changing_the_answer() {
+        let query = "Pubcrawl(Person) -> Pubcrawl(Visit[λ])";
+        let plain = run(&args(&["check", SCHEMA, "deps.txt", query]), &files()).unwrap();
+        let traced = run(
+            &args(&["check", SCHEMA, "deps.txt", query, "--trace"]),
+            &files(),
+        )
+        .unwrap();
+        assert!(traced.starts_with(&plain), "{traced}");
+        assert!(traced.contains("trace (thread"), "{traced}");
+        assert!(traced.contains(site::CLI_COMMAND), "{traced}");
+        assert!(traced.contains(site::ATOMS), "{traced}");
+    }
+
+    #[test]
+    fn without_obs_flags_output_is_byte_identical_to_the_legacy_path() {
+        let query = "Pubcrawl(Person) -> Pubcrawl(Visit[λ])";
+        let via_run = run(&args(&["check", SCHEMA, "deps.txt", query]), &files()).unwrap();
+        let via_budget = run_with_budget(
+            &args(&["check", SCHEMA, "deps.txt", query]),
+            &files(),
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(via_run, via_budget);
+        assert!(!via_run.contains("trace (thread"));
+    }
+
+    #[test]
+    fn metrics_flag_writes_schema_v1_json_and_keeps_output_unchanged() {
+        let query = "Pubcrawl(Person) -> Pubcrawl(Visit[λ])";
+        let plain = run(&args(&["check", SCHEMA, "deps.txt", query]), &files()).unwrap();
+        let rw = RwFiles::new(files());
+        let out = run(
+            &args(&["check", SCHEMA, "deps.txt", query, "--metrics", "m.json"]),
+            &rw,
+        )
+        .unwrap();
+        assert_eq!(out, plain);
+        let doc = nalist::lint::json::parse(&rw.written("m.json")).expect("valid JSON");
+        assert_eq!(doc.get("schema_version").and_then(Json::as_usize), Some(1));
+        assert_eq!(doc.get("command").and_then(Json::as_str), Some("check"));
+        assert_eq!(doc.get("exit_code").and_then(Json::as_usize), Some(0));
+        let counters = doc.get("counters").expect("counters object");
+        for c in Counter::ALL {
+            assert!(
+                counters.get(c.name()).is_some(),
+                "counter {} missing from metrics JSON",
+                c.name()
+            );
+        }
+        let hists = doc.get("histograms").and_then(Json::as_arr).unwrap();
+        assert_eq!(hists.len(), nalist::obs::Hist::ALL.len());
+        let spans = doc.get("spans").and_then(Json::as_arr).unwrap();
+        assert!(!spans.is_empty(), "root cli::command span must be recorded");
+        assert_eq!(
+            spans[0].get("site").and_then(Json::as_str),
+            Some(site::CLI_COMMAND)
+        );
+    }
+
+    #[test]
+    fn metrics_file_is_written_even_when_the_command_fails() {
+        let rw = RwFiles::new(files());
+        let e = run(
+            &args(&[
+                "check",
+                SCHEMA,
+                "deps.txt",
+                "not a dependency",
+                "--metrics",
+                "m.json",
+            ]),
+            &rw,
+        )
+        .unwrap_err();
+        assert_eq!(e.code, 1);
+        let doc = nalist::lint::json::parse(&rw.written("m.json")).expect("valid JSON");
+        assert_eq!(doc.get("exit_code").and_then(Json::as_usize), Some(1));
+    }
+
+    #[test]
+    fn metrics_write_failure_surfaces_only_when_the_command_succeeded() {
+        // MemFiles keeps the default read-only `write`.
+        let query = "Pubcrawl(Person) -> Pubcrawl(Visit[λ])";
+        let e = run(
+            &args(&["check", SCHEMA, "deps.txt", query, "--metrics", "m.json"]),
+            &files(),
+        )
+        .unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("cannot write m.json"), "{}", e.message);
+        // ...but a failing command keeps its own error.
+        let e = run(
+            &args(&[
+                "check",
+                SCHEMA,
+                "deps.txt",
+                "not a dependency",
+                "--metrics",
+                "m.json",
+            ]),
+            &files(),
+        )
+        .unwrap_err();
+        assert_eq!(e.code, 1);
+        assert!(e.message.contains("bad dependency"), "{}", e.message);
+    }
+
+    #[test]
+    fn batch_gains_per_query_timing_under_obs_flags_only() {
+        let mut f = files();
+        f.0.insert(
+            "queries.txt".to_string(),
+            "Pubcrawl(Person) -> Pubcrawl(Visit[λ])\n\
+             Pubcrawl(Visit[λ]) -> Pubcrawl(Person)\n"
+                .to_string(),
+        );
+        let plain = run(&args(&["batch", SCHEMA, "deps.txt", "queries.txt"]), &f).unwrap();
+        assert!(!plain.contains("per-query timing"), "{plain}");
+        let traced = run(
+            &args(&["batch", SCHEMA, "deps.txt", "queries.txt", "--trace"]),
+            &f,
+        )
+        .unwrap();
+        assert!(traced.contains("per-query timing"), "{traced}");
+        assert!(traced.contains("query    0"), "{traced}");
+        assert!(traced.contains("query    1"), "{traced}");
+    }
+
+    #[test]
+    fn metrics_flag_requires_a_path() {
+        let e = run(&args(&["lattice", SCHEMA, "--metrics"]), &files()).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("--metrics requires"), "{}", e.message);
+    }
+
+    #[test]
+    fn invalid_certificate_step_maps_to_exit_code_2() {
+        let e = CliError::reasoner(&ReasonerError::Certify(CertifyError::InvalidInstance {
+            rule: "mixed meet rule",
+        }));
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("mixed meet rule"), "{}", e.message);
     }
 }

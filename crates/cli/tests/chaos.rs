@@ -25,6 +25,26 @@ impl Files for MemFiles {
     }
 }
 
+/// [`MemFiles`] that also accepts writes, so `--metrics` chaos cases can
+/// inspect what the CLI persisted after a failure.
+struct RwFiles {
+    inner: MemFiles,
+    written: std::cell::RefCell<BTreeMap<String, String>>,
+}
+
+impl Files for RwFiles {
+    fn read(&self, path: &str) -> Result<String, String> {
+        self.inner.read(path)
+    }
+
+    fn write(&self, path: &str, content: &str) -> Result<(), String> {
+        self.written
+            .borrow_mut()
+            .insert(path.to_string(), content.to_string());
+        Ok(())
+    }
+}
+
 const TIMEOUT_MS: u64 = 2_000;
 
 /// Every command template exercised against each corpus case. `{s}` is
@@ -167,6 +187,47 @@ fn injected_fuel_exhaustion_in_closure_is_exit_code_3() {
         .collect();
     let e = run_with_budget(&argv, &files, &budget).unwrap_err();
     assert_eq!(e.code, 3);
+}
+
+/// `--metrics` must leave behind a parseable JSON document carrying the
+/// right exit code for *every* failure class: domain error (1), usage
+/// error (2) and resource exhaustion (3).
+#[test]
+fn metrics_json_is_valid_on_every_failing_exit_code() {
+    let mut files = BTreeMap::new();
+    files.insert("deps.txt".to_string(), "L(A) -> L(B)\n".to_string());
+    let cases: &[(&[&str], i32)] = &[
+        // refutable dependency rendered as a check on a malformed target: domain error
+        (&["check", "L(A, B)", "deps.txt", "not a dependency"], 1),
+        // unknown command: usage error
+        (&["frobnicate", "L(A, B)"], 2),
+        // pre-expired deadline: resource exhaustion
+        (
+            &["closure", "L(A, B)", "deps.txt", "L(A)", "--timeout", "0"],
+            3,
+        ),
+    ];
+    for (argv, want) in cases {
+        let rw = RwFiles {
+            inner: MemFiles(files.clone()),
+            written: std::cell::RefCell::new(BTreeMap::new()),
+        };
+        let mut argv: Vec<String> = argv.iter().map(|s| (*s).to_string()).collect();
+        argv.extend(["--metrics", "m.json"].iter().map(|s| (*s).to_string()));
+        let e = run(&argv, &rw).unwrap_err();
+        assert_eq!(e.code, *want, "{argv:?}: {}", e.message);
+        let written = rw.written.borrow();
+        let doc = written
+            .get("m.json")
+            .unwrap_or_else(|| panic!("no metrics file written for exit code {want} ({argv:?})"));
+        let parsed = nalist::lint::json::parse(doc)
+            .unwrap_or_else(|err| panic!("invalid metrics JSON on exit {want}: {err}\n{doc}"));
+        assert_eq!(
+            parsed.get("exit_code").and_then(|v| v.as_usize()),
+            Some(usize::try_from(*want).unwrap()),
+            "exit code {want} not recorded in metrics JSON"
+        );
+    }
 }
 
 #[test]

@@ -45,6 +45,8 @@
 //! | [`schema`] | covers, keys, normal forms, lossless decomposition |
 //! | [`lint`] | span-aware static analysis of specs (rules L001–L009) |
 //! | [`gen`] | workload generators and named scenarios |
+//! | [`obs`] | observability: span recorder, work counters, histograms |
+//! | [`guard`] | resource governance: budgets, deadlines, fail points |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,6 +59,7 @@ pub use nalist_gen as gen;
 pub use nalist_guard as guard;
 pub use nalist_lint as lint;
 pub use nalist_membership as membership;
+pub use nalist_obs as obs;
 pub use nalist_schema as schema;
 pub use nalist_types as types;
 
@@ -70,7 +73,8 @@ pub mod prelude {
     pub use nalist_membership::{
         certified_closure_and_basis, certify, closure_and_basis, closure_and_basis_governed,
         closure_and_basis_paper, closure_and_basis_traced, implies, refute, CertifiedBasis,
-        DependencyBasis, QueryError, Reasoner, ReasonerError, Witness,
+        CertifyError, ClosureError, DependencyBasis, QueryError, Reasoner, ReasonerError, Witness,
+        WitnessError,
     };
     pub use nalist_schema::{
         binary_split, candidate_keys, decompose_4nf, equivalent, is_fourth_nf, is_superkey,

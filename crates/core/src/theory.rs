@@ -138,7 +138,7 @@
 //! ];
 //! // yes, with a checkable derivation:
 //! let yes = Dependency::parse(&n, "L(A) -> L(C)").unwrap().compile(&alg).unwrap();
-//! let dag = certify(&alg, &sigma, &yes).unwrap();
+//! let dag = certify(&alg, &sigma, &yes).unwrap().unwrap();
 //! assert_eq!(dag.check(&alg, &sigma).unwrap(), &yes);
 //! // no, with a concrete two-tuple counterexample:
 //! let no = Dependency::parse(&n, "L(C) -> L(A)").unwrap().compile(&alg).unwrap();

@@ -17,6 +17,7 @@
 
 use nalist_algebra::Algebra;
 use nalist_guard::{Budget, ResourceExhausted};
+use nalist_obs::{site, Counter, Recorder};
 use nalist_types::parser::DepKind;
 use nalist_types::value::Value;
 
@@ -186,6 +187,35 @@ pub fn chase_governed(
     })
 }
 
+/// [`chase_governed`] with an observability [`Recorder`]: one span per
+/// chase (payload in = input tuples, payload out = tuples added) plus
+/// the [`Counter::ChaseRounds`] and [`Counter::ChaseTuples`] work
+/// counters. With a disabled recorder this is exactly
+/// [`chase_governed`] — no span, no counter traffic.
+pub fn chase_observed(
+    alg: &Algebra,
+    sigma: &[CompiledDep],
+    instance: &Instance,
+    max_tuples: usize,
+    budget: &Budget,
+    rec: &dyn Recorder,
+) -> Result<ChaseResult, ChaseError> {
+    if !rec.enabled() {
+        return chase_governed(alg, sigma, instance, max_tuples, budget);
+    }
+    let token = rec.enter(site::CHASE, instance.len() as u64);
+    let result = chase_governed(alg, sigma, instance, max_tuples, budget);
+    match &result {
+        Ok(out) => {
+            rec.add(Counter::ChaseRounds, out.rounds as u64);
+            rec.add(Counter::ChaseTuples, out.added as u64);
+            rec.exit(token, out.added as u64);
+        }
+        Err(_) => rec.exit(token, 0),
+    }
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,6 +364,34 @@ mod tests {
             chase_governed(&alg, &sigma, &r, 100, &b),
             Err(ChaseError::Resource(_))
         ));
+    }
+
+    #[test]
+    fn observed_chase_matches_governed_and_counts_work() {
+        let (alg, sigma) = setup("L(A, B, C)", &["L(A) ->> L(B)"]);
+        let r = Instance::from_strs(alg.attr().clone(), &["(a, b1, c1)", "(a, b2, c2)"]).unwrap();
+        let budget = Budget::unlimited();
+        let plain = chase_governed(&alg, &sigma, &r, 100, &budget).unwrap();
+        let rec = nalist_obs::MetricsRecorder::new();
+        let observed = chase_observed(&alg, &sigma, &r, 100, &budget, &rec).unwrap();
+        assert_eq!(observed.instance, plain.instance);
+        assert_eq!(observed.rounds, plain.rounds);
+        let snap = rec.snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(counter("chase_rounds"), plain.rounds as u64);
+        assert_eq!(counter("chase_tuples"), plain.added as u64);
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].site, nalist_obs::site::CHASE);
+        assert_eq!(snap.spans[0].payload_out, plain.added as u64);
+        // the disabled recorder takes the zero-cost path
+        let quiet = chase_observed(&alg, &sigma, &r, 100, &budget, nalist_obs::noop()).unwrap();
+        assert_eq!(quiet.instance, plain.instance);
     }
 
     #[test]

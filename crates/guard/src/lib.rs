@@ -154,6 +154,19 @@ pub enum FailAction {
     /// Panic with a recognisable message, simulating a poisoned
     /// computation (exercises the batch APIs' panic isolation).
     Panic,
+    /// Panic via `std::panic::panic_any` with a typed [`InjectedPanic`]
+    /// payload — *not* a `String` — exercising the batch APIs' handling
+    /// of non-string panic payloads.
+    PanicPayload,
+}
+
+/// The typed (non-`String`) payload thrown by [`FailAction::PanicPayload`].
+/// Batch APIs must surface its type name rather than dropping it as an
+/// anonymous "non-string panic payload".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedPanic {
+    /// The fail-point site that threw.
+    pub site: String,
 }
 
 /// A fault-injection hook: when a [`Budget`] carries a fail point whose
@@ -419,6 +432,9 @@ impl Budget {
                     })
                 }
                 FailAction::Panic => panic!("{INJECTED_PANIC} (site: {site})"),
+                FailAction::PanicPayload => std::panic::panic_any(InjectedPanic {
+                    site: site.to_owned(),
+                }),
             }
         }
         Ok(())
@@ -521,6 +537,17 @@ mod tests {
             .downcast_ref::<String>()
             .expect("panic payload is a formatted String");
         assert!(msg.contains(INJECTED_PANIC));
+    }
+
+    #[test]
+    fn failpoint_panic_payload_throws_typed_payload() {
+        let b = Budget::unlimited().with_failpoint(FailPoint::every("p", FailAction::PanicPayload));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.failpoint("p")));
+        let payload = r.unwrap_err();
+        let injected = payload
+            .downcast_ref::<InjectedPanic>()
+            .expect("panic payload is the typed InjectedPanic struct");
+        assert_eq!(injected.site, "p");
     }
 
     #[test]

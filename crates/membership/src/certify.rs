@@ -37,6 +37,32 @@ use nalist_deps::{CompiledDep, DepKind, ProofDag, Rule};
 
 use crate::closure::{closure_and_basis, DependencyBasis};
 
+/// Error from certification: a recorded rule application was rejected by
+/// the proof checker's side conditions. With dependencies compiled
+/// against the same [`Algebra`] this never happens (Lemma 6.1 proves
+/// every emitted step valid), but hand-built [`CompiledDep`] values can
+/// reach this path — previously it was a `panic!` inside the builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertifyError {
+    /// The named rule rejected the proposed instance.
+    InvalidInstance {
+        /// Display name of the rule whose side condition failed.
+        rule: &'static str,
+    },
+}
+
+impl std::fmt::Display for CertifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertifyError::InvalidInstance { rule } => {
+                write!(f, "certify: invalid {rule} instance")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CertifyError {}
+
 /// The certified output: the dependency basis plus a proof DAG and the
 /// nodes certifying each part.
 #[derive(Debug, Clone)]
@@ -65,15 +91,20 @@ struct Builder<'a> {
 }
 
 impl<'a> Builder<'a> {
-    fn step(&mut self, rule: Rule, inputs: &[usize], params: &[AtomSet]) -> usize {
+    fn step(
+        &mut self,
+        rule: Rule,
+        inputs: &[usize],
+        params: &[AtomSet],
+    ) -> Result<usize, CertifyError> {
         let node = self
             .dag
             .step(self.alg, rule, inputs, params)
-            .unwrap_or_else(|| panic!("certify: invalid {} instance", rule.name()));
+            .ok_or(CertifyError::InvalidInstance { rule: rule.name() })?;
         // if an earlier node already concludes the same dependency, reuse
         // it and drop the freshly appended duplicate
         let conclusion = self.dag.conclusion(node).clone();
-        match self.memo.get(&conclusion) {
+        Ok(match self.memo.get(&conclusion) {
             Some(&existing) => {
                 self.dag.nodes.pop();
                 existing
@@ -82,26 +113,26 @@ impl<'a> Builder<'a> {
                 self.memo.insert(conclusion, node);
                 node
             }
-        }
+        })
     }
 
-    fn fd_refl(&mut self, x: &AtomSet, y: &AtomSet) -> usize {
+    fn fd_refl(&mut self, x: &AtomSet, y: &AtomSet) -> Result<usize, CertifyError> {
         self.step(Rule::FdReflexivity, &[], &[x.clone(), y.clone()])
     }
 
-    fn mvd_refl(&mut self, x: &AtomSet, y: &AtomSet) -> usize {
+    fn mvd_refl(&mut self, x: &AtomSet, y: &AtomSet) -> Result<usize, CertifyError> {
         self.step(Rule::MvdReflexivity, &[], &[x.clone(), y.clone()])
     }
 
     /// `X ↠ Z ⊦ X ↠ Z^CC` by double complementation.
-    fn cc_of(&mut self, node: usize) -> usize {
-        let c1 = self.step(Rule::MvdComplementation, &[node], &[]);
+    fn cc_of(&mut self, node: usize) -> Result<usize, CertifyError> {
+        let c1 = self.step(Rule::MvdComplementation, &[node], &[])?;
         self.step(Rule::MvdComplementation, &[c1], &[])
     }
 
     /// Lifts an MVD node to the left-hand side `S ⊇ lhs`:
     /// `X ↠ Z ⊦ S ↠ Z` via augmentation with `(S, λ)`.
-    fn lift(&mut self, node: usize, s: &AtomSet) -> usize {
+    fn lift(&mut self, node: usize, s: &AtomSet) -> Result<usize, CertifyError> {
         self.step(
             Rule::MvdAugmentation,
             &[node],
@@ -112,29 +143,29 @@ impl<'a> Builder<'a> {
     /// Lowers `S ↠ Z` (with `S ≤ X_new`) back to `X ↠ Z`, using
     /// `X → X_new`: transitivity gives `X ↠ Z ∸ S`, the determined part
     /// `Z ⊓ S` comes via the FD, and their join is exactly `Z`.
-    fn lower(&mut self, node: usize) -> usize {
+    fn lower(&mut self, node: usize) -> Result<usize, CertifyError> {
         let s = self.dag.conclusion(node).lhs.clone();
         let z = self.dag.conclusion(node).rhs.clone();
         // X → S
         let x_new = self.x_new.clone();
-        let refl_s = self.fd_refl(&x_new, &s);
-        let x_to_s = self.step(Rule::FdTransitivity, &[self.x_node, refl_s], &[]);
+        let refl_s = self.fd_refl(&x_new, &s)?;
+        let x_to_s = self.step(Rule::FdTransitivity, &[self.x_node, refl_s], &[])?;
         // X ↠ S, then X ↠ Z ∸ S
-        let x_mvd_s = self.step(Rule::FdImpliesMvd, &[x_to_s], &[]);
-        let tr = self.step(Rule::MvdTransitivity, &[x_mvd_s, node], &[]);
+        let x_mvd_s = self.step(Rule::FdImpliesMvd, &[x_to_s], &[])?;
+        let tr = self.step(Rule::MvdTransitivity, &[x_mvd_s, node], &[])?;
         // X → Z ⊓ S, hence X ↠ Z ⊓ S
         let zs = self.alg.meet(&z, &s);
-        let refl_zs = self.fd_refl(&s, &zs);
-        let x_to_zs = self.step(Rule::FdTransitivity, &[x_to_s, refl_zs], &[]);
-        let x_mvd_zs = self.step(Rule::FdImpliesMvd, &[x_to_zs], &[]);
+        let refl_zs = self.fd_refl(&s, &zs)?;
+        let x_to_zs = self.step(Rule::FdTransitivity, &[x_to_s, refl_zs], &[])?;
+        let x_mvd_zs = self.step(Rule::FdImpliesMvd, &[x_to_zs], &[])?;
         // X ↠ (Z ∸ S) ⊔ (Z ⊓ S) = Z
-        let joined = self.step(Rule::MvdJoin, &[tr, x_mvd_zs], &[]);
+        let joined = self.step(Rule::MvdJoin, &[tr, x_mvd_zs], &[])?;
         debug_assert_eq!(self.dag.conclusion(joined).rhs, z);
-        joined
+        Ok(joined)
     }
 
     /// `X ↠ Ū` for the anchored blocks, plus the anchored block list.
-    fn ubar(&mut self, u: &AtomSet, x_orig: &AtomSet) -> (AtomSet, Option<usize>) {
+    fn ubar(&mut self, u: &AtomSet, x_orig: &AtomSet) -> Result<(AtomSet, usize), CertifyError> {
         let mut set = self.alg.bottom_set();
         let mut node: Option<usize> = None;
         let anchored: Vec<(AtomSet, usize)> = self
@@ -150,28 +181,33 @@ impl<'a> Builder<'a> {
             set.union_with(&w);
             node = Some(match node {
                 None => n,
-                Some(prev) => self.step(Rule::MvdJoin, &[prev, n], &[]),
+                Some(prev) => self.step(Rule::MvdJoin, &[prev, n], &[])?,
             });
         }
-        if node.is_none() {
+        let node = match node {
+            Some(n) => n,
             // Ū = λ — provable by MVD reflexivity from the original X
-            let bottom = self.alg.bottom_set();
-            node = Some(self.mvd_refl(x_orig, &bottom));
-        }
-        (set, node)
+            None => {
+                let bottom = self.alg.bottom_set();
+                self.mvd_refl(x_orig, &bottom)?
+            }
+        };
+        Ok((set, node))
     }
 }
 
 /// Runs Algorithm 5.1 while recording a checkable derivation of every
-/// output (Lemma 6.1, constructively). Panics only if an internal
-/// invariant is violated — the returned DAG re-verifies with the
-/// independent checker, and the basis is asserted equal to the
-/// uninstrumented engine's output.
+/// output (Lemma 6.1, constructively). A rule application rejected by
+/// the checker surfaces as [`CertifyError`] (reachable only with
+/// hand-built [`CompiledDep`] inputs); asserts remain for internal
+/// invariants — the returned DAG re-verifies with the independent
+/// checker, and the basis is asserted equal to the uninstrumented
+/// engine's output.
 pub fn certified_closure_and_basis(
     alg: &Algebra,
     sigma: &[CompiledDep],
     x: &AtomSet,
-) -> CertifiedBasis {
+) -> Result<CertifiedBasis, CertifyError> {
     let mut b = Builder {
         alg,
         dag: ProofDag::new(),
@@ -191,18 +227,18 @@ pub fn certified_closure_and_basis(
         })
         .collect();
     // X → X
-    b.x_node = b.fd_refl(x, x);
+    b.x_node = b.fd_refl(x, x)?;
     // initial blocks: singletons for MaxB(X) …
     for m in alg.maximal_atoms_of(x).iter() {
         let w = alg.downward_closure(&AtomSet::from_indices(alg.atom_count(), [m]));
-        let n = b.mvd_refl(x, &w);
+        let n = b.mvd_refl(x, &w)?;
         b.blocks.insert(w, n);
     }
     // … plus X^C via reflexivity + complementation
     let xc = alg.compl(x);
     if !xc.is_empty() {
-        let refl = b.mvd_refl(x, x);
-        let n = b.step(Rule::MvdComplementation, &[refl], &[]);
+        let refl = b.mvd_refl(x, x)?;
+        let n = b.step(Rule::MvdComplementation, &[refl], &[])?;
         debug_assert_eq!(b.dag.conclusion(n).rhs, xc);
         b.blocks.insert(xc, n);
     }
@@ -217,8 +253,7 @@ pub fn certified_closure_and_basis(
         let blocks_old: Vec<AtomSet> = b.blocks.keys().cloned().collect();
         for &i in &order {
             let dep = &sigma[i];
-            let (ubar_set, ubar_node) = b.ubar(&dep.lhs, x);
-            let ubar_node = ubar_node.expect("ubar always yields a node");
+            let (ubar_set, ubar_node) = b.ubar(&dep.lhs, x)?;
             let vtilde = alg.pdiff(&dep.rhs, &ubar_set);
             if vtilde.is_empty() {
                 continue;
@@ -231,20 +266,20 @@ pub fn certified_closure_and_basis(
             match dep.kind {
                 DepKind::Fd => {
                     // X_new ↠ Ū^C
-                    let comp = b.step(Rule::MvdComplementation, &[ubar_node], &[]);
-                    let aug = b.lift(comp, &b.x_new.clone());
+                    let comp = b.step(Rule::MvdComplementation, &[ubar_node], &[])?;
+                    let aug = b.lift(comp, &b.x_new.clone())?;
                     // U → Ṽ
-                    let refl_v = b.fd_refl(&dep.rhs, &vtilde);
-                    let u_to_vt = b.step(Rule::FdTransitivity, &[premise_nodes[i], refl_v], &[]);
+                    let refl_v = b.fd_refl(&dep.rhs, &vtilde)?;
+                    let u_to_vt = b.step(Rule::FdTransitivity, &[premise_nodes[i], refl_v], &[])?;
                     // generalised coalescence: X_new → Ṽ
-                    let coal = b.step(Rule::Coalescence, &[aug, u_to_vt], &[]);
+                    let coal = b.step(Rule::Coalescence, &[aug, u_to_vt], &[])?;
                     // X → Ṽ, and the new X → X_new
-                    let x_to_vt = b.step(Rule::FdTransitivity, &[b.x_node, coal], &[]);
-                    let x_join = b.step(Rule::FdJoin, &[b.x_node, x_to_vt], &[]);
+                    let x_to_vt = b.step(Rule::FdTransitivity, &[b.x_node, coal], &[])?;
+                    let x_join = b.step(Rule::FdJoin, &[b.x_node, x_to_vt], &[])?;
                     b.x_node = x_join;
                     b.x_new = alg.join(&b.x_new, &vtilde);
                     // block updates
-                    let x_mvd_vt = b.step(Rule::FdImpliesMvd, &[x_to_vt], &[]);
+                    let x_mvd_vt = b.step(Rule::FdImpliesMvd, &[x_to_vt], &[])?;
                     let old: Vec<(AtomSet, usize)> =
                         b.blocks.iter().map(|(w, n)| (w.clone(), *n)).collect();
                     b.blocks.clear();
@@ -253,47 +288,47 @@ pub fn certified_closure_and_basis(
                         if reduced.is_empty() {
                             continue;
                         }
-                        let pd = b.step(Rule::MvdPseudoDiff, &[wn, x_mvd_vt], &[]);
-                        let ccn = b.cc_of(pd);
+                        let pd = b.step(Rule::MvdPseudoDiff, &[wn, x_mvd_vt], &[])?;
+                        let ccn = b.cc_of(pd)?;
                         debug_assert_eq!(b.dag.conclusion(ccn).rhs, reduced);
                         b.blocks.entry(reduced).or_insert(ccn);
                     }
                     for m in alg.maximal_atoms_of(&vtilde).iter() {
                         let w = alg.downward_closure(&AtomSet::from_indices(alg.atom_count(), [m]));
-                        let refl = b.fd_refl(&vtilde, &w);
-                        let x_to_w = b.step(Rule::FdTransitivity, &[x_to_vt, refl], &[]);
-                        let n = b.step(Rule::FdImpliesMvd, &[x_to_w], &[]);
+                        let refl = b.fd_refl(&vtilde, &w)?;
+                        let x_to_w = b.step(Rule::FdTransitivity, &[x_to_vt, refl], &[])?;
+                        let n = b.step(Rule::FdImpliesMvd, &[x_to_w], &[])?;
                         b.blocks.entry(w).or_insert(n);
                     }
                 }
                 DepKind::Mvd => {
                     let x_cur = b.x_new.clone();
                     // X_new ↠ L for L = X_new ⊔ Ū
-                    let b_node = b.lift(ubar_node, &x_cur);
-                    let refl_x = b.mvd_refl(&x_cur, &x_cur);
-                    let l_node = b.step(Rule::MvdJoin, &[b_node, refl_x], &[]);
+                    let b_node = b.lift(ubar_node, &x_cur)?;
+                    let refl_x = b.mvd_refl(&x_cur, &x_cur)?;
+                    let l_node = b.step(Rule::MvdJoin, &[b_node, refl_x], &[])?;
                     let l_set = b.dag.conclusion(l_node).rhs.clone();
                     // L ↠ V (the premise, lifted — needs U ≤ L)
-                    let va = b.lift(premise_nodes[i], &l_set);
+                    let va = b.lift(premise_nodes[i], &l_set)?;
                     assert_eq!(
                         b.dag.conclusion(va).lhs,
                         l_set,
                         "certify: premise LHS not anchored"
                     );
                     // X_new ↠ V ∸ L, joined with the determined part = Ṽ
-                    let tr = b.step(Rule::MvdTransitivity, &[l_node, va], &[]);
+                    let tr = b.step(Rule::MvdTransitivity, &[l_node, va], &[])?;
                     let det = alg.meet(&vtilde, &x_cur);
-                    let det_node = b.mvd_refl(&x_cur, &det);
-                    let vt_node = b.step(Rule::MvdJoin, &[tr, det_node], &[]);
+                    let det_node = b.mvd_refl(&x_cur, &det)?;
+                    let vt_node = b.step(Rule::MvdJoin, &[tr, det_node], &[])?;
                     assert_eq!(
                         b.dag.conclusion(vt_node).rhs,
                         vtilde,
                         "certify: Ṽ derivation mismatch"
                     );
                     // mixed meet: X_new → Ṽ ⊓ Ṽ^C, then the new X → X_new
-                    let mixed = b.step(Rule::MixedMeet, &[vt_node], &[]);
-                    let x_to_m = b.step(Rule::FdTransitivity, &[b.x_node, mixed], &[]);
-                    let x_join = b.step(Rule::FdJoin, &[b.x_node, x_to_m], &[]);
+                    let mixed = b.step(Rule::MixedMeet, &[vt_node], &[])?;
+                    let x_to_m = b.step(Rule::FdTransitivity, &[b.x_node, mixed], &[])?;
+                    let x_join = b.step(Rule::FdJoin, &[b.x_node, x_to_m], &[])?;
                     b.x_node = x_join;
                     b.x_new = alg.join(&b.x_new, &b.dag.conclusion(x_to_m).rhs.clone());
                     // block splits along Ṽ (derived at lhs x_cur, lowered to X)
@@ -303,15 +338,15 @@ pub fn certified_closure_and_basis(
                     for (w, wn) in old {
                         let inter = alg.cc(&alg.meet(&vtilde, &w));
                         if !inter.is_empty() && inter != w {
-                            let w_lift = b.lift(wn, &x_cur);
-                            let m_node = b.step(Rule::MvdMeet, &[vt_node, w_lift], &[]);
-                            let m_cc = b.cc_of(m_node);
-                            let m_low = b.lower(m_cc);
+                            let w_lift = b.lift(wn, &x_cur)?;
+                            let m_node = b.step(Rule::MvdMeet, &[vt_node, w_lift], &[])?;
+                            let m_cc = b.cc_of(m_node)?;
+                            let m_low = b.lower(m_cc)?;
                             debug_assert_eq!(b.dag.conclusion(m_low).rhs, inter);
                             b.blocks.entry(inter).or_insert(m_low);
-                            let d_node = b.step(Rule::MvdPseudoDiff, &[w_lift, vt_node], &[]);
-                            let d_cc = b.cc_of(d_node);
-                            let d_low = b.lower(d_cc);
+                            let d_node = b.step(Rule::MvdPseudoDiff, &[w_lift, vt_node], &[])?;
+                            let d_cc = b.cc_of(d_node)?;
+                            let d_low = b.lower(d_cc)?;
                             let d_set = b.dag.conclusion(d_low).rhs.clone();
                             b.blocks.entry(d_set).or_insert(d_low);
                         } else {
@@ -333,70 +368,85 @@ pub fn certified_closure_and_basis(
     let block_sets: Vec<AtomSet> = b.blocks.keys().cloned().collect();
     assert_eq!(basis.blocks, block_sets, "certify: block mismatch");
     let block_nodes: Vec<usize> = basis.blocks.iter().map(|w| b.blocks[w]).collect();
-    CertifiedBasis {
+    Ok(CertifiedBasis {
         basis,
         dag: b.dag,
         closure_node: b.x_node,
         block_nodes,
-    }
+    })
+}
+
+/// Appends a step to a bare DAG, mapping checker rejection to
+/// [`CertifyError`] (used by [`certify`] after the [`Builder`] is gone).
+fn raw_step(
+    dag: &mut ProofDag,
+    alg: &Algebra,
+    rule: Rule,
+    inputs: &[usize],
+    params: &[AtomSet],
+) -> Result<usize, CertifyError> {
+    dag.step(alg, rule, inputs, params)
+        .ok_or(CertifyError::InvalidInstance { rule: rule.name() })
 }
 
 /// Decides `Σ ⊨ σ` and, when implied, returns a checkable [`ProofDag`]
-/// whose final node concludes exactly `σ`. Returns `None` when not
-/// implied (use [`crate::witness::refute`] for the counterexample).
-pub fn certify(alg: &Algebra, sigma: &[CompiledDep], dep: &CompiledDep) -> Option<ProofDag> {
-    let mut cert = certified_closure_and_basis(alg, sigma, &dep.lhs);
-    let alg_b = alg;
+/// whose final node concludes exactly `σ`. Returns `Ok(None)` when not
+/// implied (use [`crate::witness::refute`] for the counterexample);
+/// [`CertifyError`] when a recorded rule application is rejected (only
+/// reachable with hand-built, ill-formed [`CompiledDep`] inputs).
+pub fn certify(
+    alg: &Algebra,
+    sigma: &[CompiledDep],
+    dep: &CompiledDep,
+) -> Result<Option<ProofDag>, CertifyError> {
+    let mut cert = certified_closure_and_basis(alg, sigma, &dep.lhs)?;
     match dep.kind {
         DepKind::Fd => {
             if !cert.basis.fd_derivable(&dep.rhs) {
-                return None;
+                return Ok(None);
             }
             // X → X⁺, X⁺ → Y, transitivity
-            let refl = cert
-                .dag
-                .step(
-                    alg_b,
-                    Rule::FdReflexivity,
-                    &[],
-                    &[cert.basis.closure.clone(), dep.rhs.clone()],
-                )
-                .expect("Y ≤ X⁺");
-            cert.dag
-                .step(alg_b, Rule::FdTransitivity, &[cert.closure_node, refl], &[])
-                .expect("chained transitivity");
-            Some(cert.dag)
+            let refl = raw_step(
+                &mut cert.dag,
+                alg,
+                Rule::FdReflexivity,
+                &[],
+                &[cert.basis.closure.clone(), dep.rhs.clone()],
+            )?;
+            raw_step(
+                &mut cert.dag,
+                alg,
+                Rule::FdTransitivity,
+                &[cert.closure_node, refl],
+                &[],
+            )?;
+            Ok(Some(cert.dag))
         }
         DepKind::Mvd => {
             if !cert.basis.mvd_derivable(&dep.rhs) {
-                return None;
+                return Ok(None);
             }
             // determined part: X → X⁺ ⊓ Y, hence X ↠ X⁺ ⊓ Y
             let det = alg.meet(&cert.basis.closure, &dep.rhs);
-            let refl = cert
-                .dag
-                .step(
-                    alg_b,
-                    Rule::FdReflexivity,
-                    &[],
-                    &[cert.basis.closure.clone(), det],
-                )
-                .expect("det ≤ X⁺");
-            let x_to_det = cert
-                .dag
-                .step(alg_b, Rule::FdTransitivity, &[cert.closure_node, refl], &[])
-                .expect("transitivity");
-            let mut acc = cert
-                .dag
-                .step(alg_b, Rule::FdImpliesMvd, &[x_to_det], &[])
-                .expect("implication rule");
+            let refl = raw_step(
+                &mut cert.dag,
+                alg,
+                Rule::FdReflexivity,
+                &[],
+                &[cert.basis.closure.clone(), det],
+            )?;
+            let x_to_det = raw_step(
+                &mut cert.dag,
+                alg,
+                Rule::FdTransitivity,
+                &[cert.closure_node, refl],
+                &[],
+            )?;
+            let mut acc = raw_step(&mut cert.dag, alg, Rule::FdImpliesMvd, &[x_to_det], &[])?;
             // join in every block contained in Y
             for (w, &wn) in cert.basis.blocks.iter().zip(&cert.block_nodes) {
                 if w.is_subset(&dep.rhs) {
-                    acc = cert
-                        .dag
-                        .step(alg_b, Rule::MvdJoin, &[acc, wn], &[])
-                        .expect("join of blocks");
+                    acc = raw_step(&mut cert.dag, alg, Rule::MvdJoin, &[acc, wn], &[])?;
                 }
             }
             assert_eq!(
@@ -404,7 +454,7 @@ pub fn certify(alg: &Algebra, sigma: &[CompiledDep], dep: &CompiledDep) -> Optio
                 dep,
                 "certify: assembled MVD does not match the target"
             );
-            Some(cert.dag)
+            Ok(Some(cert.dag))
         }
     }
 }
@@ -425,9 +475,34 @@ mod tests {
         let alg = Algebra::new(&n);
         let sigma = vec![dep(&n, &alg, "L(A) -> L(B)"), dep(&n, &alg, "L(B) -> L(C)")];
         let target = dep(&n, &alg, "L(A) -> L(C)");
-        let dag = certify(&alg, &sigma, &target).unwrap();
+        let dag = certify(&alg, &sigma, &target).unwrap().unwrap();
         let root = dag.check(&alg, &sigma).unwrap();
         assert_eq!(root, &target);
+    }
+
+    #[test]
+    fn invalid_rule_instance_yields_typed_error_not_panic() {
+        // Reflexivity with Y ≰ X fails the checker's side condition:
+        // previously a panic inside `Builder::step`, now a typed error.
+        let n = parse_attr("L(A, B)").unwrap();
+        let alg = Algebra::new(&n);
+        let mut b = Builder {
+            alg: &alg,
+            dag: ProofDag::new(),
+            memo: BTreeMap::new(),
+            x_node: 0,
+            x_new: alg.bottom_set(),
+            blocks: BTreeMap::new(),
+        };
+        let err = b.fd_refl(&alg.bottom_set(), &alg.top_set()).unwrap_err();
+        assert_eq!(
+            err,
+            CertifyError::InvalidInstance {
+                rule: Rule::FdReflexivity.name()
+            }
+        );
+        assert!(err.to_string().contains("invalid"));
+        assert!(err.to_string().contains(Rule::FdReflexivity.name()));
     }
 
     #[test]
@@ -442,7 +517,7 @@ mod tests {
             ("L(A) ->> L(B, C)", false),
         ] {
             let t = dep(&n, &alg, target);
-            match certify(&alg, &sigma, &t) {
+            match certify(&alg, &sigma, &t).unwrap() {
                 Some(dag) => {
                     assert!(implied, "{target} certified but should not be implied");
                     assert_eq!(dag.check(&alg, &sigma).unwrap(), &t);
@@ -463,7 +538,7 @@ mod tests {
             "Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])",
         )];
         let target = dep(&n, &alg, "Pubcrawl(Person) -> Pubcrawl(Visit[λ])");
-        let dag = certify(&alg, &sigma, &target).unwrap();
+        let dag = certify(&alg, &sigma, &target).unwrap().unwrap();
         assert_eq!(dag.check(&alg, &sigma).unwrap(), &target);
         // the certificate actually uses the mixed meet rule
         let uses_mixed_meet = dag.nodes.iter().any(|nd| {
@@ -494,7 +569,7 @@ mod tests {
         let x = alg
             .from_attr(&parse_subattr_of(&n, "L1(L7(F, L8[L9(L10[H])]))").unwrap())
             .unwrap();
-        let cert = certified_closure_and_basis(&alg, &sigma, &x);
+        let cert = certified_closure_and_basis(&alg, &sigma, &x).unwrap();
         // the whole DAG re-verifies
         cert.dag.check(&alg, &sigma).unwrap();
         // the closure node concludes X → X⁺
@@ -526,12 +601,15 @@ mod tests {
             for _ in 0..6 {
                 let target = random_dep(&mut rng, &alg);
                 let implied = crate::decide::implies(&alg, &sigma, &target);
-                match certify(&alg, &sigma, &target) {
+                match certify(&alg, &sigma, &target).unwrap() {
                     Some(dag) => {
                         assert!(implied, "round {round}: certified a non-implication");
-                        let root = dag.check(&alg, &sigma).unwrap_or_else(|e| {
-                            panic!("round {round}: certificate fails to check: {e}")
-                        });
+                        let root = match dag.check(&alg, &sigma) {
+                            Ok(root) => root,
+                            Err(e) => {
+                                unreachable!("round {round}: certificate fails to check: {e}")
+                            }
+                        };
                         assert_eq!(root, &target, "round {round}");
                     }
                     None => assert!(!implied, "round {round}: implied but not certified"),

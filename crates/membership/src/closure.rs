@@ -48,6 +48,62 @@ use nalist_algebra::{Algebra, AtomSet};
 use nalist_deps::{CompiledDep, DepKind};
 use nalist_guard::{Budget, ResourceExhausted};
 
+/// Error from the governed closure entry points: either the budget ran
+/// out, or the supplied `X` is not downward closed — i.e. not an element
+/// of `Sub(N)` at all, so Algorithm 5.1's precondition is violated and
+/// any "answer" would be garbage. Internal callers that construct `X`
+/// via [`Algebra::from_attr`] can never hit the latter; the check exists
+/// for external callers handing in raw atom sets (previously only a
+/// `debug_assert!`, so release builds silently computed garbage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClosureError {
+    /// A resource limit tripped ([`ResourceExhausted`]).
+    Resource(ResourceExhausted),
+    /// `X` is not downward closed: `atom` is in `X` but one of its
+    /// list-node ancestors is not.
+    NotDownwardClosed {
+        /// A witness atom whose `below` set is not contained in `X`.
+        atom: usize,
+    },
+}
+
+impl std::fmt::Display for ClosureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClosureError::Resource(e) => e.fmt(f),
+            ClosureError::NotDownwardClosed { atom } => write!(
+                f,
+                "X is not downward closed: atom {atom} is present without its list-node ancestors"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClosureError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClosureError::Resource(e) => Some(e),
+            ClosureError::NotDownwardClosed { .. } => None,
+        }
+    }
+}
+
+impl From<ResourceExhausted> for ClosureError {
+    fn from(e: ResourceExhausted) -> Self {
+        ClosureError::Resource(e)
+    }
+}
+
+/// Checks Algorithm 5.1's precondition, returning a witness atom on
+/// violation. One `below ⊆ X` word-parallel test per atom of `X` —
+/// cheap relative to even a single fixpoint pass.
+pub(crate) fn check_downward_closed(alg: &Algebra, x: &AtomSet) -> Result<(), ClosureError> {
+    match x.iter().find(|&a| !alg.atom(a).below.is_subset(x)) {
+        None => Ok(()),
+        Some(atom) => Err(ClosureError::NotDownwardClosed { atom }),
+    }
+}
+
 /// The output of Algorithm 5.1 for a fixed `X` and `Σ`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DependencyBasis {
@@ -109,13 +165,14 @@ pub fn closure_and_basis(alg: &Algebra, sigma: &[CompiledDep], x: &AtomSet) -> D
 
 /// [`closure_and_basis`] under a resource [`Budget`]. A successful return
 /// is always the exact fixpoint; a truncated run surfaces as
-/// [`ResourceExhausted`], never as a partial answer.
+/// [`ClosureError::Resource`], never as a partial answer, and a
+/// non-downward-closed `X` as [`ClosureError::NotDownwardClosed`].
 pub fn closure_and_basis_governed(
     alg: &Algebra,
     sigma: &[CompiledDep],
     x: &AtomSet,
     budget: &Budget,
-) -> Result<DependencyBasis, ResourceExhausted> {
+) -> Result<DependencyBasis, ClosureError> {
     crate::worklist::closure_and_basis_worklist_governed(alg, sigma, x, budget)
 }
 
@@ -132,14 +189,16 @@ pub fn closure_and_basis_paper(
 }
 
 /// [`closure_and_basis_paper`] under a resource [`Budget`] (one fuel unit
-/// per dependency step per pass).
+/// per dependency step per pass). Checks the downward-closed
+/// precondition like [`closure_and_basis_governed`].
 pub fn closure_and_basis_paper_governed(
     alg: &Algebra,
     sigma: &[CompiledDep],
     x: &AtomSet,
     budget: &Budget,
-) -> Result<DependencyBasis, ResourceExhausted> {
-    run(alg, sigma, x, None, budget)
+) -> Result<DependencyBasis, ClosureError> {
+    check_downward_closed(alg, x)?;
+    Ok(run(alg, sigma, x, None, budget)?)
 }
 
 /// Computes `X⁺` and `DepB(X)` and records the full per-step trace.
@@ -441,6 +500,28 @@ mod tests {
         let small = closure_and_basis(&alg, &sigma[..1], &x);
         let big = closure_and_basis(&alg, &sigma, &x);
         assert!(small.closure.is_subset(&big.closure));
+    }
+
+    #[test]
+    fn governed_entry_points_reject_non_downward_closed_x() {
+        // On A'(B, C[D(E, F[G])]), {E} alone (without its list ancestor C)
+        // is not an element of Sub(N). Atom ids: 0=B, 1=C, 2=E, 3=F, 4=G.
+        let (alg, sigma, _) = setup("A'(B, C[D(E, F[G])])", &["A'(B) ->> A'(C[D(E)])"], "λ");
+        let bad = AtomSet::from_indices(5, [2]);
+        let err = closure_and_basis_governed(&alg, &sigma, &bad, &Budget::unlimited()).unwrap_err();
+        assert_eq!(err, ClosureError::NotDownwardClosed { atom: 2 });
+        assert!(err.to_string().contains("not downward closed"));
+        let err =
+            closure_and_basis_paper_governed(&alg, &sigma, &bad, &Budget::unlimited()).unwrap_err();
+        assert_eq!(err, ClosureError::NotDownwardClosed { atom: 2 });
+        // a valid X still works and resource errors still convert
+        let good = AtomSet::from_indices(5, [1, 2]);
+        assert!(closure_and_basis_governed(&alg, &sigma, &good, &Budget::unlimited()).is_ok());
+        let starved = Budget::unlimited().with_fuel(0);
+        assert!(matches!(
+            closure_and_basis_governed(&alg, &sigma, &good, &starved),
+            Err(ClosureError::Resource(_))
+        ));
     }
 
     #[test]

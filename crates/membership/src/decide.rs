@@ -22,18 +22,23 @@ use std::hash::{Hash, Hasher};
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::Instant;
 
 use nalist_algebra::{Algebra, AtomSet};
 use nalist_deps::{CompiledDep, DepKind, Dependency, PreparedDep};
 use nalist_guard::{Budget, ResourceExhausted};
+use nalist_obs::{Counter, Hist, Recorder};
 use nalist_types::attr::NestedAttr;
 use nalist_types::error::{ParseError, TypeError};
 use nalist_types::parser::ParseLimits;
 
-use crate::closure::{closure_and_basis, closure_and_basis_governed, DependencyBasis};
+use crate::certify::CertifyError;
+use crate::closure::{
+    closure_and_basis, closure_and_basis_governed, ClosureError, DependencyBasis,
+};
 use crate::witness::WitnessError;
-use crate::worklist::{closure_and_basis_worklist_run_governed, step_would_change};
+use crate::worklist::{closure_and_basis_worklist_run_observed, step_would_change};
 
 /// Number of independently locked cache shards. Spreading entries over
 /// 16 mutexes keeps contention negligible at any realistic thread count.
@@ -142,8 +147,11 @@ impl BasisCache {
     }
 
     /// Keeps only the entries `keep` approves, updating the
-    /// retained/evicted counters.
-    fn retain(&self, mut keep: impl FnMut(&CacheEntry) -> bool) {
+    /// retained/evicted counters. Returns `(retained, evicted)` for this
+    /// sweep so callers can mirror the deltas into an observability
+    /// recorder.
+    fn retain(&self, mut keep: impl FnMut(&CacheEntry) -> bool) -> (u64, u64) {
+        let mut totals = (0u64, 0u64);
         for shard in &self.shards {
             let mut map = shard.lock().unwrap_or_else(PoisonError::into_inner);
             let before = map.len() as u64;
@@ -151,7 +159,10 @@ impl BasisCache {
             let after = map.len() as u64;
             self.retained.fetch_add(after, Ordering::Relaxed);
             self.evicted.fetch_add(before - after, Ordering::Relaxed);
+            totals.0 += after;
+            totals.1 += before - after;
         }
+        totals
     }
 
     fn clear(&self) {
@@ -216,6 +227,9 @@ pub struct Reasoner {
     /// per-LHS dependency-basis cache, *selectively* invalidated when Σ
     /// changes (see [`Reasoner::add`] / [`Reasoner::remove`])
     cache: BasisCache,
+    /// observability sink; the shared noop by default, so unobserved
+    /// reasoners pay one never-taken branch per instrumented site
+    recorder: Arc<dyn Recorder>,
 }
 
 impl Clone for Reasoner {
@@ -233,6 +247,7 @@ impl Clone for Reasoner {
             ids: self.ids.clone(),
             next_id: self.next_id,
             cache: self.cache.clone(),
+            recorder: Arc::clone(&self.recorder),
         }
     }
 }
@@ -250,6 +265,15 @@ pub enum ReasonerError {
     /// Witness construction failed while refuting a non-implied
     /// dependency.
     Witness(WitnessError),
+    /// Proof construction hit an invalid rule instance while certifying
+    /// an implied dependency (see [`CertifyError`]).
+    Certify(CertifyError),
+    /// A raw atom-set argument violated Algorithm 5.1's downward-closed
+    /// precondition (`X` is not an element of `Sub(N)`).
+    NotDownwardClosed {
+        /// A witness atom present without its list-node ancestors.
+        atom: usize,
+    },
 }
 
 impl std::fmt::Display for ReasonerError {
@@ -259,6 +283,10 @@ impl std::fmt::Display for ReasonerError {
             ReasonerError::Type(e) => write!(f, "type error: {e}"),
             ReasonerError::Resource(e) => write!(f, "{e}"),
             ReasonerError::Witness(e) => write!(f, "witness error: {e}"),
+            ReasonerError::Certify(e) => write!(f, "certify error: {e}"),
+            ReasonerError::NotDownwardClosed { atom } => {
+                ClosureError::NotDownwardClosed { atom: *atom }.fmt(f)
+            }
         }
     }
 }
@@ -271,6 +299,21 @@ impl From<ResourceExhausted> for ReasonerError {
     }
 }
 
+impl From<ClosureError> for ReasonerError {
+    fn from(e: ClosureError) -> Self {
+        match e {
+            ClosureError::Resource(r) => ReasonerError::Resource(r),
+            ClosureError::NotDownwardClosed { atom } => ReasonerError::NotDownwardClosed { atom },
+        }
+    }
+}
+
+impl From<CertifyError> for ReasonerError {
+    fn from(e: CertifyError) -> Self {
+        ReasonerError::Certify(e)
+    }
+}
+
 /// Per-item failure inside a batch call ([`Reasoner::implies_batch_governed`],
 /// [`Reasoner::dependency_basis_batch_governed`]): the failed query is
 /// reported here while the rest of the batch completes normally.
@@ -280,7 +323,15 @@ pub enum QueryError {
     Resource(ResourceExhausted),
     /// The query panicked; the panic was confined to this item.
     Panicked {
-        /// The panic payload, when it was a string.
+        /// The rendered panic payload: string payloads verbatim, typed
+        /// payloads with their type name preserved (see
+        /// [`panic_message`]).
+        message: String,
+    },
+    /// The query's input was invalid (e.g. a raw atom set that is not
+    /// downward closed).
+    Invalid {
+        /// Human-readable description of the violated precondition.
         message: String,
     },
 }
@@ -290,6 +341,7 @@ impl std::fmt::Display for QueryError {
         match self {
             QueryError::Resource(e) => write!(f, "{e}"),
             QueryError::Panicked { message } => write!(f, "query panicked: {message}"),
+            QueryError::Invalid { message } => write!(f, "invalid query: {message}"),
         }
     }
 }
@@ -297,13 +349,27 @@ impl std::fmt::Display for QueryError {
 impl std::error::Error for QueryError {}
 
 /// Renders a caught panic payload for [`QueryError::Panicked`].
+///
+/// `&str`/`String` payloads (what `panic!` produces) are rendered
+/// verbatim. Typed payloads thrown via `std::panic::panic_any` used to
+/// collapse into an anonymous `"non-string panic payload"`; known typed
+/// payloads now keep their type name, and unknown ones at least carry
+/// their `TypeId` so distinct payload types stay distinguishable.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
+    } else if let Some(p) = payload.downcast_ref::<nalist_guard::InjectedPanic>() {
+        format!(
+            "typed panic payload nalist_guard::InjectedPanic (site: {})",
+            p.site
+        )
     } else {
-        "non-string panic payload".to_owned()
+        format!(
+            "non-string panic payload of type {:?}",
+            payload.as_ref().type_id()
+        )
     }
 }
 
@@ -317,15 +383,42 @@ impl Reasoner {
     /// construction (the memory hot spot — see [`Algebra::try_new`])
     /// honours the budget's `max_atoms`, fuel and deadline.
     pub fn try_new(n: &NestedAttr, budget: &Budget) -> Result<Self, ResourceExhausted> {
+        Reasoner::try_new_observed(n, budget, Arc::new(nalist_obs::NoopRecorder))
+    }
+
+    /// [`Reasoner::try_new`] with an observability recorder: algebra
+    /// construction runs under an `algebra::atoms` span, and every
+    /// subsequent query on this reasoner reports spans, counters and
+    /// histograms to `rec` (see the `nalist-obs` crate). Threading
+    /// mirrors [`Budget`]: the recorder rides along on the reasoner
+    /// instead of appearing in every method signature.
+    pub fn try_new_observed(
+        n: &NestedAttr,
+        budget: &Budget,
+        rec: Arc<dyn Recorder>,
+    ) -> Result<Self, ResourceExhausted> {
         Ok(Reasoner {
             attr: n.clone(),
-            alg: Algebra::try_new(n, budget)?,
+            alg: Algebra::try_new_observed(n, budget, rec.as_ref())?,
             sigma: Vec::new(),
             compiled: Vec::new(),
             ids: Vec::new(),
             next_id: 0,
             cache: BasisCache::default(),
+            recorder: rec,
         })
+    }
+
+    /// Replaces the observability recorder (builder style).
+    #[must_use]
+    pub fn with_recorder(mut self, rec: Arc<dyn Recorder>) -> Self {
+        self.recorder = rec;
+        self
+    }
+
+    /// The active observability recorder.
+    pub fn recorder(&self) -> &dyn Recorder {
+        self.recorder.as_ref()
     }
 
     /// The ambient attribute.
@@ -412,16 +505,32 @@ impl Reasoner {
         let removed_id = self.ids.remove(i);
         self.compiled.remove(i);
         let dep = self.sigma.remove(i);
-        self.cache
-            .retain(|entry| !entry.fired.contains(&removed_id));
+        self.observed_retain(|entry| !entry.fired.contains(&removed_id));
         dep
     }
 
     /// Evicts every cached entry at which one step of `prepared` would
     /// change the basis (the `add` eviction rule).
     fn evict_if_step_fires(&self, prepared: &PreparedDep) {
-        self.cache
-            .retain(|entry| !step_would_change(&self.alg, prepared, &entry.basis));
+        self.observed_retain(|entry| !step_would_change(&self.alg, prepared, &entry.basis));
+    }
+
+    /// [`BasisCache::retain`] with the eviction sweep mirrored into the
+    /// recorder: a `cache::evict` span (enter payload: live entries
+    /// before, exit payload: entries evicted) plus the
+    /// `cache_retained` / `cache_evicted` counters.
+    fn observed_retain(&self, keep: impl FnMut(&CacheEntry) -> bool) {
+        let rec = self.recorder.as_ref();
+        if !rec.enabled() {
+            self.cache.retain(keep);
+            return;
+        }
+        let before = self.cache.stats().entries;
+        let token = rec.enter(nalist_obs::site::CACHE_EVICT, before);
+        let (retained, evicted) = self.cache.retain(keep);
+        rec.add(Counter::CacheRetained, retained);
+        rec.add(Counter::CacheEvicted, evicted);
+        rec.exit(token, evicted);
     }
 
     /// Drops every cached basis. This is the pre-incremental behaviour
@@ -467,7 +576,7 @@ impl Reasoner {
         &self,
         c: &CompiledDep,
         budget: &Budget,
-    ) -> Result<bool, ResourceExhausted> {
+    ) -> Result<bool, ClosureError> {
         let basis = self.dependency_basis_governed(&c.lhs, budget)?;
         Ok(match c.kind {
             DepKind::Fd => basis.fd_derivable(&c.rhs),
@@ -499,6 +608,10 @@ impl Reasoner {
                 // Unreachable with an unlimited, failpoint-free budget.
                 Err(QueryError::Resource(e)) => {
                     unreachable!("unlimited budget cannot be exhausted: {e}")
+                }
+                // Unreachable: compiled LHSs are downward closed.
+                Err(QueryError::Invalid { message }) => {
+                    unreachable!("compiled query cannot be invalid: {message}")
                 }
                 // An internal-invariant panic: re-surface it rather than
                 // silently degrading the infallible legacy signature.
@@ -566,6 +679,9 @@ impl Reasoner {
                 Ok(b) => b,
                 Err(QueryError::Resource(e)) => {
                     unreachable!("unlimited budget cannot be exhausted: {e}")
+                }
+                Err(QueryError::Invalid { message }) => {
+                    panic!("invalid batch query: {message}")
                 }
                 Err(QueryError::Panicked { message }) => {
                     panic!("batch worker panicked: {message}")
@@ -638,10 +754,23 @@ impl Reasoner {
     ) -> Vec<Result<T, QueryError>> {
         let slots: Vec<OnceLock<Result<T, QueryError>>> =
             (0..n_items).map(|_| OnceLock::new()).collect();
+        let rec = self.recorder.as_ref();
         let fill = |g: &PlanGroup| {
+            // span per planner group (enter: member count; exit: members
+            // answered OK), plus a per-query span and latency histogram
+            // when observability is on — all behind one `enabled` check
+            // so the unobserved batch path stays timer-free.
+            let enabled = rec.enabled();
+            let gtoken =
+                enabled.then(|| rec.enter(nalist_obs::site::BATCH_GROUP, g.members.len() as u64));
+            let gstart = enabled.then(Instant::now);
+            let mut ok_members = 0u64;
             match self.isolated(|| self.dependency_basis_governed(&g.x, budget)) {
                 Ok(basis) => {
                     for &i in &g.members {
+                        let qtoken =
+                            enabled.then(|| rec.enter(nalist_obs::site::BATCH_QUERY, i as u64));
+                        let qstart = enabled.then(Instant::now);
                         // `eval` is also confined per item: a panic while
                         // deriving one member's answer must not take down
                         // its LHS-mates.
@@ -651,16 +780,32 @@ impl Reasoner {
                                     message: panic_message(payload),
                                 }
                             });
+                        let item_ok = r.is_ok();
+                        ok_members += u64::from(item_ok);
+                        if let (Some(t), Some(start)) = (qtoken, qstart) {
+                            let ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                            rec.observe(Hist::QueryNs, ns);
+                            rec.add(Counter::BatchQueries, 1);
+                            rec.exit(t, u64::from(item_ok));
+                        }
                         let filled = slots[i].set(r);
                         debug_assert!(filled.is_ok(), "item {i} claimed twice");
                     }
                 }
                 Err(e) => {
                     for &i in &g.members {
+                        if enabled {
+                            rec.add(Counter::BatchQueries, 1);
+                        }
                         let filled = slots[i].set(Err(e.clone()));
                         debug_assert!(filled.is_ok(), "item {i} claimed twice");
                     }
                 }
+            }
+            if let (Some(t), Some(start)) = (gtoken, gstart) {
+                let ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                rec.observe(Hist::GroupNs, ns);
+                rec.exit(t, ok_members);
             }
         };
         let workers = threads.get().min(groups.len());
@@ -693,15 +838,17 @@ impl Reasoner {
     /// becomes [`QueryError::Panicked`] instead of unwinding through the
     /// worker (the sharded cache tolerates the poisoned shard — see
     /// [`BasisCache`]).
-    fn isolated<T>(
-        &self,
-        f: impl FnOnce() -> Result<T, ResourceExhausted>,
-    ) -> Result<T, QueryError> {
+    fn isolated<T>(&self, f: impl FnOnce() -> Result<T, ClosureError>) -> Result<T, QueryError> {
         catch_unwind(AssertUnwindSafe(f))
             .map_err(|payload| QueryError::Panicked {
                 message: panic_message(payload),
             })?
-            .map_err(QueryError::Resource)
+            .map_err(|e| match e {
+                ClosureError::Resource(r) => QueryError::Resource(r),
+                invalid @ ClosureError::NotDownwardClosed { .. } => QueryError::Invalid {
+                    message: invalid.to_string(),
+                },
+            })
     }
 
     /// Decides `Σ ⊨ σ` for a dependency written as text.
@@ -750,22 +897,39 @@ impl Reasoner {
     /// cover/normal-form workloads) pay once even across edits.
     pub fn dependency_basis(&self, x: &AtomSet) -> DependencyBasis {
         self.dependency_basis_governed(x, &Budget::unlimited())
-            .expect("unlimited budget cannot be exhausted")
+            .expect("unlimited budget cannot be exhausted and X must be downward closed")
     }
 
     /// [`Reasoner::dependency_basis`] under a resource [`Budget`]. Only
     /// complete fixpoints are ever cached: a budget-truncated run returns
     /// `Err` without touching the cache, so later (better-funded) queries
-    /// can never observe a partial basis.
+    /// can never observe a partial basis. A non-downward-closed `x`
+    /// yields [`ClosureError::NotDownwardClosed`] (checked, not just
+    /// debug-asserted — this entry point accepts raw atom sets).
     pub fn dependency_basis_governed(
         &self,
         x: &AtomSet,
         budget: &Budget,
-    ) -> Result<DependencyBasis, ResourceExhausted> {
-        if let Some(hit) = self.cache.get(x) {
+    ) -> Result<DependencyBasis, ClosureError> {
+        let rec = self.recorder.as_ref();
+        if rec.enabled() {
+            let token = rec.enter(nalist_obs::site::CACHE_LOOKUP, x.count() as u64);
+            let hit = self.cache.get(x);
+            let counter = if hit.is_some() {
+                Counter::CacheHits
+            } else {
+                Counter::CacheMisses
+            };
+            rec.add(counter, 1);
+            rec.exit(token, u64::from(hit.is_some()));
+            if let Some(hit) = hit {
+                return Ok(hit);
+            }
+        } else if let Some(hit) = self.cache.get(x) {
             return Ok(hit);
         }
-        let run = closure_and_basis_worklist_run_governed(&self.alg, &self.compiled, x, budget)?;
+        let run =
+            closure_and_basis_worklist_run_observed(&self.alg, &self.compiled, x, budget, rec)?;
         // `run.fired` indexes Σ in ascending order and ids grow with the
         // index, so the mapped list stays ascending.
         let fired = run.fired.iter().map(|&i| self.ids[i]).collect();
@@ -808,15 +972,20 @@ impl Reasoner {
     pub fn decide_with_evidence(&self, src: &str) -> Result<Evidence, ReasonerError> {
         let dep = Dependency::parse(&self.attr, src).map_err(ReasonerError::Parse)?;
         let c = dep.compile(&self.alg).map_err(ReasonerError::Type)?;
-        match crate::certify::certify(&self.alg, &self.compiled, &c) {
+        match crate::certify::certify(&self.alg, &self.compiled, &c)? {
             Some(proof) => Ok(Evidence::Implied { proof }),
             None => {
-                let witness = crate::witness::refute(&self.alg, &self.compiled, &c)
+                // Σ ⊭ σ, so the completeness construction yields a
+                // witness; a `None` here means the two procedures
+                // disagree — surface it as a typed error, not a panic.
+                match crate::witness::refute(&self.alg, &self.compiled, &c)
                     .map_err(ReasonerError::Witness)?
-                    .expect("Σ ⊭ σ guarantees the completeness construction yields a witness");
-                Ok(Evidence::NotImplied {
-                    witness: Box::new(witness),
-                })
+                {
+                    Some(witness) => Ok(Evidence::NotImplied {
+                        witness: Box::new(witness),
+                    }),
+                    None => Err(ReasonerError::Witness(WitnessError::Implied)),
+                }
             }
         }
     }
@@ -1280,6 +1449,91 @@ mod tests {
                 assert_eq!(fresh.implies(d).unwrap(), *want);
             }
         }
+    }
+
+    #[test]
+    fn non_string_panic_payload_keeps_its_type_name() {
+        // Regression: the batch rethrow used to collapse every
+        // `panic_any` payload into "non-string panic payload". The typed
+        // InjectedPanic payload must surface with its type name and site.
+        let n = parse_attr("L(A, B)").unwrap();
+        let mut r = Reasoner::new(&n);
+        r.add_str("L(A) -> L(B)").unwrap();
+        let deps = vec![Dependency::parse(&n, "L(A) -> L(B)").unwrap()];
+        let b = Budget::unlimited().with_failpoint(nalist_guard::FailPoint::every(
+            "membership::closure",
+            nalist_guard::FailAction::PanicPayload,
+        ));
+        let items = quiet_panics(|| {
+            r.implies_batch_governed_with(&deps, &b, NonZeroUsize::MIN)
+                .unwrap()
+        });
+        match &items[0] {
+            Err(QueryError::Panicked { message }) => {
+                assert!(
+                    message.contains("InjectedPanic"),
+                    "type name preserved: {message}"
+                );
+                assert!(
+                    message.contains("membership::closure"),
+                    "site preserved: {message}"
+                );
+            }
+            other => panic!("expected a confined typed panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_panic_payloads_carry_a_type_id() {
+        let payload: Box<dyn std::any::Any + Send> = Box::new(42_u32);
+        let message = super::panic_message(payload);
+        assert!(message.contains("non-string panic payload of type"));
+        // distinct types render distinct messages
+        let other = super::panic_message(Box::new(42_u64));
+        assert_ne!(message, other);
+    }
+
+    #[test]
+    fn raw_atom_set_entry_points_reject_non_downward_closed_input() {
+        let n = parse_attr("K[L(M[N'(A, B)], C)]").unwrap();
+        let mut r = Reasoner::new(&n);
+        r.add_str("K[λ] ->> K[L(C)]").unwrap();
+        // atom 1 (the inner list M) without its ancestor K (atom 0)
+        let bad = AtomSet::from_indices(5, [1]);
+        assert!(matches!(
+            r.dependency_basis_governed(&bad, &Budget::unlimited()),
+            Err(ClosureError::NotDownwardClosed { atom: 1 })
+        ));
+        // batch: the invalid item degrades per-item, valid items answer
+        let good = AtomSet::from_indices(5, [0, 1]);
+        let items = r.dependency_basis_batch_governed(&[bad, good.clone()], &Budget::unlimited());
+        assert!(matches!(&items[0], Err(QueryError::Invalid { message })
+            if message.contains("not downward closed")));
+        assert_eq!(*items[1].as_ref().unwrap(), r.dependency_basis(&good));
+    }
+
+    #[test]
+    fn observed_reasoner_mirrors_cache_traffic() {
+        let n = parse_attr("L(A, B, C)").unwrap();
+        let rec = Arc::new(nalist_obs::MetricsRecorder::new());
+        let mut r = Reasoner::try_new_observed(&n, &Budget::unlimited(), rec.clone()).unwrap();
+        r.add_str("L(A) -> L(B)").unwrap();
+        assert!(r.implies_str("L(A) -> L(B)").unwrap()); // miss
+        assert!(r.implies_str("L(A) ->> L(B)").unwrap()); // hit
+        assert_eq!(rec.counter(Counter::CacheMisses), 1);
+        assert_eq!(rec.counter(Counter::CacheHits), 1);
+        assert!(rec.counter(Counter::DepsFired) >= 1);
+        // an edit's eviction sweep is mirrored too
+        r.add_str("L(B) -> L(C)").unwrap();
+        assert_eq!(
+            rec.counter(Counter::CacheEvicted) + rec.counter(Counter::CacheRetained),
+            1,
+            "the one cached entry was either evicted or retained"
+        );
+        // recorded counters agree with CacheStats where they overlap
+        let stats = r.cache_stats();
+        assert_eq!(rec.counter(Counter::CacheHits), stats.hits);
+        assert_eq!(rec.counter(Counter::CacheMisses), stats.misses);
     }
 
     #[test]

@@ -27,11 +27,15 @@ pub mod trace;
 pub mod witness;
 pub mod worklist;
 
-pub use certify::{certified_closure_and_basis, certify, CertifiedBasis};
+pub use certify::{certified_closure_and_basis, certify, CertifiedBasis, CertifyError};
 pub use closure::{
     closure_and_basis, closure_and_basis_governed, closure_and_basis_paper,
-    closure_and_basis_paper_governed, closure_and_basis_traced, DependencyBasis, Trace,
+    closure_and_basis_paper_governed, closure_and_basis_traced, ClosureError, DependencyBasis,
+    Trace,
 };
 pub use decide::{implies, CacheStats, Evidence, QueryError, Reasoner, ReasonerError};
 pub use witness::{refute, Witness, WitnessError};
-pub use worklist::{closure_and_basis_worklist_run_governed, step_would_change, WorklistRun};
+pub use worklist::{
+    closure_and_basis_worklist_run_governed, closure_and_basis_worklist_run_observed,
+    step_would_change, WorklistRun,
+};

@@ -53,6 +53,13 @@ pub enum WitnessError {
         /// Human-readable reason.
         reason: String,
     },
+    /// An atom outside `X⁺` is not possessed by any free block, so the
+    /// dependency basis handed to [`combination_instance`] is not a
+    /// partition of the complement (Section 4.2 is violated).
+    UncoveredAtom {
+        /// The orphaned atom's index.
+        atom: usize,
+    },
 }
 
 impl std::fmt::Display for WitnessError {
@@ -67,6 +74,13 @@ impl std::fmt::Display for WitnessError {
             }
             WitnessError::VerificationFailed { reason } => {
                 write!(f, "witness verification failed: {reason}")
+            }
+            WitnessError::UncoveredAtom { atom } => {
+                write!(
+                    f,
+                    "atom {atom} lies outside X⁺ but no free block possesses it \
+                     (dependency basis is not a partition)"
+                )
             }
         }
     }
@@ -98,7 +112,7 @@ pub fn combination_instance(
         let owner = free
             .iter()
             .position(|w| alg.possessed_by(a, w))
-            .expect("atom outside X⁺ must be possessed by a free block (Section 4.2)");
+            .ok_or(WitnessError::UncoveredAtom { atom: a })?;
         *slot = Some(owner);
     }
 
@@ -258,11 +272,12 @@ mod tests {
         let lens: Vec<usize> = w
             .instance
             .iter()
-            .map(|t| match t {
-                Value::List(items) => items.len(),
-                _ => panic!("expected list"),
+            .filter_map(|t| match t {
+                Value::List(items) => Some(items.len()),
+                _ => None,
             })
             .collect();
+        assert_eq!(lens.len(), w.instance.len(), "every tuple must be a list");
         assert!(lens.contains(&1) && lens.contains(&2));
     }
 
@@ -293,6 +308,22 @@ mod tests {
         // but Person -> Visit[λ] IS implied (mixed meet)
         let implied = dep(&n, &alg, "Pubcrawl(Person) -> Pubcrawl(Visit[λ])");
         assert!(refute(&alg, &sigma, &implied).unwrap().is_none());
+    }
+
+    #[test]
+    fn orphaned_atom_yields_typed_error_not_panic() {
+        // A malformed basis (closure {A}, only block {A}) leaves B and C
+        // uncovered: previously an `expect` panic, now a typed error.
+        let n = parse_attr("L(A, B, C)").unwrap();
+        let alg = Algebra::new(&n);
+        let basis = DependencyBasis {
+            closure: AtomSet::from_indices(alg.atom_count(), [0]),
+            blocks: vec![AtomSet::from_indices(alg.atom_count(), [0])],
+            basis: Vec::new(),
+        };
+        let err = combination_instance(&alg, &basis).unwrap_err();
+        assert!(matches!(err, WitnessError::UncoveredAtom { atom: 1 }));
+        assert!(err.to_string().contains("free block"));
     }
 
     #[test]

@@ -64,9 +64,10 @@
 
 use nalist_algebra::{Algebra, AtomSet, BlockPartition};
 use nalist_deps::{CompiledDep, DepKind, PreparedDep};
-use nalist_guard::{Budget, ResourceExhausted};
+use nalist_guard::Budget;
+use nalist_obs::{Counter, Hist, Recorder};
 
-use crate::closure::DependencyBasis;
+use crate::closure::{check_downward_closed, ClosureError, DependencyBasis};
 
 /// The output of one worklist run: the basis plus the indices (into the
 /// caller's `Σ` slice, ascending) of every dependency whose step changed
@@ -77,6 +78,9 @@ pub struct WorklistRun {
     pub basis: DependencyBasis,
     /// Indices into `sigma` of the dependencies that fired, ascending.
     pub fired: Vec<usize>,
+    /// Dependency steps pulled off the worklist — the unit of work
+    /// Theorem 6.4's bound counts, and what one fuel unit is charged for.
+    pub steps: u64,
 }
 
 /// Computes `X⁺` and `DepB(X)` with the change-driven worklist engine.
@@ -89,7 +93,7 @@ pub fn closure_and_basis_worklist(
     x: &AtomSet,
 ) -> DependencyBasis {
     closure_and_basis_worklist_governed(alg, sigma, x, &Budget::unlimited())
-        .expect("unlimited budget cannot be exhausted")
+        .expect("unlimited budget cannot be exhausted and X must be downward closed")
 }
 
 /// [`closure_and_basis_worklist`] under a resource [`Budget`]: one fuel
@@ -103,20 +107,25 @@ pub fn closure_and_basis_worklist_governed(
     sigma: &[CompiledDep],
     x: &AtomSet,
     budget: &Budget,
-) -> Result<DependencyBasis, ResourceExhausted> {
+) -> Result<DependencyBasis, ClosureError> {
     Ok(closure_and_basis_worklist_run_governed(alg, sigma, x, budget)?.basis)
 }
 
 /// [`closure_and_basis_worklist_governed`], also reporting the set of
 /// dependencies that fired (see [`WorklistRun`]).
+///
+/// Unlike the private engines, this governed public entry point *checks*
+/// the downward-closed precondition on `X` and returns
+/// [`ClosureError::NotDownwardClosed`] instead of relying on a
+/// `debug_assert!` that release builds compile out.
 pub fn closure_and_basis_worklist_run_governed(
     alg: &Algebra,
     sigma: &[CompiledDep],
     x: &AtomSet,
     budget: &Budget,
-) -> Result<WorklistRun, ResourceExhausted> {
+) -> Result<WorklistRun, ClosureError> {
+    check_downward_closed(alg, x)?;
     budget.failpoint("membership::closure")?;
-    debug_assert!(alg.is_downward_closed(x), "X must be an element of Sub(N)");
     let n = alg.atom_count();
 
     // FDs first, then MVDs — the paper's processing order; `order` maps
@@ -150,12 +159,14 @@ pub fn closure_and_basis_worklist_run_governed(
     let mut dirty = vec![true; k];
     let mut fired = vec![false; k];
     let mut n_dirty = k;
+    let mut steps = 0u64;
     while n_dirty > 0 {
         for j in 0..k {
             if !dirty[j] {
                 continue;
             }
             budget.charge(1)?;
+            steps += 1;
             dirty[j] = false;
             n_dirty -= 1;
             if engine.step(&prepared[j]) {
@@ -181,7 +192,36 @@ pub fn closure_and_basis_worklist_run_governed(
     Ok(WorklistRun {
         basis: engine.finish(),
         fired,
+        steps,
     })
+}
+
+/// [`closure_and_basis_worklist_run_governed`] with an observability
+/// recorder: wraps the run in a `membership::worklist` span (enter
+/// payload: `|Σ|`, exit payload: dependencies fired), bumps the
+/// `deps_fired` / `worklist_steps` counters and the `fired_per_closure`
+/// histogram. With a disabled recorder this is exactly the governed run
+/// — not even the payloads are computed.
+pub fn closure_and_basis_worklist_run_observed(
+    alg: &Algebra,
+    sigma: &[CompiledDep],
+    x: &AtomSet,
+    budget: &Budget,
+    rec: &dyn Recorder,
+) -> Result<WorklistRun, ClosureError> {
+    if !rec.enabled() {
+        return closure_and_basis_worklist_run_governed(alg, sigma, x, budget);
+    }
+    let token = rec.enter(nalist_obs::site::WORKLIST, sigma.len() as u64);
+    let result = closure_and_basis_worklist_run_governed(alg, sigma, x, budget);
+    let fired = result.as_ref().map_or(0, |r| r.fired.len() as u64);
+    if let Ok(run) = &result {
+        rec.add(Counter::DepsFired, fired);
+        rec.add(Counter::WorklistSteps, run.steps);
+        rec.observe(Hist::FiredPerClosure, fired);
+    }
+    rec.exit(token, fired);
+    result
 }
 
 /// Would processing `dep` change the fixpoint state recorded in `basis`?
@@ -488,6 +528,49 @@ mod tests {
         // first, but `fired` must still index into Σ as given.
         let (_, _, run) = run_for("L(A, B, C, D)", &["L(A) ->> L(B)", "L(A) -> L(C)"], "L(A)");
         assert_eq!(run.fired, vec![0, 1]);
+    }
+
+    #[test]
+    fn run_rejects_non_downward_closed_x_with_typed_error() {
+        let n = parse_attr("A'(B, C[D(E, F[G])])").unwrap();
+        let alg = Algebra::new(&n);
+        // {G} without its list ancestors C, F (atom ids 0=B,1=C,2=E,3=F,4=G)
+        let bad = AtomSet::from_indices(5, [4]);
+        let err = closure_and_basis_worklist_run_governed(&alg, &[], &bad, &Budget::unlimited())
+            .unwrap_err();
+        assert_eq!(err, ClosureError::NotDownwardClosed { atom: 4 });
+    }
+
+    #[test]
+    fn observed_run_matches_governed_and_counts_work() {
+        let n = parse_attr("L(A, B, C, D)").unwrap();
+        let alg = Algebra::new(&n);
+        let sigma: Vec<CompiledDep> = ["L(A) -> L(B)", "L(B) ->> L(C)"]
+            .iter()
+            .map(|s| Dependency::parse(&n, s).unwrap().compile(&alg).unwrap())
+            .collect();
+        let x = alg
+            .from_attr(&parse_subattr_of(&n, "L(A)").unwrap())
+            .unwrap();
+        let plain = closure_and_basis_worklist_run_governed(&alg, &sigma, &x, &Budget::unlimited())
+            .unwrap();
+        let rec = nalist_obs::MetricsRecorder::new();
+        let observed =
+            closure_and_basis_worklist_run_observed(&alg, &sigma, &x, &Budget::unlimited(), &rec)
+                .unwrap();
+        assert_eq!(observed, plain);
+        assert_eq!(rec.counter(Counter::DepsFired), plain.fired.len() as u64);
+        assert_eq!(rec.counter(Counter::WorklistSteps), plain.steps);
+        assert!(plain.steps >= sigma.len() as u64);
+        let noop = closure_and_basis_worklist_run_observed(
+            &alg,
+            &sigma,
+            &x,
+            &Budget::unlimited(),
+            nalist_obs::noop(),
+        )
+        .unwrap();
+        assert_eq!(noop, plain);
     }
 
     #[test]

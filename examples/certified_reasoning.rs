@@ -42,7 +42,9 @@ fn main() {
         .compile(alg)
         .expect("compiles");
     println!("query: Σ ⊨ {implied} ?");
-    match nalist::membership::certify(alg, reasoner.compiled_sigma(), &target) {
+    match nalist::membership::certify(alg, reasoner.compiled_sigma(), &target)
+        .expect("well-formed query certifies cleanly")
+    {
         Some(dag) => {
             dag.check(alg, reasoner.compiled_sigma())
                 .expect("re-verifies");

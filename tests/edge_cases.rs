@@ -214,7 +214,7 @@ fn corrupted_certificates_rejected() {
         .unwrap()
         .compile(&alg)
         .unwrap();
-    let dag = certify(&alg, &sigma, &target).unwrap();
+    let dag = certify(&alg, &sigma, &target).unwrap().unwrap();
     assert!(dag.check(&alg, &sigma).is_ok());
 
     // mutate each node's conclusion in turn: the checker must catch every
@@ -329,6 +329,7 @@ fn empty_sigma_files_work_end_to_end() {
         &r.algebra()
             .from_attr(&parse_subattr_of(&n, "L(A)").unwrap())
             .unwrap(),
-    );
+    )
+    .unwrap();
     cert.dag.check(r.algebra(), r.compiled_sigma()).unwrap();
 }

@@ -332,7 +332,7 @@ proptest! {
         for _ in 0..5 {
             let target = nalist::gen::random_dep(&mut rng, &alg, 0.4, 0.5);
             let plain = nalist::membership::implies(&alg, &sigma, &target);
-            match certify(&alg, &sigma, &target) {
+            match certify(&alg, &sigma, &target).expect("random targets certify cleanly") {
                 Some(dag) => {
                     prop_assert!(plain);
                     let root = dag.check(&alg, &sigma).expect("certificate must check");
@@ -420,5 +420,74 @@ proptest! {
             seen.union_with(&maxima);
         }
         prop_assert_eq!(&seen, alg.max_mask(), "blocks do not cover MaxB(N)");
+    }
+
+    /// Observability is pure observation: the observed twins of the
+    /// worklist engine and the chase return results bit-identical to
+    /// their unobserved counterparts, whether the recorder is the no-op
+    /// or a live [`MetricsRecorder`] — and the live recorder's counters
+    /// reflect the work actually done.
+    #[test]
+    fn observed_runs_are_bit_identical_to_unobserved_runs(seed in any::<u64>()) {
+        use nalist::obs::{noop, Counter, MetricsRecorder};
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let atoms = rng.gen_range(2..=14);
+        let n = nalist::gen::attr_with_atoms(&mut rng, atoms);
+        let alg = Algebra::new(&n);
+        let sigma = nalist::gen::random_sigma(
+            &mut rng,
+            &alg,
+            &nalist::gen::SigmaConfig { count: 4, ..Default::default() },
+        );
+        let budget = Budget::unlimited();
+        let metrics = MetricsRecorder::new();
+        let mut total_steps = 0u64;
+        for _ in 0..5 {
+            let x = alg.downward_closure(&sub(&mut rng, &alg));
+            let plain = nalist::membership::closure_and_basis_worklist_run_governed(
+                &alg, &sigma, &x, &budget,
+            ).expect("governed run succeeds");
+            let via_noop = nalist::membership::closure_and_basis_worklist_run_observed(
+                &alg, &sigma, &x, &budget, noop(),
+            ).expect("noop-observed run succeeds");
+            let via_metrics = nalist::membership::closure_and_basis_worklist_run_observed(
+                &alg, &sigma, &x, &budget, &metrics,
+            ).expect("metrics-observed run succeeds");
+            prop_assert_eq!(&plain, &via_noop);
+            prop_assert_eq!(&plain, &via_metrics);
+            total_steps += plain.steps;
+        }
+        prop_assert_eq!(metrics.counter(Counter::WorklistSteps), total_steps);
+
+        let instance = nalist::gen::random_instance(
+            &mut rng,
+            &n,
+            &nalist::gen::InstanceConfig { rows: 4, ..Default::default() },
+        );
+        let plain = nalist::deps::chase::chase_governed(&alg, &sigma, &instance, 1 << 12, &budget);
+        let via_noop = nalist::deps::chase::chase_observed(
+            &alg, &sigma, &instance, 1 << 12, &budget, noop(),
+        );
+        let via_metrics = nalist::deps::chase::chase_observed(
+            &alg, &sigma, &instance, 1 << 12, &budget, &metrics,
+        );
+        match (plain, via_noop, via_metrics) {
+            (Ok(a), Ok(b), Ok(c)) => {
+                prop_assert_eq!(&a.instance, &b.instance);
+                prop_assert_eq!(&a.instance, &c.instance);
+                prop_assert_eq!((a.rounds, a.added), (b.rounds, b.added));
+                prop_assert_eq!((a.rounds, a.added), (c.rounds, c.added));
+                prop_assert_eq!(
+                    metrics.counter(Counter::ChaseRounds),
+                    a.rounds as u64
+                );
+            }
+            (Err(a), Err(b), Err(c)) => {
+                prop_assert_eq!(&a, &b);
+                prop_assert_eq!(&a, &c);
+            }
+            _ => prop_assert!(false, "observed and unobserved chase disagree on success"),
+        }
     }
 }
