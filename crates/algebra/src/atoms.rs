@@ -21,11 +21,42 @@
 //!   inside `a`'s content subtree, and
 //! * whether `a` is *maximal* in `SubB(N)` (Definition 4.7).
 
+use std::fmt;
+
 use nalist_guard::{Budget, ResourceExhausted};
 use nalist_types::attr::NestedAttr;
 use nalist_types::error::TypeError;
 
-use crate::bitset::AtomSet;
+use crate::bitset::{AtomSet, WidthClass};
+
+/// Typed error for atom sets that cannot belong to an [`Algebra`]'s
+/// universe — the public-boundary check that lets every kernel below it
+/// assume capacity agreement with only a `debug_assert!`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgebraError {
+    /// The set was built for a different universe size than the
+    /// algebra's `|SubB(N)|`, so its storage width class may differ and
+    /// no lattice operation against the algebra's masks is meaningful.
+    CapacityMismatch {
+        /// The capacity the foreign set was built with.
+        have: usize,
+        /// The algebra's atom count.
+        want: usize,
+    },
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::CapacityMismatch { have, want } => write!(
+                f,
+                "atom set capacity {have} does not match the algebra's {want} atoms"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {}
 
 /// Identifier of an atom (basis attribute) within an [`Algebra`];
 /// atoms are numbered in depth-first pre-order of the attribute tree.
@@ -76,6 +107,10 @@ pub struct Algebra {
     attr: NestedAttr,
     atoms: Vec<AtomInfo>,
     max_mask: AtomSet,
+    /// Storage width class of every set in this universe — selected once
+    /// here, at construction, so the whole engine dispatches into one
+    /// kernel family (see `crate::bitset::WidthClass`).
+    width: WidthClass,
 }
 
 impl Algebra {
@@ -160,6 +195,7 @@ impl Algebra {
             attr: n.clone(),
             atoms,
             max_mask,
+            width: WidthClass::for_capacity(count),
         };
         // basis attribute trees: b(a) = to_attr(below(a))
         for id in 0..count {
@@ -188,6 +224,26 @@ impl Algebra {
     /// All atoms.
     pub fn atoms(&self) -> &[AtomInfo] {
         &self.atoms
+    }
+
+    /// The storage width class shared by every atom set of this
+    /// universe, selected once at construction.
+    pub fn width_class(&self) -> WidthClass {
+        self.width
+    }
+
+    /// Checks that `set` belongs to this universe (same capacity, hence
+    /// the same width class) — the typed public-boundary guard behind
+    /// which all bitset kernels run with `debug_assert!` only.
+    pub fn check_capacity(&self, set: &AtomSet) -> Result<(), AlgebraError> {
+        if set.capacity() == self.atom_count() {
+            Ok(())
+        } else {
+            Err(AlgebraError::CapacityMismatch {
+                have: set.capacity(),
+                want: self.atom_count(),
+            })
+        }
     }
 
     /// Mask of the maximal atoms `MaxB(N)`.
@@ -512,6 +568,16 @@ mod tests {
         assert_eq!(snap.spans.len(), 1);
         assert_eq!(snap.spans[0].site, nalist_obs::site::ATOMS);
         assert_eq!(snap.spans[0].payload_out, 5);
+    }
+
+    #[test]
+    fn width_class_and_capacity_check() {
+        let (_, alg) = ex48();
+        assert_eq!(alg.width_class(), WidthClass::W2);
+        assert!(alg.check_capacity(&AtomSet::empty(5)).is_ok());
+        let err = alg.check_capacity(&AtomSet::empty(6)).unwrap_err();
+        assert_eq!(err, AlgebraError::CapacityMismatch { have: 6, want: 5 });
+        assert!(err.to_string().contains("capacity 6"));
     }
 
     #[test]

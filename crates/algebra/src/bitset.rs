@@ -5,24 +5,130 @@
 //! treats nested attributes as their sets of basis attributes; `AtomSet`
 //! makes the lattice operations `⊔`/`⊓` single-pass word operations.
 //!
-//! Universes of up to 128 atoms (every workload in `crates/bench`, and
-//! every schema a human writes) are stored inline as `[u64; 2]`, so
-//! cloning and the binary operations on the closure engine's hot path
-//! never touch the heap; larger universes transparently fall back to a
-//! heap-allocated word vector.
+//! Storage is a *width class* chosen by capacity: universes of up to
+//! 128, 256 and 512 atoms are stored inline as `[u64; 2]`, `[u64; 4]`
+//! and `[u64; 8]` respectively, and every binary operation dispatches
+//! once on the class pair into a width-specialized kernel
+//! ([`crate::kernels`]) whose loop trip count is a compile-time
+//! constant — no heap traffic, no per-word bounds checks, and a loop
+//! body LLVM unrolls and autovectorizes. Larger universes fall back to a
+//! heap-allocated word vector with the same kernel shapes. Because the
+//! class is a pure function of capacity ([`WidthClass::for_capacity`]),
+//! all sets of one [`crate::Algebra`] share one class and the dispatch
+//! branch is perfectly predicted on the closure engine's hot path.
 
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
-/// Number of atoms representable without heap allocation.
-const INLINE_ATOMS: usize = 128;
-const INLINE_WORDS: usize = INLINE_ATOMS / 64;
+use crate::kernels;
+
+const W2_ATOMS: usize = 128;
+const W4_ATOMS: usize = 256;
+const W8_ATOMS: usize = 512;
+
+/// The storage width class of an [`AtomSet`] capacity: which inline
+/// word count (or the heap fallback) backs sets of that capacity.
+///
+/// Selected once per [`crate::Algebra`] construction — every set drawn
+/// from the same universe has the same class, so kernel dispatch is
+/// per-algebra in effect even though it is expressed per-operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WidthClass {
+    /// `[u64; 2]` inline — up to 128 atoms.
+    W2,
+    /// `[u64; 4]` inline — up to 256 atoms.
+    W4,
+    /// `[u64; 8]` inline — up to 512 atoms.
+    W8,
+    /// Heap `Vec<u64>` — beyond 512 atoms.
+    Heap,
+}
+
+impl WidthClass {
+    /// The class backing sets of the given capacity.
+    pub fn for_capacity(len: usize) -> Self {
+        if len <= W2_ATOMS {
+            WidthClass::W2
+        } else if len <= W4_ATOMS {
+            WidthClass::W4
+        } else if len <= W8_ATOMS {
+            WidthClass::W8
+        } else {
+            WidthClass::Heap
+        }
+    }
+
+    /// Stable lowercase name, used in benchmark JSON and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            WidthClass::W2 => "w2",
+            WidthClass::W4 => "w4",
+            WidthClass::W8 => "w8",
+            WidthClass::Heap => "heap",
+        }
+    }
+
+    /// Number of inline words, or `None` for the heap fallback.
+    pub fn inline_words(self) -> Option<usize> {
+        match self {
+            WidthClass::W2 => Some(2),
+            WidthClass::W4 => Some(4),
+            WidthClass::W8 => Some(8),
+            WidthClass::Heap => None,
+        }
+    }
+}
+
+impl fmt::Display for WidthClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 #[derive(Clone)]
 enum Words {
-    Inline([u64; INLINE_WORDS]),
+    W2([u64; 2]),
+    W4([u64; 4]),
+    W8([u64; 8]),
     Heap(Vec<u64>),
+}
+
+/// Binary operations only ever mix width classes when the operands'
+/// capacities differ, which the public reasoning boundary rejects with a
+/// typed [`crate::AlgebraError`] before any kernel runs; hitting this in
+/// release mode means a set from one universe leaked into another's
+/// engine through a non-public path.
+#[cold]
+#[inline(never)]
+fn width_mismatch() -> ! {
+    panic!("AtomSet binary operation across different width classes (capacity mismatch)")
+}
+
+/// Dispatches a mutating binary kernel on the width-class pair.
+macro_rules! dispatch2_mut {
+    ($a:expr, $b:expr, $k:ident) => {
+        match (&mut $a.words, &$b.words) {
+            (Words::W2(x), Words::W2(y)) => kernels::$k(x, y),
+            (Words::W4(x), Words::W4(y)) => kernels::$k(x, y),
+            (Words::W8(x), Words::W8(y)) => kernels::$k(x, y),
+            (Words::Heap(x), Words::Heap(y)) => kernels::slice::$k(x, y),
+            _ => width_mismatch(),
+        }
+    };
+}
+
+/// Dispatches a read-only binary kernel on the width-class pair.
+macro_rules! dispatch2_ref {
+    ($a:expr, $b:expr, $k:ident) => {
+        match (&$a.words, &$b.words) {
+            (Words::W2(x), Words::W2(y)) => kernels::$k(x, y),
+            (Words::W4(x), Words::W4(y)) => kernels::$k(x, y),
+            (Words::W8(x), Words::W8(y)) => kernels::$k(x, y),
+            (Words::Heap(x), Words::Heap(y)) => kernels::slice::$k(x, y),
+            _ => width_mismatch(),
+        }
+    };
 }
 
 /// A set of atom indices `0..len`, backed by `u64` words.
@@ -41,10 +147,11 @@ pub struct AtomSet {
 impl AtomSet {
     /// The empty set with capacity for `len` atoms.
     pub fn empty(len: usize) -> Self {
-        let words = if len <= INLINE_ATOMS {
-            Words::Inline([0; INLINE_WORDS])
-        } else {
-            Words::Heap(vec![0; len.div_ceil(64)])
+        let words = match WidthClass::for_capacity(len) {
+            WidthClass::W2 => Words::W2([0; 2]),
+            WidthClass::W4 => Words::W4([0; 4]),
+            WidthClass::W8 => Words::W8([0; 8]),
+            WidthClass::Heap => Words::Heap(vec![0; len.div_ceil(64)]),
         };
         AtomSet { len, words }
     }
@@ -73,6 +180,11 @@ impl AtomSet {
         self.len
     }
 
+    /// The storage width class backing this set's capacity.
+    pub fn width_class(&self) -> WidthClass {
+        WidthClass::for_capacity(self.len)
+    }
+
     /// Number of backing words (`⌈capacity / 64⌉`).
     #[inline]
     pub fn word_count(&self) -> usize {
@@ -85,10 +197,17 @@ impl AtomSet {
         self.words()[i]
     }
 
+    /// The words the capacity actually uses, for the index-addressed
+    /// accessors, iteration and the structural impls. The kernels bypass
+    /// this and run over the class's full inline width (tail words are
+    /// kept zero by [`AtomSet::mask_tail`]).
     #[inline]
     fn words(&self) -> &[u64] {
+        let n = self.len.div_ceil(64);
         match &self.words {
-            Words::Inline(a) => &a[..self.len.div_ceil(64)],
+            Words::W2(a) => &a[..n],
+            Words::W4(a) => &a[..n],
+            Words::W8(a) => &a[..n],
             Words::Heap(v) => v,
         }
     }
@@ -97,12 +216,16 @@ impl AtomSet {
     fn words_mut(&mut self) -> &mut [u64] {
         let n = self.len.div_ceil(64);
         match &mut self.words {
-            Words::Inline(a) => &mut a[..n],
+            Words::W2(a) => &mut a[..n],
+            Words::W4(a) => &mut a[..n],
+            Words::W8(a) => &mut a[..n],
             Words::Heap(v) => v,
         }
     }
 
-    /// Zeroes the bits above `len` in the last word.
+    /// Zeroes the bits above `len` in the last used word (bits in unused
+    /// inline tail words are zero by construction and stay zero under
+    /// every kernel).
     fn mask_tail(&mut self) {
         let len = self.len;
         if len % 64 != 0 {
@@ -114,15 +237,18 @@ impl AtomSet {
 
     /// Removes all elements (capacity unchanged).
     pub fn clear(&mut self) {
-        for w in self.words_mut() {
-            *w = 0;
+        match &mut self.words {
+            Words::W2(a) => kernels::clear(a),
+            Words::W4(a) => kernels::clear(a),
+            Words::W8(a) => kernels::clear(a),
+            Words::Heap(v) => kernels::slice::clear(v),
         }
     }
 
     /// Overwrites `self` with the contents of `other` (same capacity).
     pub fn copy_from(&mut self, other: &AtomSet) {
         debug_assert_eq!(self.len, other.len);
-        self.words_mut().copy_from_slice(other.words());
+        dispatch2_mut!(self, other, copy);
     }
 
     /// Inserts index `i`.
@@ -148,60 +274,70 @@ impl AtomSet {
 
     /// Number of elements.
     pub fn count(&self) -> usize {
-        self.words().iter().map(|w| w.count_ones() as usize).sum()
+        match &self.words {
+            Words::W2(a) => kernels::count(a),
+            Words::W4(a) => kernels::count(a),
+            Words::W8(a) => kernels::count(a),
+            Words::Heap(v) => kernels::slice::count(v),
+        }
     }
 
     /// Is the set empty?
     pub fn is_empty(&self) -> bool {
-        self.words().iter().all(|&w| w == 0)
+        match &self.words {
+            Words::W2(a) => kernels::is_empty(a),
+            Words::W4(a) => kernels::is_empty(a),
+            Words::W8(a) => kernels::is_empty(a),
+            Words::Heap(v) => kernels::slice::is_empty(v),
+        }
     }
 
     /// In-place union.
+    #[inline]
     pub fn union_with(&mut self, other: &AtomSet) {
         debug_assert_eq!(self.len, other.len);
-        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
-            *a |= b;
-        }
+        dispatch2_mut!(self, other, union);
     }
 
     /// In-place union that reports whether any new bit was set — the
     /// fused `a ⊔ b`-with-changed-flag kernel of the worklist engine,
     /// replacing a separate `is_subset` probe plus `union_with` pass.
+    #[inline]
     pub fn union_with_changed(&mut self, other: &AtomSet) -> bool {
         debug_assert_eq!(self.len, other.len);
-        let mut grew = 0u64;
-        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
-            grew |= b & !*a;
-            *a |= b;
-        }
-        grew != 0
+        dispatch2_mut!(self, other, union_changed)
     }
 
     /// `self ⊔= a ⊓ ¬b`, fused in one word pass: the and-not is never
     /// materialised as an intermediate set. This is the worklist engine's
     /// "accumulate the newly-dirtied atoms" kernel.
+    #[inline]
     pub fn union_andnot(&mut self, a: &AtomSet, b: &AtomSet) {
         debug_assert_eq!(self.len, a.len);
         debug_assert_eq!(self.len, b.len);
-        for ((s, x), y) in self.words_mut().iter_mut().zip(a.words()).zip(b.words()) {
-            *s |= x & !y;
+        match (&mut self.words, &a.words, &b.words) {
+            (Words::W2(s), Words::W2(x), Words::W2(y)) => kernels::union_andnot(s, x, y),
+            (Words::W4(s), Words::W4(x), Words::W4(y)) => kernels::union_andnot(s, x, y),
+            (Words::W8(s), Words::W8(x), Words::W8(y)) => kernels::union_andnot(s, x, y),
+            (Words::Heap(s), Words::Heap(x), Words::Heap(y)) => {
+                kernels::slice::union_andnot(s, x, y);
+            }
+            _ => width_mismatch(),
         }
     }
 
     /// In-place intersection.
+    #[inline]
     pub fn intersect_with(&mut self, other: &AtomSet) {
         debug_assert_eq!(self.len, other.len);
-        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
-            *a &= b;
-        }
+        dispatch2_mut!(self, other, intersect);
     }
 
     /// In-place difference (`self \ other`).
+    #[inline]
     pub fn difference_with(&mut self, other: &AtomSet) {
         debug_assert_eq!(self.len, other.len);
-        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
-            *a &= !b;
-        }
+        dispatch2_mut!(self, other, difference);
     }
 
     /// Union, by value.
@@ -229,34 +365,35 @@ impl AtomSet {
     }
 
     /// Is `self ⊆ other`?
+    #[inline]
     pub fn is_subset(&self, other: &AtomSet) -> bool {
         debug_assert_eq!(self.len, other.len);
-        self.words()
-            .iter()
-            .zip(other.words())
-            .all(|(a, b)| a & !b == 0)
+        dispatch2_ref!(self, other, is_subset)
     }
 
     /// Do the sets intersect?
+    #[inline]
     pub fn intersects(&self, other: &AtomSet) -> bool {
         debug_assert_eq!(self.len, other.len);
-        self.words()
-            .iter()
-            .zip(other.words())
-            .any(|(a, b)| a & b != 0)
+        dispatch2_ref!(self, other, intersects)
     }
 
     /// Is `self ∩ other \ excl` non-empty? Word-parallel form of the
     /// closure engine's anchoring test (`∃a ∈ U ∩ W: a ∉ X_new`), fused so
     /// no intermediate set is materialised.
+    #[inline]
     pub fn intersects_excluding(&self, other: &AtomSet, excl: &AtomSet) -> bool {
         debug_assert_eq!(self.len, other.len);
         debug_assert_eq!(self.len, excl.len);
-        self.words()
-            .iter()
-            .zip(other.words())
-            .zip(excl.words())
-            .any(|((a, b), e)| a & b & !e != 0)
+        match (&self.words, &other.words, &excl.words) {
+            (Words::W2(a), Words::W2(b), Words::W2(e)) => kernels::intersects_excluding(a, b, e),
+            (Words::W4(a), Words::W4(b), Words::W4(e)) => kernels::intersects_excluding(a, b, e),
+            (Words::W8(a), Words::W8(b), Words::W8(e)) => kernels::intersects_excluding(a, b, e),
+            (Words::Heap(a), Words::Heap(b), Words::Heap(e)) => {
+                kernels::slice::intersects_excluding(a, b, e)
+            }
+            _ => width_mismatch(),
+        }
     }
 
     /// Iterates over the contained indices in increasing order.
@@ -378,10 +515,31 @@ mod tests {
     }
 
     #[test]
-    fn inline_and_heap_agree() {
-        // the same logical sets at an inline capacity and a heap capacity
-        // behave identically across the whole API
-        for cap in [100usize, 200] {
+    fn width_class_by_capacity() {
+        for (cap, class, words) in [
+            (0usize, WidthClass::W2, Some(2)),
+            (1, WidthClass::W2, Some(2)),
+            (128, WidthClass::W2, Some(2)),
+            (129, WidthClass::W4, Some(4)),
+            (256, WidthClass::W4, Some(4)),
+            (257, WidthClass::W8, Some(8)),
+            (512, WidthClass::W8, Some(8)),
+            (513, WidthClass::Heap, None),
+            (100_000, WidthClass::Heap, None),
+        ] {
+            assert_eq!(WidthClass::for_capacity(cap), class, "capacity {cap}");
+            assert_eq!(AtomSet::empty(cap).width_class(), class);
+            assert_eq!(class.inline_words(), words);
+        }
+        assert_eq!(WidthClass::W4.name(), "w4");
+        assert_eq!(WidthClass::Heap.to_string(), "heap");
+    }
+
+    #[test]
+    fn every_width_class_agrees() {
+        // the same logical sets at one capacity per width class behave
+        // identically across the whole API
+        for cap in [100usize, 200, 300, 600] {
             let a = AtomSet::from_indices(cap, [0, 63, 64, 97]);
             let b = AtomSet::from_indices(cap, [63, 97, 99]);
             assert_eq!(
@@ -402,8 +560,8 @@ mod tests {
 
     #[test]
     fn fused_kernels_match_composed_ops() {
-        // inline capacity and heap capacity take different storage paths
-        for cap in [100usize, 200] {
+        // one capacity per width class, each taking a different storage path
+        for cap in [100usize, 200, 300, 600] {
             let a = AtomSet::from_indices(cap, [0, 63, 64, 97]);
             let b = AtomSet::from_indices(cap, [63, 97, 99]);
 
@@ -431,7 +589,9 @@ mod tests {
 
     #[test]
     fn full_masks_tail_bits() {
-        for cap in [1usize, 63, 64, 65, 127, 128, 129, 190] {
+        for cap in [
+            1usize, 63, 64, 65, 127, 128, 129, 190, 255, 256, 257, 511, 512, 513,
+        ] {
             let f = AtomSet::full(cap);
             assert_eq!(f.count(), cap, "capacity {cap}");
             assert_eq!(f.iter().max(), cap.checked_sub(1));
@@ -445,5 +605,16 @@ mod tests {
         assert_eq!(a.word(0), 1);
         assert_eq!(a.word(1), 1);
         assert_eq!(a.word(2), 2);
+    }
+
+    // panics via `debug_assert_eq!` in debug builds and via the cold
+    // `width_mismatch` path in release builds — message differs, so no
+    // `expected` substring
+    #[test]
+    #[should_panic]
+    fn cross_class_operation_panics() {
+        let a = AtomSet::empty(100); // W2
+        let mut b = AtomSet::empty(200); // W4
+        b.union_with(&a);
     }
 }

@@ -1,0 +1,270 @@
+//! Width-specialized bitset kernels.
+//!
+//! Every function here is a straight-line pass over a *compile-time*
+//! number of `u64` words (`W ∈ {2, 4, 8}`), monomorphized per width
+//! class, so LLVM fully unrolls and autovectorizes the loop bodies; the
+//! [`slice`] submodule keeps the same shapes over runtime-length slices
+//! for the heap fallback (`|SubB(N)| > 512`). Capacity agreement between
+//! operands is the caller's contract — enforced with `debug_assert!` at
+//! the [`crate::bitset::AtomSet`] layer and with a typed
+//! [`crate::AlgebraError`] at the public reasoning boundary — so nothing
+//! here re-checks capacity or branches on representation inside a loop.
+//!
+//! Trailing bits above the set's capacity are maintained as zero by
+//! `AtomSet::mask_tail`, which is what lets the kernels run over all `W`
+//! words unconditionally (including tail words the capacity only
+//! partially uses) without affecting counts, subset tests or iteration.
+//!
+//! The predicate kernels (`is_subset`, `intersects`,
+//! `intersects_excluding`) accumulate into a single word instead of
+//! early-exiting: at these widths a branchless OR-reduce beats a
+//! per-word conditional branch, and it keeps the code shape identical
+//! across classes.
+
+/// Zeroes all words.
+#[inline]
+pub fn clear<const W: usize>(a: &mut [u64; W]) {
+    *a = [0; W];
+}
+
+/// Overwrites `a` with `b`.
+#[inline]
+pub fn copy<const W: usize>(a: &mut [u64; W], b: &[u64; W]) {
+    *a = *b;
+}
+
+/// Population count over all words.
+#[inline]
+pub fn count<const W: usize>(a: &[u64; W]) -> usize {
+    let mut n = 0usize;
+    for w in a {
+        n += w.count_ones() as usize;
+    }
+    n
+}
+
+/// Are all words zero?
+#[inline]
+pub fn is_empty<const W: usize>(a: &[u64; W]) -> bool {
+    let mut acc = 0u64;
+    for w in a {
+        acc |= w;
+    }
+    acc == 0
+}
+
+/// `a |= b`.
+#[inline]
+pub fn union<const W: usize>(a: &mut [u64; W], b: &[u64; W]) {
+    for (x, y) in a.iter_mut().zip(b) {
+        *x |= *y;
+    }
+}
+
+/// `a |= b`, reporting whether any new bit was set.
+#[inline]
+pub fn union_changed<const W: usize>(a: &mut [u64; W], b: &[u64; W]) -> bool {
+    let mut grew = 0u64;
+    for (x, y) in a.iter_mut().zip(b) {
+        grew |= y & !*x;
+        *x |= *y;
+    }
+    grew != 0
+}
+
+/// `s |= a & !b`, fused (the and-not is never materialised).
+#[inline]
+pub fn union_andnot<const W: usize>(s: &mut [u64; W], a: &[u64; W], b: &[u64; W]) {
+    for ((w, x), y) in s.iter_mut().zip(a).zip(b) {
+        *w |= x & !y;
+    }
+}
+
+/// `a &= b`.
+#[inline]
+pub fn intersect<const W: usize>(a: &mut [u64; W], b: &[u64; W]) {
+    for (x, y) in a.iter_mut().zip(b) {
+        *x &= *y;
+    }
+}
+
+/// `a &= !b`.
+#[inline]
+pub fn difference<const W: usize>(a: &mut [u64; W], b: &[u64; W]) {
+    for (x, y) in a.iter_mut().zip(b) {
+        *x &= !*y;
+    }
+}
+
+/// Is `a ⊆ b`?
+#[inline]
+pub fn is_subset<const W: usize>(a: &[u64; W], b: &[u64; W]) -> bool {
+    let mut acc = 0u64;
+    for (x, y) in a.iter().zip(b) {
+        acc |= x & !y;
+    }
+    acc == 0
+}
+
+/// Is `a ∩ b` non-empty?
+#[inline]
+pub fn intersects<const W: usize>(a: &[u64; W], b: &[u64; W]) -> bool {
+    let mut acc = 0u64;
+    for (x, y) in a.iter().zip(b) {
+        acc |= x & y;
+    }
+    acc != 0
+}
+
+/// Is `a ∩ b \ e` non-empty? (fused anchoring test)
+#[inline]
+pub fn intersects_excluding<const W: usize>(a: &[u64; W], b: &[u64; W], e: &[u64; W]) -> bool {
+    let mut acc = 0u64;
+    for ((x, y), z) in a.iter().zip(b).zip(e) {
+        acc |= x & y & !z;
+    }
+    acc != 0
+}
+
+/// The same kernels over runtime-length word slices — the heap fallback
+/// for universes beyond 512 atoms. Operand slices have equal length
+/// whenever capacities agree (the same contract as above); the
+/// predicates early-exit per word here, since a heap universe can span
+/// many cache lines and skipping the tail is worth a branch.
+pub mod slice {
+    /// Zeroes all words.
+    #[inline]
+    pub fn clear(a: &mut [u64]) {
+        a.fill(0);
+    }
+
+    /// Overwrites `a` with `b`.
+    #[inline]
+    pub fn copy(a: &mut [u64], b: &[u64]) {
+        a.copy_from_slice(b);
+    }
+
+    /// Population count over all words.
+    #[inline]
+    pub fn count(a: &[u64]) -> usize {
+        a.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Are all words zero?
+    #[inline]
+    pub fn is_empty(a: &[u64]) -> bool {
+        a.iter().all(|&w| w == 0)
+    }
+
+    /// `a |= b`.
+    #[inline]
+    pub fn union(a: &mut [u64], b: &[u64]) {
+        for (x, y) in a.iter_mut().zip(b) {
+            *x |= *y;
+        }
+    }
+
+    /// `a |= b`, reporting whether any new bit was set.
+    #[inline]
+    pub fn union_changed(a: &mut [u64], b: &[u64]) -> bool {
+        let mut grew = 0u64;
+        for (x, y) in a.iter_mut().zip(b) {
+            grew |= y & !*x;
+            *x |= *y;
+        }
+        grew != 0
+    }
+
+    /// `s |= a & !b`, fused.
+    #[inline]
+    pub fn union_andnot(s: &mut [u64], a: &[u64], b: &[u64]) {
+        for ((w, x), y) in s.iter_mut().zip(a).zip(b) {
+            *w |= x & !y;
+        }
+    }
+
+    /// `a &= b`.
+    #[inline]
+    pub fn intersect(a: &mut [u64], b: &[u64]) {
+        for (x, y) in a.iter_mut().zip(b) {
+            *x &= *y;
+        }
+    }
+
+    /// `a &= !b`.
+    #[inline]
+    pub fn difference(a: &mut [u64], b: &[u64]) {
+        for (x, y) in a.iter_mut().zip(b) {
+            *x &= !*y;
+        }
+    }
+
+    /// Is `a ⊆ b`?
+    #[inline]
+    pub fn is_subset(a: &[u64], b: &[u64]) -> bool {
+        a.iter().zip(b).all(|(x, y)| x & !y == 0)
+    }
+
+    /// Is `a ∩ b` non-empty?
+    #[inline]
+    pub fn intersects(a: &[u64], b: &[u64]) -> bool {
+        a.iter().zip(b).any(|(x, y)| x & y != 0)
+    }
+
+    /// Is `a ∩ b \ e` non-empty?
+    #[inline]
+    pub fn intersects_excluding(a: &[u64], b: &[u64], e: &[u64]) -> bool {
+        a.iter().zip(b).zip(e).any(|((x, y), z)| x & y & !z != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn array_and_slice_kernels_agree() {
+        let a = [0b1011u64, u64::MAX, 0, 7];
+        let b = [0b1101u64, 1, u64::MAX, 7];
+        let e = [0b1000u64, 0, 1, 7];
+
+        let mut ka = a;
+        super::union(&mut ka, &b);
+        let mut sa = a;
+        super::slice::union(&mut sa, &b);
+        assert_eq!(ka, sa);
+
+        let mut ka = a;
+        let kg = super::union_changed(&mut ka, &b);
+        let mut sa = a;
+        let sg = super::slice::union_changed(&mut sa, &b);
+        assert_eq!((ka, kg), (sa, sg));
+
+        let mut ka = a;
+        super::union_andnot(&mut ka, &b, &e);
+        let mut sa = a;
+        super::slice::union_andnot(&mut sa, &b, &e);
+        assert_eq!(ka, sa);
+
+        let mut ka = a;
+        super::intersect(&mut ka, &b);
+        let mut sa = a;
+        super::slice::intersect(&mut sa, &b);
+        assert_eq!(ka, sa);
+
+        let mut ka = a;
+        super::difference(&mut ka, &b);
+        let mut sa = a;
+        super::slice::difference(&mut sa, &b);
+        assert_eq!(ka, sa);
+
+        assert_eq!(super::is_subset(&a, &b), super::slice::is_subset(&a, &b));
+        assert_eq!(super::is_subset(&e, &a), super::slice::is_subset(&e, &a));
+        assert_eq!(super::intersects(&a, &b), super::slice::intersects(&a, &b));
+        assert_eq!(
+            super::intersects_excluding(&a, &b, &e),
+            super::slice::intersects_excluding(&a, &b, &e)
+        );
+        assert_eq!(super::count(&a), super::slice::count(&a));
+        assert_eq!(super::is_empty(&a), super::slice::is_empty(&a));
+        assert!(super::is_empty(&[0u64; 4]));
+    }
+}

@@ -36,6 +36,7 @@
 
 pub mod atoms;
 pub mod bitset;
+mod kernels;
 pub mod lattice;
 pub mod laws;
 pub mod partition;
@@ -43,6 +44,6 @@ pub mod render;
 pub mod subset;
 pub mod treealg;
 
-pub use atoms::{Algebra, AtomId, AtomInfo, AtomKind};
-pub use bitset::AtomSet;
+pub use atoms::{Algebra, AlgebraError, AtomId, AtomInfo, AtomKind};
+pub use bitset::{AtomSet, WidthClass};
 pub use partition::BlockPartition;

@@ -480,113 +480,155 @@ fn engine_speedup() {
         "E-ENGINE",
         "Change-driven worklist engine vs paper-order pass engine",
     );
+    let cpus = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
     let mut json_rows: Vec<String> = Vec::new();
     println!(
-        "{:>6} {:>6} {:>14} {:>14} {:>9}",
-        "|N|", "|Σ|", "pass engine", "worklist", "speedup"
+        "{:>6} {:>6} {:>6} {:>14} {:>14} {:>9}",
+        "|N|", "|Σ|", "width", "pass engine", "worklist", "speedup"
     );
-    for (atoms, sigma_count) in [(16usize, 8usize), (32, 16), (64, 32), (96, 32), (128, 48)] {
+    // Pre-width-specialization worklist medians for the sizes that used
+    // to fall off the 128-atom inline representation onto Vec<u64> words
+    // (measured on this machine immediately before the kernel split;
+    // the old code path no longer exists to re-run).
+    let before_heap = |atoms: usize| -> Option<u128> {
+        match atoms {
+            256 => Some(2_511_468),
+            512 => Some(5_115_717),
+            1024 => Some(13_314_447),
+            _ => None,
+        }
+    };
+    for (atoms, sigma_count) in [
+        (16usize, 8usize),
+        (32, 16),
+        (64, 32),
+        (96, 32),
+        (128, 48),
+        (256, 48),
+        (512, 48),
+        (1024, 48),
+    ] {
         let w = nested_workload(7, atoms, sigma_count);
-        let t_paper = median_nanos(5, || {
+        let width = w.alg.width_class().name();
+        // the paper engine costs ~0.3s per run at |N| = 1024; fewer
+        // median samples keep the largest size affordable while the
+        // rest use enough samples to tame single-CPU scheduling noise
+        let runs = if atoms >= 1024 { 5 } else { 9 };
+        let t_paper = median_nanos(runs, || {
             std::hint::black_box(run_closures_paper(&w));
         });
-        let t_fast = median_nanos(5, || {
+        let t_fast = median_nanos(runs, || {
             std::hint::black_box(run_closures(&w));
         });
         let speedup = t_paper as f64 / t_fast.max(1) as f64;
         println!(
-            "{:>6} {:>6} {:>14} {:>14} {:>8.1}x",
+            "{:>6} {:>6} {:>6} {:>14} {:>14} {:>8.1}x",
             atoms,
             sigma_count,
+            width,
             fmt_nanos(t_paper),
             fmt_nanos(t_fast),
             speedup
         );
+        let before = before_heap(atoms).map_or(String::new(), |b| {
+            format!(", \"median_ns_worklist_before_width_split\": {b}")
+        });
         json_rows.push(format!(
             "  {{\"id\": \"nested_workload(seed=7, atoms={atoms}, sigma={sigma_count})\", \
-             \"atoms\": {atoms}, \"sigma\": {sigma_count}, \
+             \"atoms\": {atoms}, \"sigma\": {sigma_count}, \"width_class\": \"{width}\", \
+             \"cpus\": {cpus}, \
              \"median_ns_pass_engine\": {t_paper}, \"median_ns_worklist\": {t_fast}, \
-             \"speedup\": {speedup:.2}}}"
+             \"speedup\": {speedup:.2}{before}}}"
         ));
     }
     println!("both engines produce identical output (asserted per query in tests/crossval.rs)");
 
-    let cpus = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
-    println!(
-        "\nbatch membership throughput (implies_batch, |N| = 64, |Σ| = 32, 256 queries \
-         over 32 distinct LHSs, {cpus} CPU(s) available):"
-    );
-    let w = nested_workload(8, 64, 32);
-    let r = {
-        let mut r = Reasoner::new(&w.attr);
-        for d in &w.sigma {
-            r.add(d.decompile(&w.alg)).expect("generated Σ compiles");
-        }
-        r
-    };
-    // cover/key/normal-form workloads query many RHSs per LHS, so the
-    // batch reuses left-hand sides — exactly what the shared cache serves
-    let mut rng = StdRng::seed_from_u64(9);
-    let lhs_pool: Vec<AtomSet> = (0..32)
-        .map(|_| nalist::gen::random_subattr(&mut rng, &w.alg, 0.3))
-        .collect();
-    let compiled: Vec<CompiledDep> = (0..256)
-        .map(|i| {
-            let lhs = lhs_pool[i % lhs_pool.len()].clone();
-            let rhs = nalist::gen::random_subattr(&mut rng, &w.alg, 0.3);
-            if i % 3 == 0 {
-                CompiledDep::fd(lhs, rhs)
-            } else {
-                CompiledDep::mvd(lhs, rhs)
+    // Per-core scaling curves at two universe sizes: the classic
+    // 64-atom workload (w2) and a 256-atom one (w4) that used to sit on
+    // the heap fallback. Queries reuse left-hand sides the way
+    // cover/key/normal-form workloads do, so the batch exercises both
+    // the shared cache and the work-stealing scheduler's cold queues.
+    for (atoms, sigma_count, n_queries, pool_size) in
+        [(64usize, 32usize, 256usize, 32usize), (256, 48, 128, 16)]
+    {
+        let w = nested_workload(8, atoms, sigma_count);
+        let width = w.alg.width_class().name();
+        println!(
+            "\nbatch membership throughput (implies_batch, |N| = {atoms}, |Σ| = {sigma_count}, \
+             {n_queries} queries over {pool_size} distinct LHSs, {cpus} CPU(s) available):"
+        );
+        let r = {
+            let mut r = Reasoner::new(&w.attr);
+            for d in &w.sigma {
+                r.add(d.decompile(&w.alg)).expect("generated Σ compiles");
             }
-        })
-        .collect();
-    let queries: Vec<Dependency> = compiled.iter().map(|c| c.decompile(&w.alg)).collect();
-    let t_uncached = median_nanos(5, || {
-        for c in &compiled {
-            std::hint::black_box(nalist::membership::implies(&w.alg, &w.sigma, c));
-        }
-    });
-    println!(
-        "  uncached per-query implies(): {:>12}  ({:>9.0} queries/s)",
-        fmt_nanos(t_uncached),
-        queries.len() as f64 / (t_uncached as f64 / 1e9)
-    );
-    let mut t_one_thread = 0u128;
-    for threads in [1usize, 2, 4, 8] {
-        // clone per run: each measurement starts from a cold cache
-        let t = median_nanos(5, || {
-            let fresh = r.clone();
-            let verdicts = fresh
-                .implies_batch_with(&queries, NonZeroUsize::new(threads).unwrap())
-                .expect("queries compile");
-            std::hint::black_box(verdicts.len());
+            r
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let lhs_pool: Vec<AtomSet> = (0..pool_size)
+            .map(|_| nalist::gen::random_subattr(&mut rng, &w.alg, 0.3))
+            .collect();
+        let compiled: Vec<CompiledDep> = (0..n_queries)
+            .map(|i| {
+                let lhs = lhs_pool[i % lhs_pool.len()].clone();
+                let rhs = nalist::gen::random_subattr(&mut rng, &w.alg, 0.3);
+                if i % 3 == 0 {
+                    CompiledDep::fd(lhs, rhs)
+                } else {
+                    CompiledDep::mvd(lhs, rhs)
+                }
+            })
+            .collect();
+        let queries: Vec<Dependency> = compiled.iter().map(|c| c.decompile(&w.alg)).collect();
+        let runs = if atoms >= 256 { 3 } else { 5 };
+        let t_uncached = median_nanos(runs, || {
+            for c in &compiled {
+                std::hint::black_box(nalist::membership::implies(&w.alg, &w.sigma, c));
+            }
         });
-        if threads == 1 {
-            t_one_thread = t;
+        println!(
+            "  uncached per-query implies(): {:>12}  ({:>9.0} queries/s)",
+            fmt_nanos(t_uncached),
+            queries.len() as f64 / (t_uncached as f64 / 1e9)
+        );
+        let mut t_one_thread = 0u128;
+        for threads in [1usize, 2, 4, 8] {
+            // clone per run: each measurement starts from a cold cache
+            let t = median_nanos(runs, || {
+                let fresh = r.clone();
+                let verdicts = fresh
+                    .implies_batch_with(&queries, NonZeroUsize::new(threads).unwrap())
+                    .expect("queries compile");
+                std::hint::black_box(verdicts.len());
+            });
+            if threads == 1 {
+                t_one_thread = t;
+            }
+            let qps = queries.len() as f64 / (t as f64 / 1e9);
+            let vs_uncached = t_uncached as f64 / t.max(1) as f64;
+            let vs_one = t_one_thread as f64 / t.max(1) as f64;
+            println!(
+                "  batch, {threads} thread(s): {:>12}  ({:>9.0} queries/s, {vs_uncached:.1}x vs \
+                 uncached, {vs_one:.2}x vs 1 thread)",
+                fmt_nanos(t),
+                qps
+            );
+            json_rows.push(format!(
+                "  {{\"id\": \"implies_batch(seed=8, atoms={atoms}, sigma={sigma_count}, \
+                 queries={n_queries}, lhs_pool={pool_size})\", \
+                 \"atoms\": {atoms}, \"sigma\": {sigma_count}, \"width_class\": \"{width}\", \
+                 \"threads\": {threads}, \"cpus\": {cpus}, \
+                 \"median_ns\": {t}, \"median_ns_uncached_baseline\": {t_uncached}, \
+                 \"queries_per_sec\": {qps:.0}, \"speedup_vs_uncached\": {vs_uncached:.2}, \
+                 \"speedup_vs_1_thread\": {vs_one:.2}}}"
+            ));
         }
-        let qps = queries.len() as f64 / (t as f64 / 1e9);
-        let vs_uncached = t_uncached as f64 / t.max(1) as f64;
-        let vs_one = t_one_thread as f64 / t.max(1) as f64;
-        println!(
-            "  batch, {threads} thread(s): {:>12}  ({:>9.0} queries/s, {vs_uncached:.1}x vs \
-             uncached, {vs_one:.2}x vs 1 thread)",
-            fmt_nanos(t),
-            qps
-        );
-        json_rows.push(format!(
-            "  {{\"id\": \"implies_batch(seed=8, atoms=64, sigma=32, queries=256, lhs_pool=32)\", \
-             \"atoms\": 64, \"sigma\": 32, \"threads\": {threads}, \"cpus\": {cpus}, \
-             \"median_ns\": {t}, \"median_ns_uncached_baseline\": {t_uncached}, \
-             \"queries_per_sec\": {qps:.0}, \"speedup_vs_uncached\": {vs_uncached:.2}, \
-             \"speedup_vs_1_thread\": {vs_one:.2}}}"
-        ));
-    }
-    if cpus == 1 {
-        println!(
-            "  note: thread-scaling is bounded by the {cpus} CPU visible to this container; \
-             the vs-1-thread column measures scheduling overhead, not the engine"
-        );
+        if cpus == 1 {
+            println!(
+                "  note: thread-scaling is bounded by the {cpus} CPU visible to this container; \
+                 the vs-1-thread column measures scheduling overhead, not the engine"
+            );
+        }
     }
 
     let json = format!("[\n{}\n]\n", json_rows.join(",\n"));

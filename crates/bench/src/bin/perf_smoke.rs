@@ -34,10 +34,14 @@ const MAX_RATIO: f64 = 3.0;
 /// bound still leaves generous room for scheduler noise.
 const MAX_NOOP_RATIO: f64 = 1.5;
 
-/// The work counters pinned by the baseline, in file order.
+/// The work counters pinned by the baseline, in file order. The
+/// `wide_*` pair comes from a 256-atom workload, so the w4
+/// width-specialized kernel path is pinned alongside the w2 one.
 const WORK_COUNTERS: &[&str] = &[
     "worklist_steps",
     "deps_fired",
+    "wide_worklist_steps",
+    "wide_deps_fired",
     "edit_cache_hits",
     "edit_cache_misses",
     "edit_cache_evicted",
@@ -65,6 +69,12 @@ fn main() {
     let noop_ns = median_nanos(7, || {
         std::hint::black_box(run_closures_observed(&w, noop()));
     });
+    // a 256-atom universe: exercises the w4 width class end to end,
+    // guarding against a reintroduced representation cliff past 128
+    let w_wide = nested_workload(7, 256, 48);
+    let wide_ns = median_nanos(5, || {
+        std::hint::black_box(run_closures(&w_wide));
+    });
     let ew = incremental_edit_workload(10, 32, 16, 16);
     let edit_ns = median_nanos(7, || {
         let mut inc = ew.reasoner.clone();
@@ -75,10 +85,11 @@ fn main() {
         }
         std::hint::black_box(acc);
     });
-    let total_ns = closure_ns + edit_ns;
+    let total_ns = closure_ns + wide_ns + edit_ns;
     println!(
-        "perf smoke: closure {} + incremental edit {} = {}",
+        "perf smoke: closure {} + wide closure {} + incremental edit {} = {}",
         fmt_nanos(closure_ns),
+        fmt_nanos(wide_ns),
         fmt_nanos(edit_ns),
         fmt_nanos(total_ns)
     );
@@ -86,6 +97,8 @@ fn main() {
     // machine-independent work counters, one instrumented pass each
     let closure_rec = MetricsRecorder::new();
     std::hint::black_box(run_closures_observed(&w, &closure_rec));
+    let wide_rec = MetricsRecorder::new();
+    std::hint::black_box(run_closures_observed(&w_wide, &wide_rec));
     let edit_rec = Arc::new(MetricsRecorder::new());
     let mut inc = ew.reasoner.clone().with_recorder(edit_rec.clone());
     inc.add(ew.edit.clone()).expect("edit compiles");
@@ -95,6 +108,8 @@ fn main() {
     let work = [
         closure_rec.counter(Counter::WorklistSteps),
         closure_rec.counter(Counter::DepsFired),
+        wide_rec.counter(Counter::WorklistSteps),
+        wide_rec.counter(Counter::DepsFired),
         edit_rec.counter(Counter::CacheHits),
         edit_rec.counter(Counter::CacheMisses),
         edit_rec.counter(Counter::CacheEvicted),

@@ -158,7 +158,7 @@ pub const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "batch",
         synopsis: "<schema> <deps-file> <queries-file> [--threads N]",
-        summary: "decide Σ ⊨ σ for every query line, in parallel",
+        summary: "decide Σ ⊨ σ for every query line, in parallel (default: one thread per CPU)",
     },
     CommandSpec {
         name: "replay",
@@ -570,6 +570,11 @@ fn render_metrics_json(args: &[String], exit_code: i32, snap: &MetricsSnapshot) 
     writeln!(out, "  \"schema_version\": 1,").unwrap();
     writeln!(out, "  \"command\": {},", escape(command)).unwrap();
     writeln!(out, "  \"exit_code\": {exit_code},").unwrap();
+    // Honest machine stamp: consumers comparing metrics across hosts
+    // (or reading `batch_threads`) need to know how many CPUs the run
+    // actually had.
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    writeln!(out, "  \"cpus\": {cpus},").unwrap();
     writeln!(out, "  \"elapsed_ns\": {},", snap.elapsed_ns).unwrap();
     out.push_str("  \"counters\": {\n");
     for (i, (name, value)) in snap.counters.iter().enumerate() {
@@ -669,11 +674,10 @@ fn dispatch(
         }
         ("batch", [schema, deps, queries, flags @ ..]) => {
             let threads = match flags {
-                [] => None,
-                [flag, n] if flag == "--threads" => Some(
-                    n.parse::<std::num::NonZeroUsize>()
-                        .map_err(|e| CliError::usage(format!("bad --threads value '{n}': {e}")))?,
-                ),
+                [] => default_batch_threads(),
+                [flag, n] if flag == "--threads" => n
+                    .parse::<std::num::NonZeroUsize>()
+                    .map_err(|e| CliError::usage(format!("bad --threads value '{n}': {e}")))?,
                 _ => return Err(CliError::usage("unknown flags for batch")),
             };
             let r = load_reasoner(files, schema, deps, budget, rec)?;
@@ -690,11 +694,9 @@ fn dispatch(
                     .map_err(|e| CliError::domain(format!("{queries}:{}: {e}", lineno + 1)))?;
                 targets.push(dep);
             }
-            let verdicts = match threads {
-                Some(t) => r.implies_batch_governed_with(&targets, budget, t),
-                None => r.implies_batch_governed(&targets, budget),
-            }
-            .map_err(|e| CliError::reasoner(&e))?;
+            let verdicts = r
+                .implies_batch_governed_with(&targets, budget, threads)
+                .map_err(|e| CliError::reasoner(&e))?;
             let (mut implied, mut failed) = (0, 0);
             for (dep, verdict) in targets.iter().zip(&verdicts) {
                 let c = dep.compile(alg).expect("batch already compiled it");

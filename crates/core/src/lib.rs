@@ -65,16 +65,16 @@ pub use nalist_types as types;
 
 /// One-stop imports for typical use.
 pub mod prelude {
-    pub use nalist_algebra::{Algebra, AtomSet};
+    pub use nalist_algebra::{Algebra, AlgebraError, AtomSet, WidthClass};
     pub use nalist_deps::{
         chase, parse_sigma, ChaseError, ChaseResult, CompiledDep, DepKind, Dependency, Instance,
     };
     pub use nalist_guard::{Budget, CancelToken, ResourceExhausted, ResourceKind};
     pub use nalist_membership::{
         certified_closure_and_basis, certify, closure_and_basis, closure_and_basis_governed,
-        closure_and_basis_paper, closure_and_basis_traced, implies, refute, CertifiedBasis,
-        CertifyError, ClosureError, DependencyBasis, QueryError, Reasoner, ReasonerError, Witness,
-        WitnessError,
+        closure_and_basis_paper, closure_and_basis_traced, default_batch_threads, implies, refute,
+        CertifiedBasis, CertifyError, ClosureError, DependencyBasis, QueryError, Reasoner,
+        ReasonerError, Witness, WitnessError,
     };
     pub use nalist_schema::{
         binary_split, candidate_keys, decompose_4nf, equivalent, is_fourth_nf, is_superkey,

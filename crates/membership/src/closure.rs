@@ -44,7 +44,7 @@
 
 use std::collections::BTreeSet;
 
-use nalist_algebra::{Algebra, AtomSet};
+use nalist_algebra::{Algebra, AlgebraError, AtomSet};
 use nalist_deps::{CompiledDep, DepKind};
 use nalist_guard::{Budget, ResourceExhausted};
 
@@ -65,6 +65,11 @@ pub enum ClosureError {
         /// A witness atom whose `below` set is not contained in `X`.
         atom: usize,
     },
+    /// `X` was built for a different universe than the algebra's
+    /// ([`AlgebraError::CapacityMismatch`]). This is the typed form of
+    /// the capacity agreement every bitset kernel below this boundary
+    /// assumes with only a `debug_assert!`.
+    Algebra(AlgebraError),
 }
 
 impl std::fmt::Display for ClosureError {
@@ -75,6 +80,7 @@ impl std::fmt::Display for ClosureError {
                 f,
                 "X is not downward closed: atom {atom} is present without its list-node ancestors"
             ),
+            ClosureError::Algebra(e) => e.fmt(f),
         }
     }
 }
@@ -84,6 +90,7 @@ impl std::error::Error for ClosureError {
         match self {
             ClosureError::Resource(e) => Some(e),
             ClosureError::NotDownwardClosed { .. } => None,
+            ClosureError::Algebra(e) => Some(e),
         }
     }
 }
@@ -94,10 +101,20 @@ impl From<ResourceExhausted> for ClosureError {
     }
 }
 
-/// Checks Algorithm 5.1's precondition, returning a witness atom on
-/// violation. One `below ⊆ X` word-parallel test per atom of `X` —
-/// cheap relative to even a single fixpoint pass.
+impl From<AlgebraError> for ClosureError {
+    fn from(e: AlgebraError) -> Self {
+        ClosureError::Algebra(e)
+    }
+}
+
+/// Checks Algorithm 5.1's preconditions: `X` belongs to the algebra's
+/// universe (capacity agreement — the one public boundary through which
+/// a mismatched-width set could reach the specialized kernels) and `X`
+/// is downward closed, returning a witness atom on violation. One
+/// `below ⊆ X` word-parallel test per atom of `X` — cheap relative to
+/// even a single fixpoint pass.
 pub(crate) fn check_downward_closed(alg: &Algebra, x: &AtomSet) -> Result<(), ClosureError> {
+    alg.check_capacity(x)?;
     match x.iter().find(|&a| !alg.atom(a).below.is_subset(x)) {
         None => Ok(()),
         Some(atom) => Err(ClosureError::NotDownwardClosed { atom }),

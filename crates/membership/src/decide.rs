@@ -21,11 +21,11 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::Instant;
 
-use nalist_algebra::{Algebra, AtomSet};
+use nalist_algebra::{Algebra, AlgebraError, AtomSet};
 use nalist_deps::{CompiledDep, DepKind, Dependency, PreparedDep};
 use nalist_guard::{Budget, ResourceExhausted};
 use nalist_obs::{Counter, Hist, Recorder};
@@ -40,9 +40,13 @@ use crate::closure::{
 use crate::witness::WitnessError;
 use crate::worklist::{closure_and_basis_worklist_run_observed, step_would_change};
 
-/// Number of independently locked cache shards. Spreading entries over
-/// 16 mutexes keeps contention negligible at any realistic thread count.
-const CACHE_SHARDS: usize = 16;
+/// Floor on the number of independently locked cache shards. The actual
+/// count is `max(available_parallelism, MIN_CACHE_SHARDS)`: matching the
+/// default worker count gives the batch scheduler shard *affinity* (a
+/// cold group is seeded onto the worker that owns its shard, so computes
+/// and inserts stay shard-local), while the floor keeps contention
+/// negligible when callers oversubscribe threads on a small machine.
+const MIN_CACHE_SHARDS: usize = 8;
 
 /// One cached basis plus its invalidation index: the stable ids (see
 /// [`Reasoner::add`]) of the dependencies that fired while it was
@@ -86,20 +90,29 @@ pub struct CacheStats {
 /// sections (every value is fully constructed before `insert` takes the
 /// lock), so a poisoned mutex never guards half-written data and the
 /// cache simply keeps serving after a worker dies.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct BasisCache {
-    shards: [Mutex<HashMap<AtomSet, CacheEntry>>; CACHE_SHARDS],
+    shards: Vec<Mutex<HashMap<AtomSet, CacheEntry>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     retained: AtomicU64,
     evicted: AtomicU64,
 }
 
+impl Default for BasisCache {
+    /// Shard count: one per default batch worker, floored at
+    /// [`MIN_CACHE_SHARDS`] (see there for the affinity rationale).
+    fn default() -> Self {
+        BasisCache::with_shards(default_batch_threads().get().max(MIN_CACHE_SHARDS))
+    }
+}
+
 impl Clone for BasisCache {
     /// Deep copy: the clone owns independent shard storage (mutating
-    /// either side can never leak entries across), with counters reset.
+    /// either side can never leak entries across), with the same shard
+    /// count and counters reset.
     fn clone(&self) -> Self {
-        let cloned = BasisCache::default();
+        let cloned = BasisCache::with_shards(self.shards.len());
         for (src, dst) in self.shards.iter().zip(&cloned.shards) {
             let src = src.lock().unwrap_or_else(PoisonError::into_inner);
             *dst.lock().unwrap_or_else(PoisonError::into_inner) = src.clone();
@@ -109,10 +122,27 @@ impl Clone for BasisCache {
 }
 
 impl BasisCache {
-    fn shard(&self, x: &AtomSet) -> &Mutex<HashMap<AtomSet, CacheEntry>> {
+    fn with_shards(n: usize) -> Self {
+        BasisCache {
+            shards: (0..n.max(1)).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            retained: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// Which shard `x` lives in — also the batch scheduler's affinity
+    /// key: a cold planner group for `x` is seeded onto worker
+    /// `shard_index(x) % workers`.
+    fn shard_index(&self, x: &AtomSet) -> usize {
         let mut h = DefaultHasher::new();
         x.hash(&mut h);
-        &self.shards[h.finish() as usize % CACHE_SHARDS]
+        h.finish() as usize % self.shards.len()
+    }
+
+    fn shard(&self, x: &AtomSet) -> &Mutex<HashMap<AtomSet, CacheEntry>> {
+        &self.shards[self.shard_index(x)]
     }
 
     fn get(&self, x: &AtomSet) -> Option<DependencyBasis> {
@@ -274,6 +304,9 @@ pub enum ReasonerError {
         /// A witness atom present without its list-node ancestors.
         atom: usize,
     },
+    /// A raw atom-set argument was built for a different universe than
+    /// this reasoner's algebra ([`AlgebraError::CapacityMismatch`]).
+    Algebra(AlgebraError),
 }
 
 impl std::fmt::Display for ReasonerError {
@@ -287,6 +320,7 @@ impl std::fmt::Display for ReasonerError {
             ReasonerError::NotDownwardClosed { atom } => {
                 ClosureError::NotDownwardClosed { atom: *atom }.fmt(f)
             }
+            ReasonerError::Algebra(e) => e.fmt(f),
         }
     }
 }
@@ -304,6 +338,7 @@ impl From<ClosureError> for ReasonerError {
         match e {
             ClosureError::Resource(r) => ReasonerError::Resource(r),
             ClosureError::NotDownwardClosed { atom } => ReasonerError::NotDownwardClosed { atom },
+            ClosureError::Algebra(a) => ReasonerError::Algebra(a),
         }
     }
 }
@@ -591,7 +626,7 @@ impl Reasoner {
     /// available CPU (capped at the batch size); workers share the basis
     /// cache, so duplicated left-hand sides are computed once.
     pub fn implies_batch(&self, deps: &[Dependency]) -> Result<Vec<bool>, ReasonerError> {
-        self.implies_batch_with(deps, default_threads())
+        self.implies_batch_with(deps, default_batch_threads())
     }
 
     /// [`Reasoner::implies_batch`] with an explicit worker count.
@@ -633,7 +668,7 @@ impl Reasoner {
         deps: &[Dependency],
         budget: &Budget,
     ) -> Result<Vec<Result<bool, QueryError>>, ReasonerError> {
-        self.implies_batch_governed_with(deps, budget, default_threads())
+        self.implies_batch_governed_with(deps, budget, default_batch_threads())
     }
 
     /// [`Reasoner::implies_batch_governed`] with an explicit worker count.
@@ -663,7 +698,7 @@ impl Reasoner {
     /// (one worker per available CPU, capped at the batch size). The
     /// result is index-aligned with `xs`.
     pub fn dependency_basis_batch(&self, xs: &[AtomSet]) -> Vec<DependencyBasis> {
-        self.dependency_basis_batch_with(xs, default_threads())
+        self.dependency_basis_batch_with(xs, default_batch_threads())
     }
 
     /// [`Reasoner::dependency_basis_batch`] with an explicit worker
@@ -698,7 +733,7 @@ impl Reasoner {
         xs: &[AtomSet],
         budget: &Budget,
     ) -> Vec<Result<DependencyBasis, QueryError>> {
-        self.dependency_basis_batch_governed_with(xs, budget, default_threads())
+        self.dependency_basis_batch_governed_with(xs, budget, default_batch_threads())
     }
 
     /// [`Reasoner::dependency_basis_batch_governed`] with an explicit
@@ -731,12 +766,12 @@ impl Reasoner {
                     groups.push(PlanGroup {
                         x: x.clone(),
                         members: vec![i],
+                        warm: self.cache.contains(x),
                     });
                 }
             }
         }
-        let (warm, cold): (Vec<_>, Vec<_>) =
-            groups.into_iter().partition(|g| self.cache.contains(&g.x));
+        let (warm, cold): (Vec<_>, Vec<_>) = groups.into_iter().partition(|g| g.warm);
         warm.into_iter().chain(cold).collect()
     }
 
@@ -809,21 +844,45 @@ impl Reasoner {
             }
         };
         let workers = threads.get().min(groups.len());
+        if rec.enabled() {
+            rec.add(Counter::BatchThreads, workers as u64);
+        }
         if workers <= 1 {
             for g in groups {
                 fill(g);
             }
         } else {
-            let next = AtomicUsize::new(0);
+            // Work-stealing execution: warm groups go to a shared
+            // injector (drained first, preserving the planner's
+            // warm-before-cold order), cold groups to the local queue of
+            // the worker owning their cache shard. Which worker runs a
+            // group cannot affect its result — each group is claimed
+            // exactly once and lands in its own `OnceLock` slots — so
+            // stealing keeps batch output bit-identical to sequential
+            // execution while idle workers always find remaining work.
+            let sched = crate::steal::StealScheduler::new(workers);
+            for (gi, g) in groups.iter().enumerate() {
+                if g.warm {
+                    sched.push_shared(gi);
+                } else {
+                    sched.push_local(self.cache.shard_index(&g.x) % workers, gi);
+                }
+            }
             std::thread::scope(|s| {
-                for _ in 0..workers {
-                    s.spawn(|| loop {
-                        let gi = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(g) = groups.get(gi) else { break };
-                        fill(g);
+                let sched = &sched;
+                let fill = &fill;
+                for w in 0..workers {
+                    s.spawn(move || {
+                        while let Some(gi) = sched.pop(w) {
+                            fill(&groups[gi]);
+                        }
                     });
                 }
             });
+            if rec.enabled() {
+                rec.add(Counter::BatchSteals, sched.steals());
+                rec.add(Counter::BatchLocalHits, sched.local_hits());
+            }
         }
         slots
             .into_iter()
@@ -845,9 +904,11 @@ impl Reasoner {
             })?
             .map_err(|e| match e {
                 ClosureError::Resource(r) => QueryError::Resource(r),
-                invalid @ ClosureError::NotDownwardClosed { .. } => QueryError::Invalid {
-                    message: invalid.to_string(),
-                },
+                invalid @ (ClosureError::NotDownwardClosed { .. } | ClosureError::Algebra(_)) => {
+                    QueryError::Invalid {
+                        message: invalid.to_string(),
+                    }
+                }
             })
     }
 
@@ -991,8 +1052,11 @@ impl Reasoner {
     }
 }
 
-/// Default batch-worker count: one per available CPU.
-fn default_threads() -> NonZeroUsize {
+/// Default batch-worker count: one per available CPU (what
+/// [`Reasoner::implies_batch`] and the `nalist batch` command use when
+/// no explicit `--threads` is given). Falls back to 1 when the platform
+/// cannot report its parallelism.
+pub fn default_batch_threads() -> NonZeroUsize {
     std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
 }
 
@@ -1001,6 +1065,10 @@ fn default_threads() -> NonZeroUsize {
 struct PlanGroup {
     x: AtomSet,
     members: Vec<usize>,
+    /// Was `x` cached when the batch was planned? Warm groups are seeded
+    /// onto the shared injector; cold groups onto shard-affine local
+    /// queues (see [`crate::steal`]).
+    warm: bool,
 }
 
 /// Evidence accompanying a membership verdict (see
@@ -1509,6 +1577,29 @@ mod tests {
         let items = r.dependency_basis_batch_governed(&[bad, good.clone()], &Budget::unlimited());
         assert!(matches!(&items[0], Err(QueryError::Invalid { message })
             if message.contains("not downward closed")));
+        assert_eq!(*items[1].as_ref().unwrap(), r.dependency_basis(&good));
+    }
+
+    #[test]
+    fn raw_atom_set_entry_points_reject_foreign_capacity_input() {
+        let n = parse_attr("K[L(M[N'(A, B)], C)]").unwrap();
+        let mut r = Reasoner::new(&n);
+        r.add_str("K[λ] ->> K[L(C)]").unwrap();
+        // a set from some other universe: 7 atoms instead of 5
+        let foreign = AtomSet::from_indices(7, [0, 1]);
+        assert!(matches!(
+            r.dependency_basis_governed(&foreign, &Budget::unlimited()),
+            Err(ClosureError::Algebra(AlgebraError::CapacityMismatch {
+                have: 7,
+                want: 5,
+            }))
+        ));
+        // batch: degrades per-item with a typed Invalid, valid items answer
+        let good = AtomSet::from_indices(5, [0, 1]);
+        let items =
+            r.dependency_basis_batch_governed(&[foreign, good.clone()], &Budget::unlimited());
+        assert!(matches!(&items[0], Err(QueryError::Invalid { message })
+            if message.contains("capacity")));
         assert_eq!(*items[1].as_ref().unwrap(), r.dependency_basis(&good));
     }
 

@@ -23,6 +23,7 @@ pub mod certify;
 pub mod closure;
 pub mod decide;
 pub mod reference;
+mod steal;
 pub mod trace;
 pub mod witness;
 pub mod worklist;
@@ -33,7 +34,9 @@ pub use closure::{
     closure_and_basis_paper_governed, closure_and_basis_traced, ClosureError, DependencyBasis,
     Trace,
 };
-pub use decide::{implies, CacheStats, Evidence, QueryError, Reasoner, ReasonerError};
+pub use decide::{
+    default_batch_threads, implies, CacheStats, Evidence, QueryError, Reasoner, ReasonerError,
+};
 pub use witness::{refute, Witness, WitnessError};
 pub use worklist::{
     closure_and_basis_worklist_run_governed, closure_and_basis_worklist_run_observed,

@@ -94,13 +94,21 @@ pub enum Counter {
     ChaseTuples,
     /// Queries evaluated through the batch planner.
     BatchQueries,
+    /// Planner groups a batch worker took from another worker's queue.
+    BatchSteals,
+    /// Planner groups a batch worker took from its own local queue
+    /// (shard-affine work that stayed where it was seeded).
+    BatchLocalHits,
+    /// Effective worker count, added once per planned batch run (the
+    /// requested thread count clamped to the number of planner groups).
+    BatchThreads,
     /// Budget fuel spent, flushed once at the end of a governed run.
     FuelSpent,
 }
 
 impl Counter {
     /// Every counter, in declaration (and serialization) order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 14] = [
         Counter::DepsFired,
         Counter::WorklistSteps,
         Counter::AtomsAllocated,
@@ -111,6 +119,9 @@ impl Counter {
         Counter::ChaseRounds,
         Counter::ChaseTuples,
         Counter::BatchQueries,
+        Counter::BatchSteals,
+        Counter::BatchLocalHits,
+        Counter::BatchThreads,
         Counter::FuelSpent,
     ];
 
@@ -128,6 +139,9 @@ impl Counter {
             Counter::ChaseRounds => "chase_rounds",
             Counter::ChaseTuples => "chase_tuples",
             Counter::BatchQueries => "batch_queries",
+            Counter::BatchSteals => "batch_steals",
+            Counter::BatchLocalHits => "batch_local_hits",
+            Counter::BatchThreads => "batch_threads",
             Counter::FuelSpent => "fuel_spent",
         }
     }
