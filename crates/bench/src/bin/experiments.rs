@@ -375,6 +375,89 @@ fn certificates() {
         fmt_nanos(t),
         fmt_nanos(plain)
     );
+
+    // the portable wire format: serialized certificate size, and the
+    // cost of *checking* a certificate (nalist-check, no engine) vs
+    // *proving* the answer from scratch
+    use nalist::check::{verify, Certificate};
+    use nalist::membership::cert::{implied_certificate, refuted_certificate};
+    use nalist::prelude::Budget;
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let n = nalist::gen::attr_with_atoms(&mut rng, 8);
+    let alg = Algebra::new(&n);
+    let sigma = nalist::gen::random_sigma(
+        &mut rng,
+        &alg,
+        &nalist::gen::SigmaConfig {
+            count: 4,
+            ..Default::default()
+        },
+    );
+    let schema_src = n.to_string();
+    let deps_src = nalist::gen::render_sigma(&alg, &sigma);
+    let mut implied_targets = Vec::new();
+    let mut docs = Vec::new();
+    let (mut pos_bytes, mut neg_bytes, mut pos, mut neg) = (0usize, 0usize, 0usize, 0usize);
+    for _ in 0..50 {
+        let target = nalist::gen::random_dep(&mut rng, &alg, 0.4, 0.5);
+        let cert = match nalist::membership::refute(&alg, &sigma, &target)
+            .expect("benchmark workloads stay within witness limits")
+        {
+            Some(witness) => {
+                let c = refuted_certificate(&alg, &sigma, &target, &witness);
+                neg_bytes += c.to_json().len();
+                neg += 1;
+                c
+            }
+            None => {
+                let dag = nalist::membership::certify(&alg, &sigma, &target)
+                    .expect("implied targets certify")
+                    .expect("implied answers carry a proof");
+                let c = implied_certificate(&alg, &sigma, &target, &dag);
+                pos_bytes += c.to_json().len();
+                pos += 1;
+                implied_targets.push(target);
+                c
+            }
+        };
+        docs.push(cert);
+    }
+    println!(
+        "wire format (|N| = 8, |Σ| = 4): mean {} B per positive certificate ({pos}), \
+         mean {} B per negative certificate ({neg})",
+        pos_bytes.checked_div(pos).unwrap_or(0),
+        neg_bytes.checked_div(neg).unwrap_or(0)
+    );
+    let budget = Budget::unlimited();
+    let t_check = median_nanos(5, || {
+        for cert in &docs {
+            std::hint::black_box(
+                verify(&schema_src, &deps_src, cert, &budget)
+                    .expect("emitted certificates are accepted"),
+            );
+        }
+    }) / docs.len() as u128;
+    let t_prove = median_nanos(5, || {
+        for target in &implied_targets {
+            std::hint::black_box(
+                nalist::membership::certify(&alg, &sigma, target).expect("certify"),
+            );
+        }
+    }) / implied_targets.len().max(1) as u128;
+    let t_parse = median_nanos(5, || {
+        for cert in &docs {
+            std::hint::black_box(Certificate::from_json(&cert.to_json()).expect("round trip"));
+        }
+    }) / docs.len() as u128;
+    println!(
+        "trusted checker: {} per certificate (+ {} JSON parse) vs {} to prove from \
+         scratch — the replay pays for re-parsing every rendered notation, the \
+         price of not trusting the engine's compiled state",
+        fmt_nanos(t_check),
+        fmt_nanos(t_parse),
+        fmt_nanos(t_prove)
+    );
 }
 
 // ------------------------------------------------------------------ E-OBS

@@ -1,0 +1,538 @@
+//! The versioned JSON certificate format (version 1).
+//!
+//! A certificate is a self-contained, re-parseable record of one engine
+//! answer. All attributes, subattributes, dependencies and tuples are
+//! rendered in the paper's abbreviated notation, so the checker can
+//! recompile them against the schema it was handed and compare compiled
+//! values — a certificate produced against one schema cannot silently
+//! check against another.
+//!
+//! ```json
+//! {
+//!   "format": "nalist-certificate",
+//!   "version": 1,
+//!   "schema": "L(A, B, C)",
+//!   "sigma": ["L(A) -> L(B)", "L(B) -> L(C)"],
+//!   "statement": {"type": "implies", "dep": "L(A) -> L(C)"},
+//!   "verdict": "implied",
+//!   "derivation": [
+//!     {"premise": 0},
+//!     {"premise": 1},
+//!     {"rule": "fd-transitivity", "inputs": [0, 1], "params": [],
+//!      "conclusion": "L(A) -> L(C)"}
+//!   ]
+//! }
+//! ```
+//!
+//! *Versioning policy:* `version` is bumped on any change that alters
+//! how an existing field is interpreted; adding new optional fields does
+//! not bump it. Rule ids ([`nalist_deps::rules::Rule::id`]) are part of
+//! the format contract and are never repurposed.
+//!
+//! Negative answers replace `derivation` content with a `witness`
+//! (Theorem 4.4): `tuples[0]` and the last tuple are the two generator
+//! tuples, and the instance as a whole satisfies `Σ` while violating the
+//! statement. `dependency_basis` answers add a `basis` object pointing
+//! at the derivation nodes that prove the closure FD and each block MVD.
+
+use nalist_types::json::{self, Json};
+
+/// The `format` field every certificate must carry.
+pub const FORMAT_NAME: &str = "nalist-certificate";
+
+/// The current (and only) format version.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// What the certificate claims about `Σ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Statement {
+    /// `Σ ⊨ dep` (or its refutation, per [`Verdict`]).
+    Implies {
+        /// The queried dependency, rendered.
+        dep: String,
+    },
+    /// The dependency basis `DepB(lhs)` was computed.
+    Basis {
+        /// The queried left-hand side, rendered.
+        lhs: String,
+    },
+}
+
+/// The engine's answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// `Σ ⊨ σ`; the derivation proves it.
+    Implied,
+    /// `Σ ⊭ σ`; the witness refutes it.
+    NotImplied,
+    /// A dependency basis was derived; the `basis` object maps each part
+    /// to its proving node.
+    Derived,
+}
+
+impl Verdict {
+    /// The wire string of this verdict.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Implied => "implied",
+            Verdict::NotImplied => "not-implied",
+            Verdict::Derived => "derived",
+        }
+    }
+
+    /// Parses a wire string.
+    pub fn from_str_opt(s: &str) -> Option<Verdict> {
+        match s {
+            "implied" => Some(Verdict::Implied),
+            "not-implied" => Some(Verdict::NotImplied),
+            "derived" => Some(Verdict::Derived),
+            _ => None,
+        }
+    }
+}
+
+/// One derivation node: a premise citation or a rule application. Step
+/// inputs refer to earlier nodes by index (the derivation is in
+/// topological order, exactly like [`nalist_deps::proof::ProofDag`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertNode {
+    /// Cites `Σ[index]` — the dependency itself is *not* embedded; the
+    /// checker resolves the index against the `Σ` it was handed.
+    Premise {
+        /// Index into `Σ`.
+        index: usize,
+    },
+    /// An application of a Theorem 4.6 rule.
+    Step {
+        /// Stable rule id ([`nalist_deps::rules::Rule::id`]).
+        rule: String,
+        /// Indices of earlier nodes supplying the rule's premises.
+        inputs: Vec<usize>,
+        /// Rendered subattribute parameters of the rule instance.
+        params: Vec<String>,
+        /// The recorded conclusion (re-derived and compared by the
+        /// checker).
+        conclusion: String,
+    },
+}
+
+/// The Theorem 4.4 counterexample: a finite instance satisfying `Σ` and
+/// violating the statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WitnessData {
+    /// Number of free dependency-basis blocks; the instance has
+    /// `2^free_blocks` tuples.
+    pub free_blocks: usize,
+    /// Index of the all-`t1` generator tuple (always the first).
+    pub t1: usize,
+    /// Index of the all-`t2` generator tuple (always the last).
+    pub t2: usize,
+    /// The tuples, rendered in value notation.
+    pub tuples: Vec<String>,
+}
+
+/// For `Verdict::Derived`: which derivation nodes prove each part of the
+/// dependency basis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasisData {
+    /// `X⁺`, rendered.
+    pub closure: String,
+    /// The partition blocks `X^M`, rendered.
+    pub blocks: Vec<String>,
+    /// Node proving `X → X⁺`.
+    pub closure_node: usize,
+    /// For each block `W` (same order as `blocks`), the node proving
+    /// `X ↠ W`.
+    pub block_nodes: Vec<usize>,
+}
+
+/// A parsed certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// The schema `N`, rendered.
+    pub schema: String,
+    /// `Σ`, rendered one dependency per entry, in file order.
+    pub sigma: Vec<String>,
+    /// The certified claim.
+    pub statement: Statement,
+    /// The engine's answer.
+    pub verdict: Verdict,
+    /// Numbered derivation (empty for refutations).
+    pub derivation: Vec<CertNode>,
+    /// Counterexample, present iff `verdict` is `not-implied`.
+    pub witness: Option<WitnessData>,
+    /// Basis node map, present iff `verdict` is `derived`.
+    pub basis: Option<BasisData>,
+}
+
+/// Why a certificate document could not be read. All variants are
+/// *file-level* problems (exit code 2 at the CLI): the bytes do not form
+/// a version-1 certificate at all. Semantic problems with a well-formed
+/// certificate are [`crate::verify::CheckError`]s instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// The document is not valid JSON.
+    Json {
+        /// Parser detail (position + description).
+        detail: String,
+    },
+    /// The `format` field is missing or not [`FORMAT_NAME`].
+    NotACertificate,
+    /// The `version` field names a version this checker does not speak.
+    Version {
+        /// The version found (0 when missing/non-numeric).
+        found: u64,
+    },
+    /// A required field is missing or has the wrong type.
+    Field {
+        /// Dotted path of the offending field.
+        field: &'static str,
+    },
+    /// A derivation node is neither a premise citation nor a step.
+    Node {
+        /// Index of the malformed node.
+        node: usize,
+    },
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::Json { detail } => write!(f, "not valid JSON: {detail}"),
+            FormatError::NotACertificate => {
+                write!(f, "missing `\"format\": \"{FORMAT_NAME}\"` marker")
+            }
+            FormatError::Version { found } => write!(
+                f,
+                "unsupported certificate version {found} (this checker speaks {FORMAT_VERSION})"
+            ),
+            FormatError::Field { field } => write!(f, "missing or ill-typed field `{field}`"),
+            FormatError::Node { node } => write!(f, "derivation node {node} is malformed"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+fn str_field(obj: &Json, field: &'static str) -> Result<String, FormatError> {
+    obj.get(field.rsplit('.').next().unwrap_or(field))
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or(FormatError::Field { field })
+}
+
+fn usize_field(obj: &Json, field: &'static str) -> Result<usize, FormatError> {
+    obj.get(field.rsplit('.').next().unwrap_or(field))
+        .and_then(Json::as_usize)
+        .ok_or(FormatError::Field { field })
+}
+
+fn str_arr(obj: &Json, field: &'static str) -> Result<Vec<String>, FormatError> {
+    let items = obj
+        .get(field.rsplit('.').next().unwrap_or(field))
+        .and_then(Json::as_arr)
+        .ok_or(FormatError::Field { field })?;
+    items
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_owned)
+                .ok_or(FormatError::Field { field })
+        })
+        .collect()
+}
+
+fn usize_arr(obj: &Json, field: &'static str) -> Result<Vec<usize>, FormatError> {
+    let items = obj
+        .get(field.rsplit('.').next().unwrap_or(field))
+        .and_then(Json::as_arr)
+        .ok_or(FormatError::Field { field })?;
+    items
+        .iter()
+        .map(|v| v.as_usize().ok_or(FormatError::Field { field }))
+        .collect()
+}
+
+impl Certificate {
+    /// Parses a certificate document.
+    pub fn from_json(src: &str) -> Result<Certificate, FormatError> {
+        let doc = json::parse(src).map_err(|detail| FormatError::Json { detail })?;
+        if doc.get("format").and_then(Json::as_str) != Some(FORMAT_NAME) {
+            return Err(FormatError::NotACertificate);
+        }
+        let version = doc
+            .get("version")
+            .and_then(Json::as_usize)
+            .map_or(0, |v| v as u64);
+        if version != FORMAT_VERSION {
+            return Err(FormatError::Version { found: version });
+        }
+
+        let statement_obj = doc
+            .get("statement")
+            .ok_or(FormatError::Field { field: "statement" })?;
+        let statement = match statement_obj.get("type").and_then(Json::as_str) {
+            Some("implies") => Statement::Implies {
+                dep: str_field(statement_obj, "statement.dep")?,
+            },
+            Some("basis") => Statement::Basis {
+                lhs: str_field(statement_obj, "statement.lhs")?,
+            },
+            _ => {
+                return Err(FormatError::Field {
+                    field: "statement.type",
+                })
+            }
+        };
+
+        let verdict = doc
+            .get("verdict")
+            .and_then(Json::as_str)
+            .and_then(Verdict::from_str_opt)
+            .ok_or(FormatError::Field { field: "verdict" })?;
+
+        let nodes = doc
+            .get("derivation")
+            .and_then(Json::as_arr)
+            .ok_or(FormatError::Field {
+                field: "derivation",
+            })?;
+        let mut derivation = Vec::with_capacity(nodes.len());
+        for (i, node) in nodes.iter().enumerate() {
+            if let Some(index) = node.get("premise") {
+                let index = index.as_usize().ok_or(FormatError::Node { node: i })?;
+                derivation.push(CertNode::Premise { index });
+            } else if node.get("rule").is_some() {
+                derivation.push(CertNode::Step {
+                    rule: str_field(node, "derivation.rule")?,
+                    inputs: usize_arr(node, "derivation.inputs")?,
+                    params: str_arr(node, "derivation.params")?,
+                    conclusion: str_field(node, "derivation.conclusion")?,
+                });
+            } else {
+                return Err(FormatError::Node { node: i });
+            }
+        }
+
+        let witness = match doc.get("witness") {
+            None | Some(Json::Null) => None,
+            Some(w) => Some(WitnessData {
+                free_blocks: usize_field(w, "witness.free_blocks")?,
+                t1: usize_field(w, "witness.t1")?,
+                t2: usize_field(w, "witness.t2")?,
+                tuples: str_arr(w, "witness.tuples")?,
+            }),
+        };
+
+        let basis = match doc.get("basis") {
+            None | Some(Json::Null) => None,
+            Some(b) => Some(BasisData {
+                closure: str_field(b, "basis.closure")?,
+                blocks: str_arr(b, "basis.blocks")?,
+                closure_node: usize_field(b, "basis.closure_node")?,
+                block_nodes: usize_arr(b, "basis.block_nodes")?,
+            }),
+        };
+
+        Ok(Certificate {
+            schema: str_field(&doc, "schema")?,
+            sigma: str_arr(&doc, "sigma")?,
+            statement,
+            verdict,
+            derivation,
+            witness,
+            basis,
+        })
+    }
+
+    /// Builds the JSON document tree for this certificate.
+    pub fn to_json_value(&self) -> Json {
+        let mut fields = vec![
+            ("format".to_owned(), Json::Str(FORMAT_NAME.to_owned())),
+            ("version".to_owned(), Json::Num(FORMAT_VERSION as f64)),
+            ("schema".to_owned(), Json::Str(self.schema.clone())),
+            (
+                "sigma".to_owned(),
+                Json::Arr(self.sigma.iter().cloned().map(Json::Str).collect()),
+            ),
+            (
+                "statement".to_owned(),
+                match &self.statement {
+                    Statement::Implies { dep } => Json::Obj(vec![
+                        ("type".to_owned(), Json::Str("implies".to_owned())),
+                        ("dep".to_owned(), Json::Str(dep.clone())),
+                    ]),
+                    Statement::Basis { lhs } => Json::Obj(vec![
+                        ("type".to_owned(), Json::Str("basis".to_owned())),
+                        ("lhs".to_owned(), Json::Str(lhs.clone())),
+                    ]),
+                },
+            ),
+            (
+                "verdict".to_owned(),
+                Json::Str(self.verdict.as_str().to_owned()),
+            ),
+            (
+                "derivation".to_owned(),
+                Json::Arr(
+                    self.derivation
+                        .iter()
+                        .map(|node| match node {
+                            CertNode::Premise { index } => {
+                                Json::Obj(vec![("premise".to_owned(), Json::Num(*index as f64))])
+                            }
+                            CertNode::Step {
+                                rule,
+                                inputs,
+                                params,
+                                conclusion,
+                            } => Json::Obj(vec![
+                                ("rule".to_owned(), Json::Str(rule.clone())),
+                                (
+                                    "inputs".to_owned(),
+                                    Json::Arr(
+                                        inputs.iter().map(|&i| Json::Num(i as f64)).collect(),
+                                    ),
+                                ),
+                                (
+                                    "params".to_owned(),
+                                    Json::Arr(params.iter().cloned().map(Json::Str).collect()),
+                                ),
+                                ("conclusion".to_owned(), Json::Str(conclusion.clone())),
+                            ]),
+                        })
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(w) = &self.witness {
+            fields.push((
+                "witness".to_owned(),
+                Json::Obj(vec![
+                    ("free_blocks".to_owned(), Json::Num(w.free_blocks as f64)),
+                    ("t1".to_owned(), Json::Num(w.t1 as f64)),
+                    ("t2".to_owned(), Json::Num(w.t2 as f64)),
+                    (
+                        "tuples".to_owned(),
+                        Json::Arr(w.tuples.iter().cloned().map(Json::Str).collect()),
+                    ),
+                ]),
+            ));
+        }
+        if let Some(b) = &self.basis {
+            fields.push((
+                "basis".to_owned(),
+                Json::Obj(vec![
+                    ("closure".to_owned(), Json::Str(b.closure.clone())),
+                    (
+                        "blocks".to_owned(),
+                        Json::Arr(b.blocks.iter().cloned().map(Json::Str).collect()),
+                    ),
+                    ("closure_node".to_owned(), Json::Num(b.closure_node as f64)),
+                    (
+                        "block_nodes".to_owned(),
+                        Json::Arr(b.block_nodes.iter().map(|&i| Json::Num(i as f64)).collect()),
+                    ),
+                ]),
+            ));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Renders the certificate as a JSON document (compact, one line).
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Certificate {
+        Certificate {
+            schema: "L(A, B, C)".to_owned(),
+            sigma: vec!["L(A) -> L(B)".to_owned(), "L(B) -> L(C)".to_owned()],
+            statement: Statement::Implies {
+                dep: "L(A) -> L(C)".to_owned(),
+            },
+            verdict: Verdict::Implied,
+            derivation: vec![
+                CertNode::Premise { index: 0 },
+                CertNode::Premise { index: 1 },
+                CertNode::Step {
+                    rule: "fd-transitivity".to_owned(),
+                    inputs: vec![0, 1],
+                    params: vec![],
+                    conclusion: "L(A) -> L(C)".to_owned(),
+                },
+            ],
+            witness: None,
+            basis: None,
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let cert = sample();
+        let doc = cert.to_json();
+        assert_eq!(Certificate::from_json(&doc).unwrap(), cert);
+    }
+
+    #[test]
+    fn witness_and_basis_round_trip() {
+        let mut cert = sample();
+        cert.verdict = Verdict::NotImplied;
+        cert.derivation.clear();
+        cert.witness = Some(WitnessData {
+            free_blocks: 1,
+            t1: 0,
+            t2: 1,
+            tuples: vec!["(a, b, c)".to_owned(), "(a, b, d)".to_owned()],
+        });
+        let doc = cert.to_json();
+        assert_eq!(Certificate::from_json(&doc).unwrap(), cert);
+
+        let mut cert2 = sample();
+        cert2.verdict = Verdict::Derived;
+        cert2.statement = Statement::Basis {
+            lhs: "L(A)".to_owned(),
+        };
+        cert2.basis = Some(BasisData {
+            closure: "L(A, B)".to_owned(),
+            blocks: vec!["L(C)".to_owned()],
+            closure_node: 2,
+            block_nodes: vec![1],
+        });
+        let doc2 = cert2.to_json();
+        assert_eq!(Certificate::from_json(&doc2).unwrap(), cert2);
+    }
+
+    #[test]
+    fn rejects_foreign_and_future_documents() {
+        assert!(matches!(
+            Certificate::from_json("not json at all"),
+            Err(FormatError::Json { .. })
+        ));
+        assert_eq!(
+            Certificate::from_json("{}"),
+            Err(FormatError::NotACertificate)
+        );
+        let future = sample()
+            .to_json()
+            .replace("\"version\": 1", "\"version\": 99");
+        assert_eq!(
+            Certificate::from_json(&future),
+            Err(FormatError::Version { found: 99 })
+        );
+    }
+
+    #[test]
+    fn rejects_missing_fields() {
+        let doc = sample().to_json();
+        for field in ["schema", "sigma", "verdict", "derivation", "statement"] {
+            let broken = doc.replace(&format!("\"{field}\""), "\"renamed\"");
+            assert!(Certificate::from_json(&broken).is_err(), "{field}");
+        }
+    }
+}

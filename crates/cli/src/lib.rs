@@ -8,7 +8,9 @@
 //! table drives the dispatcher, `usage_text()` and `nalist help`):
 //!
 //! ```text
-//! nalist check     <schema> <deps-file> <dependency>   decide Σ ⊨ σ (witness on "no")
+//! nalist decide    <schema> <deps-file> <dependency>   decide Σ ⊨ σ (witness on "no")
+//! nalist check     <schema> <deps-file> <cert-file>    verify a proof certificate without
+//!                                                      the engine (trusted checker)
 //! nalist batch     <schema> <deps-file> <queries-file> [--threads N]
 //!                                                      decide Σ ⊨ σ for many σ in parallel
 //! nalist replay    <schema> <script-file>              replay a Σ edit script (add/remove/
@@ -52,9 +54,15 @@
 //! `--trace`, `batch` additionally reports a per-query timing
 //! breakdown.
 //!
+//! `nalist decide`, `nalist prove` and `nalist basis` additionally
+//! accept `--cert <path>`: on success they write a portable JSON proof
+//! certificate (format documented in the `nalist-check` crate) that
+//! `nalist check` can later verify without re-running the engine.
+//!
 //! Exit codes: 0 success, 1 domain error (refuted query, lint findings,
-//! malformed spec contents), 2 usage or file-access error (also: an
-//! invalid proof-rule instance surfaced by `prove`), 3 resource
+//! malformed spec contents, rejected certificate), 2 usage or
+//! file-access error (also: an invalid proof-rule instance surfaced by
+//! `prove`, or an unreadable certificate document), 3 resource
 //! exhaustion.
 
 #![forbid(unsafe_code)]
@@ -151,9 +159,14 @@ pub struct CommandSpec {
 /// with the dispatcher again.
 pub const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
-        name: "check",
-        synopsis: "<schema> <deps-file> <dependency>",
+        name: "decide",
+        synopsis: "<schema> <deps-file> <dependency> [--cert <path>]",
         summary: "decide Σ ⊨ σ; prints a counterexample database on \"no\"",
+    },
+    CommandSpec {
+        name: "check",
+        synopsis: "<schema> <deps-file> <cert-file> [--format json]",
+        summary: "verify a proof certificate against Σ without the engine",
     },
     CommandSpec {
         name: "batch",
@@ -167,7 +180,7 @@ pub const COMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         name: "prove",
-        synopsis: "<schema> <deps-file> <dependency>",
+        synopsis: "<schema> <deps-file> <dependency> [--cert <path>]",
         summary: "emit a machine-checked derivation in the 14-rule system",
     },
     CommandSpec {
@@ -177,7 +190,7 @@ pub const COMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         name: "basis",
-        synopsis: "<schema> <deps-file> <subattr>",
+        synopsis: "<schema> <deps-file> <subattr> [--cert <path>]",
         summary: "dependency basis DepB(X)",
     },
     CommandSpec {
@@ -202,7 +215,7 @@ pub const COMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         name: "lint",
-        synopsis: "<schema> <deps-file> [--deny warnings] [--format json]",
+        synopsis: "<schema> <deps-file> [--deny warnings] [--format json] [--explain <rule>]",
         summary: "static analysis of the spec (rules L001–L009, with fix-its)",
     },
     CommandSpec {
@@ -646,7 +659,8 @@ fn dispatch(
         CliError::usage(format!("unknown command `{cmd}`{hint}"))
     })?;
     match (cmd, rest) {
-        ("check", [schema, deps, dep]) => {
+        ("decide", [schema, deps, dep, flags @ ..]) => {
+            let cert_path = parse_cert_flag("decide", flags)?;
             let r = load_reasoner(files, schema, deps, budget, rec)?;
             let alg = r.algebra();
             let target = Dependency::parse_with(r.attr(), dep, ParseLimits::from_budget(budget))
@@ -654,7 +668,14 @@ fn dispatch(
                 .compile(alg)
                 .map_err(CliError::domain)?;
             checkpoint(budget)?;
-            match refute(alg, r.compiled_sigma(), &target).map_err(CliError::domain)? {
+            let refutation = nalist::membership::witness::refute_governed(
+                alg,
+                r.compiled_sigma(),
+                &target,
+                budget,
+            )
+            .map_err(witness_error)?;
+            match &refutation {
                 None => {
                     writeln!(out, "IMPLIED: Σ ⊨ {}", target.render(alg)).unwrap();
                 }
@@ -669,6 +690,88 @@ fn dispatch(
                     for t in w.instance.iter() {
                         writeln!(out, "  {t}").unwrap();
                     }
+                }
+            }
+            if let Some(path) = cert_path {
+                let cert = match &refutation {
+                    None => {
+                        let dag = nalist::membership::certify_governed(
+                            alg,
+                            r.compiled_sigma(),
+                            &target,
+                            budget,
+                        )
+                        .map_err(certify_error)?
+                        .ok_or_else(|| {
+                            CliError::domain("internal: implied but no derivation found")
+                        })?;
+                        nalist::membership::cert::implied_certificate(
+                            alg,
+                            r.compiled_sigma(),
+                            &target,
+                            &dag,
+                        )
+                    }
+                    Some(w) => nalist::membership::cert::refuted_certificate(
+                        alg,
+                        r.compiled_sigma(),
+                        &target,
+                        w,
+                    ),
+                };
+                write_certificate(files, path, &cert, &mut out)?;
+            }
+        }
+        ("check", [schema, deps, cert_file, flags @ ..]) => {
+            let format = parse_check_flags(flags)?;
+            let deps_src = files.read(deps).map_err(CliError::file)?;
+            let cert_src = files.read(cert_file).map_err(CliError::file)?;
+            let cert = Certificate::from_json(&cert_src).map_err(|e| CliError {
+                message: format!("{cert_file}: {e}"),
+                code: 2,
+            })?;
+            let token = rec.enter(site::CHECK_VERIFY, cert.derivation.len() as u64);
+            let result = check_certificate(schema, &deps_src, &cert, budget);
+            rec.exit(token, u64::from(result.is_ok()));
+            match result {
+                Ok(report) => {
+                    rec.add(Counter::CertNodes, report.nodes as u64);
+                    rec.add(Counter::CertTuples, report.tuples as u64);
+                    match format {
+                        CheckFormat::Human => {
+                            writeln!(
+                                out,
+                                "ACCEPTED: certificate verifies ({})",
+                                report.verdict.as_str()
+                            )
+                            .unwrap();
+                            writeln!(out, "statement: {}", report.statement).unwrap();
+                            writeln!(
+                                out,
+                                "replayed {} derivation node(s), re-checked {} tuple(s)",
+                                report.nodes, report.tuples
+                            )
+                            .unwrap();
+                        }
+                        CheckFormat::Json => {
+                            out.push_str(&render_check_json(Ok(&report)));
+                            out.push('\n');
+                        }
+                    }
+                }
+                Err(e) => {
+                    let code = if e.is_resource() {
+                        EXIT_RESOURCE
+                    } else if e.is_input_error() {
+                        2
+                    } else {
+                        1
+                    };
+                    let message = match format {
+                        CheckFormat::Human => format!("REJECTED: {e}"),
+                        CheckFormat::Json => render_check_json(Err(&e)),
+                    };
+                    return Err(CliError { message, code });
                 }
             }
         }
@@ -796,7 +899,8 @@ fn dispatch(
             )
             .unwrap();
         }
-        ("prove", [schema, deps, dep]) => {
+        ("prove", [schema, deps, dep, flags @ ..]) => {
+            let cert_path = parse_cert_flag("prove", flags)?;
             let r = load_reasoner(files, schema, deps, budget, rec)?;
             let alg = r.algebra();
             let target = Dependency::parse_with(r.attr(), dep, ParseLimits::from_budget(budget))
@@ -805,12 +909,8 @@ fn dispatch(
                 .map_err(CliError::domain)?;
             checkpoint(budget)?;
             let proof =
-                nalist::membership::certify(alg, r.compiled_sigma(), &target).map_err(|e| {
-                    CliError {
-                        message: e.to_string(),
-                        code: 2,
-                    }
-                })?;
+                nalist::membership::certify_governed(alg, r.compiled_sigma(), &target, budget)
+                    .map_err(certify_error)?;
             match proof {
                 None => {
                     writeln!(
@@ -819,6 +919,25 @@ fn dispatch(
                         target.render(alg)
                     )
                     .unwrap();
+                    if let Some(path) = cert_path {
+                        let w = nalist::membership::witness::refute_governed(
+                            alg,
+                            r.compiled_sigma(),
+                            &target,
+                            budget,
+                        )
+                        .map_err(witness_error)?
+                        .ok_or_else(|| {
+                            CliError::domain("internal: not implied but no witness found")
+                        })?;
+                        let cert = nalist::membership::cert::refuted_certificate(
+                            alg,
+                            r.compiled_sigma(),
+                            &target,
+                            &w,
+                        );
+                        write_certificate(files, path, &cert, &mut out)?;
+                    }
                 }
                 Some(dag) => {
                     dag.check(alg, r.compiled_sigma()).map_err(|e| {
@@ -831,6 +950,15 @@ fn dispatch(
                     )
                     .unwrap();
                     out.push_str(&dag.render(alg));
+                    if let Some(path) = cert_path {
+                        let cert = nalist::membership::cert::implied_certificate(
+                            alg,
+                            r.compiled_sigma(),
+                            &target,
+                            &dag,
+                        );
+                        write_certificate(files, path, &cert, &mut out)?;
+                    }
                 }
             }
         }
@@ -847,7 +975,14 @@ fn dispatch(
             )
             .unwrap();
         }
-        ("basis" | "trace", [schema, deps, sub]) => {
+        ("basis" | "trace", [schema, deps, sub, flags @ ..]) => {
+            let cert_path = if cmd == "basis" {
+                parse_cert_flag("basis", flags)?
+            } else if flags.is_empty() {
+                None
+            } else {
+                return Err(CliError::usage("unknown flags for trace"));
+            };
             let r = load_reasoner(files, schema, deps, budget, rec)?;
             let alg = r.algebra();
             let x = nalist::types::parser::parse_subattr_of_with(
@@ -873,6 +1008,22 @@ fn dispatch(
                 writeln!(out, "DepB(X) ({} elements):", basis.basis.len()).unwrap();
                 for b in &basis.basis {
                     writeln!(out, "  {}", alg.render(b)).unwrap();
+                }
+                if let Some(path) = cert_path {
+                    let cb = nalist::membership::certified_closure_and_basis_governed(
+                        alg,
+                        r.compiled_sigma(),
+                        &xs,
+                        budget,
+                    )
+                    .map_err(certify_error)?;
+                    let cert = nalist::membership::cert::basis_certificate(
+                        alg,
+                        r.compiled_sigma(),
+                        &xs,
+                        &cb,
+                    );
+                    write_certificate(files, path, &cert, &mut out)?;
                 }
             }
         }
@@ -1027,6 +1178,9 @@ fn dispatch(
                 _ => return Err(CliError::usage("unknown flag for lattice")),
             }
         }
+        ("lint", [flag, rule]) if flag == "--explain" => {
+            out.push_str(&explain_rule(rule)?);
+        }
         ("lint", [schema, deps, flags @ ..]) => {
             let (deny_warnings, format) = parse_lint_flags(flags)?;
             let deps_src = files.read(deps).map_err(CliError::file)?;
@@ -1068,7 +1222,24 @@ fn dispatch(
                 }
                 writeln!(
                     out,
-                    "\n  exit code 0 when clean; 1 on any error, or on any warning\n  under --deny warnings (diagnostics then go to stderr)."
+                    "\n  exit code 0 when clean; 1 on any error, or on any warning\n  under --deny warnings (diagnostics then go to stderr).\n\n  `nalist lint --explain <rule>` prints the paper citation for one\n  rule — an L-code above, or a certificate rule id such as\n  `mixed-meet` (see `nalist help check`)."
+                )
+                .unwrap();
+            }
+            if t.name == "check" {
+                writeln!(
+                    out,
+                    "\n  Verifies a certificate produced by `nalist decide`, `nalist prove`\n  or `nalist basis` with `--cert <path>`. The checker replays the\n  derivation rule by rule (or re-checks the counterexample instance\n  tuple by tuple) against the schema and Σ given on the command\n  line — it never trusts, or even links, the engine that produced\n  the certificate.\n\n  flags:\n    --format json|human   machine-readable verdict on stdout\n\n  exit codes: 0 certificate accepted; 1 rejected; 2 unreadable\n  schema, deps or certificate file; 3 budget exhausted.\n\n  derivation rule ids (stable across versions):"
+                )
+                .unwrap();
+                for r in nalist::deps::rules::ALL_RULES {
+                    writeln!(out, "    {:<22} {}", r.id(), r.cite()).unwrap();
+                }
+            }
+            if t.name == "decide" || t.name == "prove" || t.name == "basis" {
+                writeln!(
+                    out,
+                    "\n  `--cert <path>` additionally writes a portable JSON proof\n  certificate that `nalist check` verifies independently of this\n  engine."
                 )
                 .unwrap();
             }
@@ -1084,6 +1255,117 @@ fn dispatch(
         }
     }
     Ok(out)
+}
+
+/// Maps a [`WitnessError`], routing budget exhaustion to exit code 3.
+fn witness_error(e: WitnessError) -> CliError {
+    match e {
+        WitnessError::Resource(r) => CliError::resource(r),
+        other => CliError::domain(other),
+    }
+}
+
+/// Maps a [`CertifyError`]: budget exhaustion exits 3; everything else
+/// means certificate construction itself failed (exit 2, matching the
+/// `prove` contract — the input never produced a sound derivation).
+fn certify_error(e: CertifyError) -> CliError {
+    match e {
+        CertifyError::Resource(r) => CliError::resource(r),
+        other => CliError {
+            message: other.to_string(),
+            code: 2,
+        },
+    }
+}
+
+/// Extracts the optional trailing `--cert <path>` flag.
+fn parse_cert_flag<'a>(cmd: &str, flags: &'a [String]) -> Result<Option<&'a String>, CliError> {
+    match flags {
+        [] => Ok(None),
+        [flag, path] if flag == "--cert" => Ok(Some(path)),
+        _ => Err(CliError::usage(format!(
+            "unknown flags for {cmd} (expected --cert <path>)"
+        ))),
+    }
+}
+
+/// Serialises and writes a certificate, reporting the path in `out`.
+fn write_certificate(
+    files: &dyn Files,
+    path: &str,
+    cert: &Certificate,
+    out: &mut String,
+) -> Result<(), CliError> {
+    let mut doc = cert.to_json();
+    doc.push('\n');
+    files.write(path, &doc).map_err(CliError::file)?;
+    writeln!(out, "certificate written to {path}").unwrap();
+    Ok(())
+}
+
+/// Output format for `nalist check`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CheckFormat {
+    Human,
+    Json,
+}
+
+fn parse_check_flags(flags: &[String]) -> Result<CheckFormat, CliError> {
+    match flags {
+        [] => Ok(CheckFormat::Human),
+        [flag, fmt] if flag == "--format" => match fmt.as_str() {
+            "json" => Ok(CheckFormat::Json),
+            "human" => Ok(CheckFormat::Human),
+            other => Err(CliError::usage(format!(
+                "--format takes `json` or `human`, got `{other}`"
+            ))),
+        },
+        _ => Err(CliError::usage(
+            "unknown flags for check (expected --format json|human)",
+        )),
+    }
+}
+
+/// One-line JSON verdict for `nalist check --format json`.
+fn render_check_json(result: Result<&nalist::check::Report, &CheckError>) -> String {
+    use nalist::lint::json::escape;
+    match result {
+        Ok(r) => format!(
+            "{{\"accepted\": true, \"verdict\": {}, \"statement\": {}, \"nodes\": {}, \"tuples\": {}}}",
+            escape(r.verdict.as_str()),
+            escape(&r.statement),
+            r.nodes,
+            r.tuples
+        ),
+        Err(e) => format!(
+            "{{\"accepted\": false, \"error\": {}}}",
+            escape(&e.to_string())
+        ),
+    }
+}
+
+/// `nalist lint --explain <rule>`: one paragraph on a lint rule (by
+/// `L`-code or name) or a Theorem 4.6 inference rule (by stable
+/// certificate id), with its paper citation.
+fn explain_rule(rule: &str) -> Result<String, CliError> {
+    let mut out = String::new();
+    if let Some(r) = nalist::lint::rules()
+        .iter()
+        .find(|r| r.code.eq_ignore_ascii_case(rule) || r.name == rule)
+    {
+        writeln!(out, "{} ({})", r.code, r.name).unwrap();
+        writeln!(out, "  {}", r.summary).unwrap();
+        return Ok(out);
+    }
+    if let Some(r) = nalist::deps::rules::Rule::from_id(rule) {
+        writeln!(out, "{} ({})", r.id(), r.name()).unwrap();
+        writeln!(out, "  {}", r.cite()).unwrap();
+        return Ok(out);
+    }
+    Err(CliError::usage(format!(
+        "unknown rule `{rule}` (expected an L-code like L005, a lint rule name, \
+         or an inference-rule id like mixed-meet)"
+    )))
 }
 
 /// Output format for `nalist lint`.
@@ -1254,10 +1536,10 @@ mod tests {
     }
 
     #[test]
-    fn check_implied() {
+    fn decide_implied() {
         let out = run(
             &args(&[
-                "check",
+                "decide",
                 SCHEMA,
                 "deps.txt",
                 "Pubcrawl(Person) -> Pubcrawl(Visit[λ])",
@@ -1269,10 +1551,10 @@ mod tests {
     }
 
     #[test]
-    fn check_not_implied_prints_witness() {
+    fn decide_not_implied_prints_witness() {
         let out = run(
             &args(&[
-                "check",
+                "decide",
                 SCHEMA,
                 "deps.txt",
                 "Pubcrawl(Person) -> Pubcrawl(Visit[Drink(Pub)])",
@@ -1479,10 +1761,10 @@ mod tests {
 
     #[test]
     fn wrong_arity_names_the_command() {
-        let e = run(&args(&["check", SCHEMA]), &files()).unwrap_err();
+        let e = run(&args(&["decide", SCHEMA]), &files()).unwrap_err();
         assert_eq!(e.code, 2);
         assert!(
-            e.message.contains("wrong arguments for `check`"),
+            e.message.contains("wrong arguments for `decide`"),
             "{}",
             e.message
         );
@@ -1620,7 +1902,7 @@ mod tests {
         f.0.insert("empty.txt".into(), String::new());
         let out = run(
             &args(&[
-                "check",
+                "decide",
                 SCHEMA,
                 "empty.txt",
                 "Pubcrawl(Person) -> Pubcrawl(Person)",
@@ -1638,7 +1920,7 @@ mod tests {
     #[test]
     fn global_flags_are_extracted_anywhere() {
         let (rest, _) = extract_global_flags(&args(&[
-            "check",
+            "decide",
             "--timeout",
             "5000",
             SCHEMA,
@@ -1650,11 +1932,11 @@ mod tests {
             "32",
         ]))
         .unwrap();
-        assert_eq!(rest, args(&["check", SCHEMA, "deps.txt", "x"]));
+        assert_eq!(rest, args(&["decide", SCHEMA, "deps.txt", "x"]));
         // value errors are usage errors
-        let e = extract_global_flags(&args(&["check", "--timeout"])).unwrap_err();
+        let e = extract_global_flags(&args(&["decide", "--timeout"])).unwrap_err();
         assert_eq!(e.code, 2);
-        let e = extract_global_flags(&args(&["check", "--timeout", "soon"])).unwrap_err();
+        let e = extract_global_flags(&args(&["decide", "--timeout", "soon"])).unwrap_err();
         assert_eq!(e.code, 2);
         assert!(e.message.contains("--timeout"), "{}", e.message);
     }
@@ -1759,9 +2041,9 @@ mod tests {
     #[test]
     fn trace_flag_appends_span_tree_without_changing_the_answer() {
         let query = "Pubcrawl(Person) -> Pubcrawl(Visit[λ])";
-        let plain = run(&args(&["check", SCHEMA, "deps.txt", query]), &files()).unwrap();
+        let plain = run(&args(&["decide", SCHEMA, "deps.txt", query]), &files()).unwrap();
         let traced = run(
-            &args(&["check", SCHEMA, "deps.txt", query, "--trace"]),
+            &args(&["decide", SCHEMA, "deps.txt", query, "--trace"]),
             &files(),
         )
         .unwrap();
@@ -1774,9 +2056,9 @@ mod tests {
     #[test]
     fn without_obs_flags_output_is_byte_identical_to_the_legacy_path() {
         let query = "Pubcrawl(Person) -> Pubcrawl(Visit[λ])";
-        let via_run = run(&args(&["check", SCHEMA, "deps.txt", query]), &files()).unwrap();
+        let via_run = run(&args(&["decide", SCHEMA, "deps.txt", query]), &files()).unwrap();
         let via_budget = run_with_budget(
-            &args(&["check", SCHEMA, "deps.txt", query]),
+            &args(&["decide", SCHEMA, "deps.txt", query]),
             &files(),
             &Budget::unlimited(),
         )
@@ -1788,17 +2070,17 @@ mod tests {
     #[test]
     fn metrics_flag_writes_schema_v1_json_and_keeps_output_unchanged() {
         let query = "Pubcrawl(Person) -> Pubcrawl(Visit[λ])";
-        let plain = run(&args(&["check", SCHEMA, "deps.txt", query]), &files()).unwrap();
+        let plain = run(&args(&["decide", SCHEMA, "deps.txt", query]), &files()).unwrap();
         let rw = RwFiles::new(files());
         let out = run(
-            &args(&["check", SCHEMA, "deps.txt", query, "--metrics", "m.json"]),
+            &args(&["decide", SCHEMA, "deps.txt", query, "--metrics", "m.json"]),
             &rw,
         )
         .unwrap();
         assert_eq!(out, plain);
         let doc = nalist::lint::json::parse(&rw.written("m.json")).expect("valid JSON");
         assert_eq!(doc.get("schema_version").and_then(Json::as_usize), Some(1));
-        assert_eq!(doc.get("command").and_then(Json::as_str), Some("check"));
+        assert_eq!(doc.get("command").and_then(Json::as_str), Some("decide"));
         assert_eq!(doc.get("exit_code").and_then(Json::as_usize), Some(0));
         let counters = doc.get("counters").expect("counters object");
         for c in Counter::ALL {
@@ -1823,7 +2105,7 @@ mod tests {
         let rw = RwFiles::new(files());
         let e = run(
             &args(&[
-                "check",
+                "decide",
                 SCHEMA,
                 "deps.txt",
                 "not a dependency",
@@ -1843,7 +2125,7 @@ mod tests {
         // MemFiles keeps the default read-only `write`.
         let query = "Pubcrawl(Person) -> Pubcrawl(Visit[λ])";
         let e = run(
-            &args(&["check", SCHEMA, "deps.txt", query, "--metrics", "m.json"]),
+            &args(&["decide", SCHEMA, "deps.txt", query, "--metrics", "m.json"]),
             &files(),
         )
         .unwrap_err();
@@ -1852,7 +2134,7 @@ mod tests {
         // ...but a failing command keeps its own error.
         let e = run(
             &args(&[
-                "check",
+                "decide",
                 SCHEMA,
                 "deps.txt",
                 "not a dependency",
@@ -1892,6 +2174,210 @@ mod tests {
         let e = run(&args(&["lattice", SCHEMA, "--metrics"]), &files()).unwrap_err();
         assert_eq!(e.code, 2);
         assert!(e.message.contains("--metrics requires"), "{}", e.message);
+    }
+
+    #[test]
+    fn decide_cert_roundtrips_through_check() {
+        // positive verdict
+        let rw = RwFiles::new(files());
+        let query = "Pubcrawl(Person) -> Pubcrawl(Visit[λ])";
+        let out = run(
+            &args(&["decide", SCHEMA, "deps.txt", query, "--cert", "cert.json"]),
+            &rw,
+        )
+        .unwrap();
+        assert!(out.contains("certificate written to cert.json"), "{out}");
+        let mut f = files();
+        f.0.insert("cert.json".into(), rw.written("cert.json"));
+        let verdict = run(&args(&["check", SCHEMA, "deps.txt", "cert.json"]), &f).unwrap();
+        assert!(verdict.starts_with("ACCEPTED"), "{verdict}");
+        assert!(verdict.contains("implied"), "{verdict}");
+
+        // negative verdict: the certificate carries the counterexample
+        let rw = RwFiles::new(files());
+        let query = "Pubcrawl(Person) -> Pubcrawl(Visit[Drink(Pub)])";
+        let out = run(
+            &args(&["decide", SCHEMA, "deps.txt", query, "--cert", "cert.json"]),
+            &rw,
+        )
+        .unwrap();
+        assert!(out.starts_with("NOT IMPLIED"), "{out}");
+        let mut f = files();
+        f.0.insert("cert.json".into(), rw.written("cert.json"));
+        let verdict = run(&args(&["check", SCHEMA, "deps.txt", "cert.json"]), &f).unwrap();
+        assert!(verdict.contains("not-implied"), "{verdict}");
+        assert!(verdict.contains("tuple(s)"), "{verdict}");
+    }
+
+    #[test]
+    fn prove_and_basis_certs_are_accepted_by_check() {
+        let rw = RwFiles::new(files());
+        let out = run(
+            &args(&[
+                "prove",
+                SCHEMA,
+                "deps.txt",
+                "Pubcrawl(Person) -> Pubcrawl(Visit[λ])",
+                "--cert",
+                "cert.json",
+            ]),
+            &rw,
+        )
+        .unwrap();
+        assert!(out.contains("machine-checked derivation"), "{out}");
+        let mut f = files();
+        f.0.insert("cert.json".into(), rw.written("cert.json"));
+        let verdict = run(&args(&["check", SCHEMA, "deps.txt", "cert.json"]), &f).unwrap();
+        assert!(verdict.starts_with("ACCEPTED"), "{verdict}");
+
+        let rw = RwFiles::new(files());
+        run(
+            &args(&[
+                "basis",
+                SCHEMA,
+                "deps.txt",
+                "Pubcrawl(Person)",
+                "--cert",
+                "cert.json",
+            ]),
+            &rw,
+        )
+        .unwrap();
+        let mut f = files();
+        f.0.insert("cert.json".into(), rw.written("cert.json"));
+        let verdict = run(&args(&["check", SCHEMA, "deps.txt", "cert.json"]), &f).unwrap();
+        assert!(verdict.contains("derived"), "{verdict}");
+    }
+
+    #[test]
+    fn check_rejects_a_tampered_certificate() {
+        let rw = RwFiles::new(files());
+        run(
+            &args(&[
+                "decide",
+                SCHEMA,
+                "deps.txt",
+                "Pubcrawl(Person) -> Pubcrawl(Visit[λ])",
+                "--cert",
+                "cert.json",
+            ]),
+            &rw,
+        )
+        .unwrap();
+        let tampered = rw
+            .written("cert.json")
+            .replace("\"verdict\": \"implied\"", "\"verdict\": \"not-implied\"");
+        let mut f = files();
+        f.0.insert("cert.json".into(), tampered);
+        let e = run(&args(&["check", SCHEMA, "deps.txt", "cert.json"]), &f).unwrap_err();
+        assert_eq!(e.code, 1);
+        assert!(e.message.starts_with("REJECTED"), "{}", e.message);
+    }
+
+    #[test]
+    fn check_format_json_and_error_codes() {
+        let rw = RwFiles::new(files());
+        run(
+            &args(&[
+                "decide",
+                SCHEMA,
+                "deps.txt",
+                "Pubcrawl(Person) -> Pubcrawl(Visit[λ])",
+                "--cert",
+                "cert.json",
+            ]),
+            &rw,
+        )
+        .unwrap();
+        let mut f = files();
+        f.0.insert("cert.json".into(), rw.written("cert.json"));
+        let out = run(
+            &args(&["check", SCHEMA, "deps.txt", "cert.json", "--format", "json"]),
+            &f,
+        )
+        .unwrap();
+        let doc = nalist::lint::json::parse(&out).expect("valid JSON verdict");
+        assert_eq!(doc.get("accepted").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("verdict").and_then(Json::as_str), Some("implied"));
+
+        // unreadable certificate document: exit 2
+        f.0.insert("garbage.json".into(), "not a certificate".into());
+        let e = run(&args(&["check", SCHEMA, "deps.txt", "garbage.json"]), &f).unwrap_err();
+        assert_eq!(e.code, 2);
+        // missing file: exit 2
+        let e = run(&args(&["check", SCHEMA, "deps.txt", "absent.json"]), &f).unwrap_err();
+        assert_eq!(e.code, 2);
+        // bad flag: usage error
+        let e = run(
+            &args(&["check", SCHEMA, "deps.txt", "cert.json", "--wat"]),
+            &f,
+        )
+        .unwrap_err();
+        assert_eq!(e.code, 2);
+    }
+
+    #[test]
+    fn lint_explain_covers_both_rule_families() {
+        let out = run(&args(&["lint", "--explain", "L005"]), &files()).unwrap();
+        assert!(out.contains("fd-from-mvd"), "{out}");
+        assert!(out.contains("mixed meet"), "{out}");
+        let out = run(&args(&["lint", "--explain", "mixed-meet"]), &files()).unwrap();
+        assert!(out.contains("Theorem 4.6"), "{out}");
+        let out = run(&args(&["lint", "--explain", "fd-transitivity"]), &files()).unwrap();
+        assert!(out.contains("Theorem 4.6"), "{out}");
+        let e = run(&args(&["lint", "--explain", "L999"]), &files()).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("unknown rule"), "{}", e.message);
+    }
+
+    #[test]
+    fn help_check_lists_stable_rule_ids() {
+        let out = run(&args(&["help", "check"]), &files()).unwrap();
+        assert!(out.contains("never trusts"), "{out}");
+        for r in nalist::deps::rules::ALL_RULES {
+            assert!(out.contains(r.id()), "help check misses {}", r.id());
+        }
+        let out = run(&args(&["help", "decide"]), &files()).unwrap();
+        assert!(out.contains("--cert"), "{out}");
+    }
+
+    #[test]
+    fn check_verdict_is_identical_observed_and_unobserved() {
+        let rw = RwFiles::new(files());
+        run(
+            &args(&[
+                "decide",
+                SCHEMA,
+                "deps.txt",
+                "Pubcrawl(Person) -> Pubcrawl(Visit[λ])",
+                "--cert",
+                "cert.json",
+            ]),
+            &rw,
+        )
+        .unwrap();
+        let mut f = files();
+        f.0.insert("cert.json".into(), rw.written("cert.json"));
+        let plain = run(&args(&["check", SCHEMA, "deps.txt", "cert.json"]), &f).unwrap();
+        let rw2 = RwFiles::new(f);
+        let observed = run(
+            &args(&[
+                "check",
+                SCHEMA,
+                "deps.txt",
+                "cert.json",
+                "--trace",
+                "--metrics",
+                "m.json",
+            ]),
+            &rw2,
+        )
+        .unwrap();
+        assert!(observed.starts_with(&plain), "{observed}");
+        assert!(observed.contains(site::CHECK_VERIFY), "{observed}");
+        let doc = nalist::lint::json::parse(&rw2.written("m.json")).unwrap();
+        let counters = doc.get("counters").unwrap();
+        assert!(counters.get("cert_nodes").and_then(Json::as_usize).unwrap() > 0);
     }
 
     #[test]

@@ -50,7 +50,8 @@ const TIMEOUT_MS: u64 = 2_000;
 /// Every command template exercised against each corpus case. `{s}` is
 /// the schema (passed inline), file names resolve through [`MemFiles`].
 const COMMAND_TEMPLATES: &[&[&str]] = &[
-    &["check", "{s}", "deps.txt", "λ -> λ"],
+    &["decide", "{s}", "deps.txt", "λ -> λ"],
+    &["check", "{s}", "deps.txt", "cert.json"],
     &["batch", "{s}", "deps.txt", "deps.txt"],
     &["replay", "{s}", "edits.txt"],
     &["prove", "{s}", "deps.txt", "λ -> λ"],
@@ -82,6 +83,10 @@ fn every_command_survives_the_whole_corpus() {
         let mut files = BTreeMap::new();
         files.insert("deps.txt".to_string(), case.deps.clone());
         files.insert("data.txt".to_string(), String::new());
+        files.insert(
+            "cert.json".to_string(),
+            nalist::gen::chaos::universal_certificate(&case.schema, &case.deps),
+        );
         // the same corpus dependencies as a replay script: add each,
         // then query each (each line doubles as its own membership probe)
         let mut edits = String::new();
@@ -149,6 +154,10 @@ fn expired_deadline_is_exit_code_3_everywhere() {
     let mut files = BTreeMap::new();
     files.insert("deps.txt".to_string(), "L(A) -> L(B)\n".to_string());
     files.insert("data.txt".to_string(), String::new());
+    files.insert(
+        "cert.json".to_string(),
+        nalist::gen::chaos::universal_certificate("L(A, B)", "L(A) -> L(B)\n"),
+    );
     let files = MemFiles(files);
     for template in COMMAND_TEMPLATES {
         if template[0] == "lattice" {
@@ -197,8 +206,8 @@ fn metrics_json_is_valid_on_every_failing_exit_code() {
     let mut files = BTreeMap::new();
     files.insert("deps.txt".to_string(), "L(A) -> L(B)\n".to_string());
     let cases: &[(&[&str], i32)] = &[
-        // refutable dependency rendered as a check on a malformed target: domain error
-        (&["check", "L(A, B)", "deps.txt", "not a dependency"], 1),
+        // refutable dependency rendered as a decision on a malformed target: domain error
+        (&["decide", "L(A, B)", "deps.txt", "not a dependency"], 1),
         // unknown command: usage error
         (&["frobnicate", "L(A, B)"], 2),
         // pre-expired deadline: resource exhaustion
@@ -244,4 +253,62 @@ fn injected_chase_fault_is_exit_code_3() {
         .collect();
     let e = run_with_budget(&argv, &files, &budget).unwrap_err();
     assert_eq!(e.code, 3);
+}
+
+/// Every hostile certificate in the corpus is rejected with a
+/// structured error — exit 1 (semantic), 2 (unreadable document) or 3
+/// (resource) — and never a panic or a hang.
+#[test]
+fn hostile_certificates_are_rejected_not_fatal() {
+    for (name, cert) in nalist::gen::chaos::hostile_certificates() {
+        let mut files = BTreeMap::new();
+        files.insert("deps.txt".to_string(), "L(A) -> L(B)\n".to_string());
+        files.insert("cert.json".to_string(), cert);
+        let files = MemFiles(files);
+        let argv: Vec<String> = [
+            "check",
+            "L(A, B)",
+            "deps.txt",
+            "cert.json",
+            "--timeout",
+            "2000",
+        ]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+        let (code, elapsed) = invoke(&argv, &files);
+        assert!(
+            (1..=3).contains(&code),
+            "{name}: expected rejection, got exit code {code}"
+        );
+        assert!(
+            elapsed < Duration::from_millis(2 * TIMEOUT_MS + 250),
+            "{name}: took {elapsed:?}"
+        );
+    }
+}
+
+/// The universal certificate really is universally accepted: emit-check
+/// round trip through the CLI for a handful of well-formed schemas.
+#[test]
+fn universal_certificate_is_accepted_for_wellformed_schemas() {
+    for (schema, deps) in [
+        ("L(A, B)", "L(A) -> L(B)\n"),
+        ("Pubcrawl(Person, Visit[Drink(Beer, Pub)])", ""),
+        ("L(A, B, C)", "# comment\nL(A) ->> L(B)\n"),
+    ] {
+        let mut files = BTreeMap::new();
+        files.insert("deps.txt".to_string(), deps.to_string());
+        files.insert(
+            "cert.json".to_string(),
+            nalist::gen::chaos::universal_certificate(schema, deps),
+        );
+        let files = MemFiles(files);
+        let argv: Vec<String> = ["check", schema, "deps.txt", "cert.json"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
+        let (code, _) = invoke(&argv, &files);
+        assert_eq!(code, 0, "{schema}: universal certificate rejected");
+    }
 }

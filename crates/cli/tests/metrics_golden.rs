@@ -131,7 +131,7 @@ fn metrics_schema_matches_golden() {
         written: RefCell::new(BTreeMap::new()),
     };
     let argv: Vec<String> = [
-        "check",
+        "decide",
         "Pubcrawl(Person, Visit[Drink(Beer, Pub)])",
         "deps.txt",
         "Pubcrawl(Person) -> Pubcrawl(Visit[λ])",
@@ -141,7 +141,7 @@ fn metrics_schema_matches_golden() {
     .iter()
     .map(|s| (*s).to_string())
     .collect();
-    run(&argv, &files).expect("check succeeds");
+    run(&argv, &files).expect("decide succeeds");
     let written = files.written.borrow();
     let doc = nalist::lint::json::parse(written.get("m.json").expect("metrics written"))
         .expect("valid JSON");

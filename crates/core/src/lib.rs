@@ -42,6 +42,7 @@
 //! | [`algebra`] | the Brouwerian algebra `Sub(N)` on atom bitsets |
 //! | [`deps`] | FDs/MVDs, instances, satisfaction, generalised join, inference rules, proofs, naive closure |
 //! | [`membership`] | Algorithm 5.1, membership decisions, witnesses, Beeri baseline |
+//! | [`check`] | trusted certificate checker (no dependency on [`membership`]) |
 //! | [`schema`] | covers, keys, normal forms, lossless decomposition |
 //! | [`lint`] | span-aware static analysis of specs (rules L001–L009) |
 //! | [`gen`] | workload generators and named scenarios |
@@ -54,6 +55,7 @@
 pub mod theory;
 
 pub use nalist_algebra as algebra;
+pub use nalist_check as check;
 pub use nalist_deps as deps;
 pub use nalist_gen as gen;
 pub use nalist_guard as guard;
@@ -66,6 +68,7 @@ pub use nalist_types as types;
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use nalist_algebra::{Algebra, AlgebraError, AtomSet, WidthClass};
+    pub use nalist_check::{verify as check_certificate, Certificate, CheckError, Verdict};
     pub use nalist_deps::{
         chase, parse_sigma, ChaseError, ChaseResult, CompiledDep, DepKind, Dependency, Instance,
     };

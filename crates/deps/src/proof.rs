@@ -9,6 +9,7 @@
 //! trusting the producer.
 
 use nalist_algebra::{Algebra, AtomSet};
+use nalist_guard::{Budget, ResourceExhausted, ResourceKind};
 
 use crate::dependency::CompiledDep;
 use crate::rules::{apply, Rule};
@@ -63,13 +64,35 @@ impl Proof {
     }
 
     /// Pretty-prints the derivation with one rule application per line.
+    /// Ungoverned twin of [`Proof::render_governed`].
     pub fn render(&self, alg: &Algebra) -> String {
         let mut out = String::new();
-        self.render_into(alg, 0, &mut out);
+        let _ = self.render_into(alg, 0, &mut out, &Budget::unlimited());
         out
     }
 
-    fn render_into(&self, alg: &Algebra, indent: usize, out: &mut String) {
+    /// Budget-governed rendering: charges one fuel unit per node and
+    /// honours `budget.max_depth()`, so a pathologically deep or wide
+    /// derivation fails fast instead of exhausting stack or memory.
+    pub fn render_governed(
+        &self,
+        alg: &Algebra,
+        budget: &Budget,
+    ) -> Result<String, ResourceExhausted> {
+        let mut out = String::new();
+        self.render_into(alg, 0, &mut out, budget)?;
+        Ok(out)
+    }
+
+    fn render_into(
+        &self,
+        alg: &Algebra,
+        indent: usize,
+        out: &mut String,
+        budget: &Budget,
+    ) -> Result<(), ResourceExhausted> {
+        budget.charge(1)?;
+        check_depth(budget, indent as u64)?;
         let pad = "  ".repeat(indent);
         match self {
             Proof::Premise { index, dep } => {
@@ -87,10 +110,11 @@ impl Proof {
                     conclusion.render(alg)
                 ));
                 for i in inputs {
-                    i.render_into(alg, indent + 1, out);
+                    i.render_into(alg, indent + 1, out, budget)?;
                 }
             }
         }
+        Ok(())
     }
 }
 
@@ -108,6 +132,10 @@ pub enum ProofError {
         /// The offending rule.
         rule: Rule,
     },
+    /// The derivation has no nodes, so it concludes nothing.
+    EmptyDerivation,
+    /// The governed checker ran out of budget before finishing.
+    Resource(ResourceExhausted),
 }
 
 impl std::fmt::Display for ProofError {
@@ -115,19 +143,62 @@ impl std::fmt::Display for ProofError {
         match self {
             ProofError::BadPremise { index } => write!(f, "bad premise citation #{index}"),
             ProofError::BadStep { rule } => write!(f, "invalid application of {}", rule.name()),
+            ProofError::EmptyDerivation => write!(f, "empty derivation"),
+            ProofError::Resource(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for ProofError {}
 
+impl From<ResourceExhausted> for ProofError {
+    fn from(e: ResourceExhausted) -> Self {
+        ProofError::Resource(e)
+    }
+}
+
 /// Checks a proof against the premise list `sigma`; on success returns the
-/// proven conclusion.
+/// proven conclusion. Ungoverned twin of [`check_governed`].
 pub fn check<'p>(
     alg: &Algebra,
     sigma: &[CompiledDep],
     proof: &'p Proof,
 ) -> Result<&'p CompiledDep, ProofError> {
+    check_governed(alg, sigma, proof, &Budget::unlimited())
+}
+
+/// Budget-governed proof check: charges one fuel unit per node and honours
+/// `budget.max_depth()`, so an adversarially deep tree returns
+/// [`ProofError::Resource`] instead of overflowing the stack.
+pub fn check_governed<'p>(
+    alg: &Algebra,
+    sigma: &[CompiledDep],
+    proof: &'p Proof,
+    budget: &Budget,
+) -> Result<&'p CompiledDep, ProofError> {
+    check_at(alg, sigma, proof, budget, 0)
+}
+
+fn check_depth(budget: &Budget, depth: u64) -> Result<(), ResourceExhausted> {
+    match budget.max_depth() {
+        Some(limit) if depth > limit => Err(ResourceExhausted {
+            kind: ResourceKind::Depth,
+            spent: depth,
+            limit,
+        }),
+        _ => Ok(()),
+    }
+}
+
+fn check_at<'p>(
+    alg: &Algebra,
+    sigma: &[CompiledDep],
+    proof: &'p Proof,
+    budget: &Budget,
+    depth: u64,
+) -> Result<&'p CompiledDep, ProofError> {
+    budget.charge(1)?;
+    check_depth(budget, depth)?;
     match proof {
         Proof::Premise { index, dep } => {
             if sigma.get(*index) == Some(dep) {
@@ -144,7 +215,7 @@ pub fn check<'p>(
         } => {
             let mut checked = Vec::with_capacity(inputs.len());
             for i in inputs {
-                checked.push(check(alg, sigma, i)?);
+                checked.push(check_at(alg, sigma, i, budget, depth + 1)?);
             }
             let param_refs: Vec<&AtomSet> = params.iter().collect();
             match apply(alg, *rule, &checked, &param_refs) {
@@ -249,19 +320,42 @@ impl ProofDag {
     }
 
     /// The conclusion of node `i`.
+    ///
+    /// # Panics
+    /// If `i` is out of range; use [`ProofDag::try_conclusion`] for
+    /// untrusted indices.
     pub fn conclusion(&self, i: usize) -> &CompiledDep {
         self.nodes[i].conclusion()
     }
 
+    /// The conclusion of node `i`, or `None` if `i` is out of range.
+    pub fn try_conclusion(&self, i: usize) -> Option<&CompiledDep> {
+        self.nodes.get(i).map(DagNode::conclusion)
+    }
+
     /// Independently re-verifies every node against the premise list.
-    /// Returns the conclusion of the last node.
+    /// Returns the conclusion of the last node. Ungoverned twin of
+    /// [`ProofDag::check_governed`].
     pub fn check<'s>(
         &'s self,
         alg: &Algebra,
         sigma: &[CompiledDep],
     ) -> Result<&'s CompiledDep, ProofError> {
+        self.check_governed(alg, sigma, &Budget::unlimited())
+    }
+
+    /// Budget-governed DAG check: charges one fuel unit per node plus one
+    /// per cited input edge, so a certificate-sized bomb trips the budget
+    /// instead of monopolising the checker.
+    pub fn check_governed<'s>(
+        &'s self,
+        alg: &Algebra,
+        sigma: &[CompiledDep],
+        budget: &Budget,
+    ) -> Result<&'s CompiledDep, ProofError> {
         let mut last = None;
         for (i, node) in self.nodes.iter().enumerate() {
+            budget.charge(1)?;
             match node {
                 DagNode::Premise { index, dep } => {
                     if sigma.get(*index) != Some(dep) {
@@ -274,6 +368,7 @@ impl ProofDag {
                     params,
                     conclusion,
                 } => {
+                    budget.charge(inputs.len() as u64)?;
                     if inputs.iter().any(|&j| j >= i) {
                         return Err(ProofError::BadStep { rule: *rule });
                     }
@@ -288,13 +383,26 @@ impl ProofDag {
             }
             last = Some(node.conclusion());
         }
-        last.ok_or(ProofError::BadPremise { index: 0 })
+        last.ok_or(ProofError::EmptyDerivation)
     }
 
     /// Renders the DAG as a numbered listing, one node per line.
+    /// Ungoverned twin of [`ProofDag::render_governed`].
     pub fn render(&self, alg: &Algebra) -> String {
+        self.render_governed(alg, &Budget::unlimited())
+            .unwrap_or_default()
+    }
+
+    /// Budget-governed rendering: charges one fuel unit per node plus one
+    /// per cited input edge.
+    pub fn render_governed(
+        &self,
+        alg: &Algebra,
+        budget: &Budget,
+    ) -> Result<String, ResourceExhausted> {
         let mut out = String::new();
         for (i, node) in self.nodes.iter().enumerate() {
+            budget.charge(1)?;
             match node {
                 DagNode::Premise { index, dep } => {
                     out.push_str(&format!("n{i}: [premise #{index}] {}\n", dep.render(alg)));
@@ -305,6 +413,7 @@ impl ProofDag {
                     conclusion,
                     ..
                 } => {
+                    budget.charge(inputs.len() as u64)?;
                     let from = if inputs.is_empty() {
                         String::new()
                     } else {
@@ -325,29 +434,51 @@ impl ProofDag {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Expands the sub-derivation rooted at node `i` into a [`Proof`]
     /// tree. Sharing is lost — sizes can blow up; intended for displaying
-    /// small certificates.
+    /// small certificates. Ungoverned twin of
+    /// [`ProofDag::to_tree_governed`].
     pub fn to_tree(&self, i: usize) -> Proof {
+        self.to_tree_governed(i, &Budget::unlimited())
+            .expect("unlimited budget never exhausts")
+    }
+
+    /// Budget-governed tree expansion: charges one fuel unit per expanded
+    /// node and honours `budget.max_depth()`. Because sharing is lost, a
+    /// small DAG can expand to an exponentially large tree — governed
+    /// expansion is the only safe entry point for untrusted input.
+    pub fn to_tree_governed(&self, i: usize, budget: &Budget) -> Result<Proof, ResourceExhausted> {
+        self.expand(i, budget, 0)
+    }
+
+    fn expand(&self, i: usize, budget: &Budget, depth: u64) -> Result<Proof, ResourceExhausted> {
+        budget.charge(1)?;
+        check_depth(budget, depth)?;
         match &self.nodes[i] {
-            DagNode::Premise { index, dep } => Proof::Premise {
+            DagNode::Premise { index, dep } => Ok(Proof::Premise {
                 index: *index,
                 dep: dep.clone(),
-            },
+            }),
             DagNode::Step {
                 rule,
                 inputs,
                 params,
                 conclusion,
-            } => Proof::Step {
-                rule: *rule,
-                inputs: inputs.iter().map(|&j| self.to_tree(j)).collect(),
-                params: params.clone(),
-                conclusion: conclusion.clone(),
-            },
+            } => {
+                let mut subtrees = Vec::with_capacity(inputs.len());
+                for &j in inputs {
+                    subtrees.push(self.expand(j, budget, depth + 1)?);
+                }
+                Ok(Proof::Step {
+                    rule: *rule,
+                    inputs: subtrees,
+                    params: params.clone(),
+                    conclusion: conclusion.clone(),
+                })
+            }
         }
     }
 }
@@ -495,6 +626,67 @@ mod tests {
             conclusion: dep(&n, &alg, "L(A) -> L(C)"), // wrong
         });
         assert!(forged2.check(&alg, &sigma).is_err());
+    }
+
+    #[test]
+    fn governed_paths_trip_budget_and_depth() {
+        let n = parse_attr("L(A, B, C)").unwrap();
+        let alg = Algebra::new(&n);
+        let sigma = vec![dep(&n, &alg, "L(A) -> L(B)"), dep(&n, &alg, "L(B) -> L(C)")];
+        let mut dag = ProofDag::new();
+        let p0 = dag.premise(0, sigma[0].clone());
+        let p1 = dag.premise(1, sigma[1].clone());
+        let t = dag
+            .step(&alg, Rule::FdTransitivity, &[p0, p1], &[])
+            .unwrap();
+
+        // out of fuel: every governed entry point reports Resource
+        let starved = Budget::unlimited().with_fuel(1);
+        assert!(matches!(
+            dag.check_governed(&alg, &sigma, &starved),
+            Err(ProofError::Resource(_))
+        ));
+        assert!(dag
+            .render_governed(&alg, &Budget::unlimited().with_fuel(1))
+            .is_err());
+        assert!(dag
+            .to_tree_governed(t, &Budget::unlimited().with_fuel(1))
+            .is_err());
+
+        // depth cap: the expanded tree has depth 1, a cap of 0 trips it
+        let shallow = Budget::unlimited().with_max_depth(0);
+        let tree = dag.to_tree(t);
+        assert!(matches!(
+            check_governed(&alg, &sigma, &tree, &shallow),
+            Err(ProofError::Resource(e)) if e.kind == ResourceKind::Depth
+        ));
+        assert!(tree
+            .render_governed(&alg, &Budget::unlimited().with_max_depth(0))
+            .is_err());
+
+        // ample budget agrees with the ungoverned twin everywhere
+        let ample = Budget::unlimited().with_fuel(1_000).with_max_depth(64);
+        assert_eq!(
+            dag.check_governed(&alg, &sigma, &ample).unwrap(),
+            dag.check(&alg, &sigma).unwrap()
+        );
+        assert_eq!(dag.render_governed(&alg, &ample).unwrap(), dag.render(&alg));
+        assert_eq!(dag.to_tree_governed(t, &ample).unwrap(), tree);
+        assert_eq!(
+            tree.render_governed(&alg, &ample).unwrap(),
+            tree.render(&alg)
+        );
+    }
+
+    #[test]
+    fn empty_dag_is_a_typed_error() {
+        let n = parse_attr("L(A)").unwrap();
+        let alg = Algebra::new(&n);
+        assert_eq!(
+            ProofDag::new().check(&alg, &[]),
+            Err(ProofError::EmptyDerivation)
+        );
+        assert!(ProofDag::new().try_conclusion(0).is_none());
     }
 
     #[test]

@@ -118,6 +118,83 @@ impl Rule {
         }
     }
 
+    /// Stable string id used in serialized certificates. These are part
+    /// of the certificate format contract (version 1): never repurpose
+    /// an id — retire it and mint a new one.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::FdReflexivity => "fd-reflexivity",
+            Rule::FdExtension => "fd-extension",
+            Rule::FdTransitivity => "fd-transitivity",
+            Rule::FdJoin => "fd-join",
+            Rule::MvdReflexivity => "mvd-reflexivity",
+            Rule::MvdComplementation => "mvd-complementation",
+            Rule::MvdAugmentation => "mvd-augmentation",
+            Rule::MvdTransitivity => "mvd-transitivity",
+            Rule::FdImpliesMvd => "fd-implies-mvd",
+            Rule::Coalescence => "coalescence",
+            Rule::MvdJoin => "mvd-join",
+            Rule::MvdMeet => "mvd-meet",
+            Rule::MvdPseudoDiff => "mvd-pseudo-difference",
+            Rule::MixedMeet => "mixed-meet",
+        }
+    }
+
+    /// Resolves a stable id back to the rule. Inverse of [`Rule::id`].
+    pub fn from_id(id: &str) -> Option<Rule> {
+        ALL_RULES.into_iter().find(|r| r.id() == id)
+    }
+
+    /// One-line grounding in the paper (Hartmann & Link, ENTCS 91,
+    /// 2004). Shown by `nalist lint --explain <rule>` and in
+    /// certificate tooling.
+    pub fn cite(self) -> &'static str {
+        match self {
+            Rule::FdReflexivity => {
+                "Theorem 4.6 (reflexivity axiom): for Y ≤ X, derive X → Y with no premises."
+            }
+            Rule::FdExtension => {
+                "Theorem 4.6 (extension rule): from X → Y derive X⊔Z → Y⊔Z for any Z."
+            }
+            Rule::FdTransitivity => {
+                "Theorem 4.6 (transitivity rule): from X → Y and Y → Z derive X → Z."
+            }
+            Rule::FdJoin => {
+                "Theorem 4.6 (FD join rule): from X → Y and X → Z derive X → Y⊔Z."
+            }
+            Rule::MvdReflexivity => {
+                "Theorem 4.6 (MVD reflexivity axiom): for Y ≤ X, derive X ↠ Y with no premises."
+            }
+            Rule::MvdComplementation => {
+                "Theorem 4.6 (complementation rule): from X ↠ Y derive X ↠ Y^C, the Brouwerian complement taken in Sub(N)."
+            }
+            Rule::MvdAugmentation => {
+                "Theorem 4.6 (MVD augmentation rule): from X ↠ Y and V ≤ U derive X⊔U ↠ Y⊔V."
+            }
+            Rule::MvdTransitivity => {
+                "Theorem 4.6 (MVD transitivity rule): from X ↠ Y and Y ↠ Z derive X ↠ Z⊖Y (pseudo-difference, not set difference)."
+            }
+            Rule::FdImpliesMvd => {
+                "Theorem 4.6 (implication rule): every FD X → Y yields the MVD X ↠ Y."
+            }
+            Rule::Coalescence => {
+                "Theorem 4.6 (coalescence rule): from X ↠ Y and Z → W with W ≤ Y and Y⊓Z = λ, derive X → W."
+            }
+            Rule::MvdJoin => {
+                "Theorem 4.6 (multi-valued join rule): from X ↠ Y and X ↠ Z derive X ↠ Y⊔Z."
+            }
+            Rule::MvdMeet => {
+                "Theorem 4.6 (multi-valued meet rule): from X ↠ Y and X ↠ Z derive X ↠ Y⊓Z."
+            }
+            Rule::MvdPseudoDiff => {
+                "Theorem 4.6 (pseudo-difference rule): from X ↠ Y and X ↠ Z derive X ↠ Y⊖Z."
+            }
+            Rule::MixedMeet => {
+                "Theorem 4.6 (mixed meet rule): from X ↠ Y derive the FD X → Y⊓Y^C — the paper's novel interaction, non-trivial only in the presence of lists."
+            }
+        }
+    }
+
     /// Number of dependency premises the rule takes (axioms take 0).
     pub fn arity(self) -> usize {
         match self {
@@ -233,6 +310,17 @@ mod tests {
 
     fn dep(n: &nalist_types::NestedAttr, alg: &Algebra, s: &str) -> CompiledDep {
         Dependency::parse(n, s).unwrap().compile(alg).unwrap()
+    }
+
+    #[test]
+    fn rule_ids_are_unique_and_round_trip() {
+        let mut seen = std::collections::HashSet::new();
+        for rule in ALL_RULES {
+            assert!(seen.insert(rule.id()), "duplicate id {}", rule.id());
+            assert_eq!(Rule::from_id(rule.id()), Some(rule));
+            assert!(rule.cite().contains("Theorem 4.6"), "{}", rule.id());
+        }
+        assert_eq!(Rule::from_id("no-such-rule"), None);
     }
 
     #[test]

@@ -200,6 +200,137 @@ pub fn corpus() -> Vec<ChaosCase> {
     ]
 }
 
+/// A version-1 proof certificate for the trivial statement `λ -> λ`,
+/// derived by a single reflexivity axiom. Valid against *any*
+/// well-formed schema and dependency file — the chaos harness's
+/// universal positive certificate, so every corpus case can exercise
+/// `nalist check` end to end.
+pub fn universal_certificate(schema: &str, deps: &str) -> String {
+    use nalist_types::json::Json;
+    let sigma: Vec<Json> = deps
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| Json::Str(l.to_owned()))
+        .collect();
+    Json::Obj(vec![
+        (
+            "format".to_owned(),
+            Json::Str("nalist-certificate".to_owned()),
+        ),
+        ("version".to_owned(), Json::Num(1.0)),
+        ("schema".to_owned(), Json::Str(schema.trim().to_owned())),
+        ("sigma".to_owned(), Json::Arr(sigma)),
+        (
+            "statement".to_owned(),
+            Json::Obj(vec![
+                ("type".to_owned(), Json::Str("implies".to_owned())),
+                ("dep".to_owned(), Json::Str("λ -> λ".to_owned())),
+            ]),
+        ),
+        ("verdict".to_owned(), Json::Str("implied".to_owned())),
+        (
+            "derivation".to_owned(),
+            Json::Arr(vec![Json::Obj(vec![
+                ("rule".to_owned(), Json::Str("fd-reflexivity".to_owned())),
+                ("inputs".to_owned(), Json::Arr(vec![])),
+                (
+                    "params".to_owned(),
+                    Json::Arr(vec![Json::Str("λ".to_owned()), Json::Str("λ".to_owned())]),
+                ),
+                ("conclusion".to_owned(), Json::Str("λ -> λ".to_owned())),
+            ])]),
+        ),
+    ])
+    .render()
+}
+
+/// Hostile certificate documents for `nalist check`: structural bombs,
+/// dangling references and semantic lies. Each is paired with a short
+/// name for test output. The contract mirrors [`corpus`]: the checker
+/// must reject every one of these with a structured error (exit 1, 2
+/// or 3) — never a panic, never a hang. They are built for the schema
+/// `L(A, B)` with `Σ = { L(A) -> L(B) }`.
+pub fn hostile_certificates() -> Vec<(&'static str, String)> {
+    let valid = universal_certificate("L(A, B)", "L(A) -> L(B)\n");
+    vec![
+        ("not_json", "certificate? what certificate".to_owned()),
+        ("empty_object", "{}".to_owned()),
+        ("json_depth_bomb", format!("{}1{}", "[".repeat(100_000), "]".repeat(100_000))),
+        ("truncated_json", valid[..valid.len() / 2].to_owned()),
+        ("future_version", valid.replace("\"version\": 1", "\"version\": 99")),
+        (
+            "foreign_format",
+            valid.replace("nalist-certificate", "totally-other-format"),
+        ),
+        (
+            "dangling_premise",
+            valid.replace(
+                "{\"rule\": \"fd-reflexivity\", \"inputs\": [], \"params\": [\"λ\", \"λ\"], \"conclusion\": \"λ -> λ\"}",
+                "{\"premise\": 9999}",
+            ),
+        ),
+        (
+            "forward_reference",
+            valid.replace("\"inputs\": []", "\"inputs\": [7]"),
+        ),
+        (
+            "unknown_rule",
+            valid.replace("fd-reflexivity", "rule-from-the-future"),
+        ),
+        (
+            "schema_mismatch",
+            valid.replace("L(A, B)", "M(C, D)"),
+        ),
+        (
+            "sigma_mismatch",
+            valid.replace("L(A) -> L(B)", "L(B) -> L(A)"),
+        ),
+        (
+            "verdict_lie",
+            valid.replace("\"verdict\": \"implied\"", "\"verdict\": \"not-implied\""),
+        ),
+        (
+            "conclusion_lie",
+            valid.replace("\"conclusion\": \"λ -> λ\"", "\"conclusion\": \"L(A) -> L(B)\""),
+        ),
+        (
+            "unparseable_param",
+            valid.replace("\"params\": [\"λ\", \"λ\"]", "\"params\": [\"Zzz(((\", \"λ\"]"),
+        ),
+        (
+            "empty_derivation",
+            valid.replace(
+                "[{\"rule\": \"fd-reflexivity\", \"inputs\": [], \"params\": [\"λ\", \"λ\"], \"conclusion\": \"λ -> λ\"}]",
+                "[]",
+            ),
+        ),
+        (
+            "witness_block_bomb",
+            valid
+                .replace("\"verdict\": \"implied\"", "\"verdict\": \"not-implied\"")
+                .replace(
+                    "[{\"rule\": \"fd-reflexivity\", \"inputs\": [], \"params\": [\"λ\", \"λ\"], \"conclusion\": \"λ -> λ\"}]",
+                    "[], \"witness\": {\"free_blocks\": 64, \"t1\": 0, \"t2\": 1, \"tuples\": [\"(a, b)\", \"(c, d)\"]}",
+                ),
+        ),
+        (
+            // 5000 sound but useless axiom nodes, then a lying final
+            // conclusion: the checker must wade through the padding in
+            // bounded time and still catch the lie at the end.
+            "node_count_bomb",
+            valid.replace(
+                "[{\"rule\": \"fd-reflexivity\", \"inputs\": [], \"params\": [\"λ\", \"λ\"], \"conclusion\": \"λ -> λ\"}]",
+                &format!(
+                    "[{}, {}]",
+                    vec!["{\"rule\": \"fd-reflexivity\", \"inputs\": [], \"params\": [\"λ\", \"λ\"], \"conclusion\": \"λ -> λ\"}"; 5_000].join(", "),
+                    "{\"rule\": \"fd-reflexivity\", \"inputs\": [], \"params\": [\"λ\", \"λ\"], \"conclusion\": \"L(A) -> L(B)\"}"
+                ),
+            ),
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,4 +1,4 @@
-//! Seeding known defects into dependency sets.
+//! Seeding known defects into dependency sets and certificates.
 //!
 //! The lint rules of `nalist-lint` detect vacuous, duplicated, subsumed
 //! and inflated dependencies; to test them on arbitrary workloads we need
@@ -6,9 +6,16 @@
 //! Each seeder takes an existing `Σ` and returns the defective dependency
 //! to append, so callers control placement and can assert which line the
 //! linter blames.
+//!
+//! [`certificate_defects`] plays the same game against the trusted
+//! checker: it takes a proof certificate document and produces every
+//! applicable *single-field* mutation, each one guaranteed — by
+//! construction — to be rejected by `nalist check` if the original was
+//! accepted.
 
 use nalist_algebra::Algebra;
 use nalist_deps::{CompiledDep, DepKind};
+use nalist_types::json::{self, Json};
 use rand::Rng;
 
 use crate::sigma_gen::random_subattr;
@@ -103,6 +110,286 @@ pub fn render_sigma(alg: &Algebra, sigma: &[CompiledDep]) -> String {
     out
 }
 
+/// One corrupted certificate document.
+#[derive(Debug, Clone)]
+pub struct Defect {
+    /// Which field was broken, and how.
+    pub label: &'static str,
+    /// The mutated document, re-rendered as one-line JSON.
+    pub doc: String,
+}
+
+/// Looks up a mutable object field.
+fn field_mut<'a>(doc: &'a mut Json, key: &str) -> Option<&'a mut Json> {
+    match doc {
+        Json::Obj(fields) => fields.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+/// Clones `base`, walks `path` and applies `f` to the addressed value.
+/// Returns `None` when the path does not exist in this document.
+fn mutated(base: &Json, path: &[&str], f: &dyn Fn(&mut Json)) -> Option<Json> {
+    let mut doc = base.clone();
+    let mut cur = &mut doc;
+    for seg in path {
+        cur = field_mut(cur, seg)?;
+    }
+    f(cur);
+    Some(doc)
+}
+
+/// Produces every applicable single-field mutation of `cert_json`.
+///
+/// The input must be a well-formed version-1 certificate document;
+/// anything unparseable yields an empty corpus. Mutations that do not
+/// apply to this certificate kind (e.g. witness mutations of a positive
+/// certificate) are skipped, so the corpus size varies with the verdict.
+/// Each mutation breaks exactly one field in a way that violates the
+/// format contract (`format` marker, version, field types) or the
+/// semantic replay (premise resolution, rule re-derivation, witness
+/// recombination structure, basis coverage).
+pub fn certificate_defects(cert_json: &str) -> Vec<Defect> {
+    let base = match json::parse(cert_json) {
+        Ok(doc) => doc,
+        Err(_) => return Vec::new(),
+    };
+    let mut out: Vec<Defect> = Vec::new();
+    let mut push = |label: &'static str, doc: Option<Json>| {
+        if let Some(doc) = doc {
+            out.push(Defect {
+                label,
+                doc: doc.render(),
+            });
+        }
+    };
+
+    // format contract
+    push(
+        "format-marker",
+        mutated(&base, &["format"], &|v| {
+            *v = Json::Str("not-a-certificate".to_owned());
+        }),
+    );
+    push(
+        "future-version",
+        mutated(&base, &["version"], &|v| *v = Json::Num(99.0)),
+    );
+
+    // issuing context
+    push(
+        "schema-unparseable",
+        mutated(&base, &["schema"], &|v| *v = Json::Str(String::new())),
+    );
+    push(
+        "sigma-length",
+        mutated(&base, &["sigma"], &|v| {
+            if let Json::Arr(items) = v {
+                if items.pop().is_none() {
+                    items.push(Json::Str("Zz -> Zz".to_owned()));
+                }
+            }
+        }),
+    );
+    if matches!(base.get("sigma"), Some(Json::Arr(items)) if !items.is_empty()) {
+        push(
+            "sigma-entry",
+            mutated(&base, &["sigma"], &|v| {
+                if let Json::Arr(items) = v {
+                    items[0] = Json::Str(String::new());
+                }
+            }),
+        );
+    }
+
+    // statement
+    push(
+        "statement-type",
+        mutated(&base, &["statement", "type"], &|v| {
+            *v = Json::Str("implores".to_owned());
+        }),
+    );
+    let target_key = match base
+        .get("statement")
+        .and_then(|s| s.get("type"))
+        .and_then(Json::as_str)
+    {
+        Some("basis") => "lhs",
+        _ => "dep",
+    };
+    push(
+        "statement-target",
+        mutated(&base, &["statement", target_key], &|v| {
+            *v = Json::Str(String::new());
+        }),
+    );
+
+    // verdict: rotating to a different legal verdict always breaks the
+    // pairing invariants (a positive verdict loses its witness/basis
+    // object or its derivation; a negative one gains an empty proof)
+    let rotated = match base.get("verdict").and_then(Json::as_str) {
+        Some("implied") => "not-implied",
+        _ => "implied",
+    };
+    push(
+        "verdict-rotate",
+        mutated(&base, &["verdict"], &|v| *v = Json::Str(rotated.to_owned())),
+    );
+    push(
+        "verdict-unknown",
+        mutated(&base, &["verdict"], &|v| *v = Json::Str("maybe".to_owned())),
+    );
+
+    // derivation nodes
+    if let Some(Json::Arr(nodes)) = base.get("derivation") {
+        let step_at = nodes.iter().position(|n| n.get("rule").is_some());
+        let premise_at = nodes.iter().position(|n| n.get("premise").is_some());
+        let node_mut = |label: &'static str, at: usize, f: &dyn Fn(&mut Json)| {
+            let doc = mutated(&base, &["derivation"], &|v| {
+                if let Json::Arr(items) = v {
+                    f(&mut items[at]);
+                }
+            });
+            (label, doc)
+        };
+        if let Some(i) = step_at {
+            for (label, doc) in [
+                node_mut("rule-unknown", i, &|n| {
+                    if let Some(r) = field_mut(n, "rule") {
+                        *r = Json::Str("no-such-rule".to_owned());
+                    }
+                }),
+                node_mut("rule-self-input", i, &move |n| {
+                    if let Some(r) = field_mut(n, "inputs") {
+                        *r = Json::Arr(vec![Json::Num(i as f64)]);
+                    }
+                }),
+                node_mut("step-conclusion", i, &|n| {
+                    if let Some(r) = field_mut(n, "conclusion") {
+                        *r = Json::Str(String::new());
+                    }
+                }),
+            ] {
+                push(label, doc);
+            }
+            if matches!(nodes[i].get("params"), Some(Json::Arr(p)) if !p.is_empty()) {
+                let (label, doc) = node_mut("step-param", i, &|n| {
+                    if let Some(Json::Arr(p)) = field_mut(n, "params") {
+                        p[0] = Json::Str(String::new());
+                    }
+                });
+                push(label, doc);
+            }
+        }
+        if let Some(i) = premise_at {
+            let (label, doc) = node_mut("premise-range", i, &|n| {
+                if let Some(r) = field_mut(n, "premise") {
+                    *r = Json::Num(999_999.0);
+                }
+            });
+            push(label, doc);
+        }
+    }
+
+    // witness (negative certificates): break the 2^k recombination
+    // structure, the generator pinning, and the tuple payloads
+    if base.get("witness").is_some() {
+        push(
+            "witness-zero-blocks",
+            mutated(&base, &["witness", "free_blocks"], &|v| *v = Json::Num(0.0)),
+        );
+        push(
+            "witness-extra-block",
+            mutated(&base, &["witness", "free_blocks"], &|v| {
+                if let Json::Num(n) = v {
+                    *n += 1.0;
+                }
+            }),
+        );
+        push(
+            "witness-generator-t1",
+            mutated(&base, &["witness", "t1"], &|v| {
+                if let Json::Num(n) = v {
+                    *n += 1.0;
+                }
+            }),
+        );
+        push(
+            "witness-generator-t2",
+            mutated(&base, &["witness", "t2"], &|v| *v = Json::Num(0.0)),
+        );
+        push(
+            "witness-tuple-count",
+            mutated(&base, &["witness", "tuples"], &|v| {
+                if let Json::Arr(items) = v {
+                    items.pop();
+                }
+            }),
+        );
+        push(
+            "witness-tuple-duplicate",
+            mutated(&base, &["witness", "tuples"], &|v| {
+                if let Json::Arr(items) = v {
+                    if items.len() >= 2 {
+                        items[1] = items[0].clone();
+                    }
+                }
+            }),
+        );
+        push(
+            "witness-tuple-garbage",
+            mutated(&base, &["witness", "tuples"], &|v| {
+                if let Json::Arr(items) = v {
+                    if let Some(first) = items.first_mut() {
+                        *first = Json::Str(String::new());
+                    }
+                }
+            }),
+        );
+    }
+
+    // basis (derived certificates): break the node map and the coverage
+    if base.get("basis").is_some() {
+        push(
+            "basis-closure",
+            mutated(&base, &["basis", "closure"], &|v| {
+                *v = Json::Str(String::new());
+            }),
+        );
+        push(
+            "basis-closure-node",
+            mutated(&base, &["basis", "closure_node"], &|v| {
+                *v = Json::Num(999_999.0);
+            }),
+        );
+        push(
+            "basis-node-count",
+            mutated(&base, &["basis", "block_nodes"], &|v| {
+                if let Json::Arr(items) = v {
+                    if items.pop().is_none() {
+                        items.push(Json::Num(0.0));
+                    }
+                }
+            }),
+        );
+        if matches!(
+            base.get("basis").and_then(|b| b.get("blocks")),
+            Some(Json::Arr(items)) if !items.is_empty()
+        ) {
+            push(
+                "basis-lambda-block",
+                mutated(&base, &["basis", "blocks"], &|v| {
+                    if let Json::Arr(items) = v {
+                        items[0] = Json::Str("λ".to_owned());
+                    }
+                }),
+            );
+        }
+    }
+
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +445,38 @@ mod tests {
             assert_ne!(fat.lhs, sigma[i].lhs);
             assert_eq!(fat.rhs, sigma[i].rhs);
         }
+    }
+
+    #[test]
+    fn certificate_corpus_covers_every_family_and_differs_from_the_original() {
+        let valid = crate::chaos::universal_certificate("L(A, B, C)", "L(A) -> L(B)\n");
+        let defects = certificate_defects(&valid);
+        assert!(defects.len() >= 10, "only {} defects", defects.len());
+        for d in &defects {
+            assert_ne!(
+                d.doc,
+                valid.trim(),
+                "{} did not change the document",
+                d.label
+            );
+            // every mutation stays parseable JSON (the corpus exercises
+            // *semantic* rejection, not the JSON parser)
+            json::parse(&d.doc).expect(d.label);
+        }
+        let labels: Vec<_> = defects.iter().map(|d| d.label).collect();
+        for family in [
+            "format-marker",
+            "verdict-rotate",
+            "rule-unknown",
+            "sigma-entry",
+        ] {
+            assert!(labels.contains(&family), "missing {family}");
+        }
+    }
+
+    #[test]
+    fn garbage_certificate_input_yields_an_empty_corpus() {
+        assert!(certificate_defects("not json").is_empty());
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //! * [`scenarios`] — fixed named workloads: the paper's pub-crawl
 //!   example, a genomic sequence database, and an XML-style order store;
 //! * [`defects`] — seeders that plant a known defect (trivial, duplicate,
-//!   subsumed, inflated LHS) into a Σ, for exercising the lint rules;
+//!   subsumed, inflated LHS) into a Σ, for exercising the lint rules, and
+//!   single-field certificate corrupters for exercising the checker;
 //! * [`chaos`] — pathological corpora (depth bombs, atom bombs, megabyte
 //!   identifiers, mangled spec files) and fail-point re-exports for the
 //!   fault-tolerance harness.
@@ -30,7 +31,10 @@ pub mod sigma_gen;
 
 pub use attr_gen::{attr_with_atoms, flat_attr, random_attr, AttrConfig};
 pub use chaos::{ChaosCase, Expectation};
-pub use defects::{render_sigma, seed_duplicate, seed_inflated_lhs, seed_trivial, seed_weakened};
+pub use defects::{
+    certificate_defects, render_sigma, seed_duplicate, seed_inflated_lhs, seed_trivial,
+    seed_weakened, Defect,
+};
 pub use edits::{random_edit_script, EditConfig, EditOp};
 pub use instance_gen::{random_instance, random_value, satisfying_instance, InstanceConfig};
 pub use scenarios::Scenario;

@@ -44,9 +44,10 @@
 #![warn(missing_docs)]
 
 pub mod diagnostic;
-pub mod json;
 pub mod rules;
 pub mod spec;
+
+pub use nalist_types::json;
 
 pub use diagnostic::{render_human, render_json, Diagnostic, LintReport, Severity};
 pub use rules::{rules, run_rules, LintCtx, Rule};

@@ -34,6 +34,7 @@ use std::collections::BTreeMap;
 
 use nalist_algebra::{Algebra, AtomSet};
 use nalist_deps::{CompiledDep, DepKind, ProofDag, Rule};
+use nalist_guard::{Budget, ResourceExhausted};
 
 use crate::closure::{closure_and_basis, DependencyBasis};
 
@@ -49,6 +50,15 @@ pub enum CertifyError {
         /// Display name of the rule whose side condition failed.
         rule: &'static str,
     },
+    /// An internal invariant of the certifying run failed — the recorded
+    /// derivation disagrees with the uninstrumented engine. Indicates a
+    /// bug; previously these were `assert!` panics.
+    Internal {
+        /// Which invariant broke.
+        what: &'static str,
+    },
+    /// The budget ran out mid-certification.
+    Resource(ResourceExhausted),
 }
 
 impl std::fmt::Display for CertifyError {
@@ -57,11 +67,19 @@ impl std::fmt::Display for CertifyError {
             CertifyError::InvalidInstance { rule } => {
                 write!(f, "certify: invalid {rule} instance")
             }
+            CertifyError::Internal { what } => write!(f, "certify: {what}"),
+            CertifyError::Resource(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for CertifyError {}
+
+impl From<ResourceExhausted> for CertifyError {
+    fn from(e: ResourceExhausted) -> Self {
+        CertifyError::Resource(e)
+    }
+}
 
 /// The certified output: the dependency basis plus a proof DAG and the
 /// nodes certifying each part.
@@ -198,15 +216,28 @@ impl<'a> Builder<'a> {
 
 /// Runs Algorithm 5.1 while recording a checkable derivation of every
 /// output (Lemma 6.1, constructively). A rule application rejected by
-/// the checker surfaces as [`CertifyError`] (reachable only with
-/// hand-built [`CompiledDep`] inputs); asserts remain for internal
-/// invariants — the returned DAG re-verifies with the independent
-/// checker, and the basis is asserted equal to the uninstrumented
-/// engine's output.
+/// the checker surfaces as [`CertifyError::InvalidInstance`] (reachable
+/// only with hand-built [`CompiledDep`] inputs); a broken internal
+/// invariant — the recorded derivation or basis disagreeing with the
+/// uninstrumented engine — is [`CertifyError::Internal`] instead of a
+/// panic, so certificate emission can never take the process down.
 pub fn certified_closure_and_basis(
     alg: &Algebra,
     sigma: &[CompiledDep],
     x: &AtomSet,
+) -> Result<CertifiedBasis, CertifyError> {
+    certified_closure_and_basis_governed(alg, sigma, x, &Budget::unlimited())
+}
+
+/// Budget-governed twin of [`certified_closure_and_basis`]: charges one
+/// fuel unit per dependency visit per pass (the same unit the worklist
+/// engine charges), so certification respects the caller's admission
+/// limits even though it runs the slower instrumented loop.
+pub fn certified_closure_and_basis_governed(
+    alg: &Algebra,
+    sigma: &[CompiledDep],
+    x: &AtomSet,
+    budget: &Budget,
 ) -> Result<CertifiedBasis, CertifyError> {
     let mut b = Builder {
         alg,
@@ -252,6 +283,7 @@ pub fn certified_closure_and_basis(
         let x_old = b.x_new.clone();
         let blocks_old: Vec<AtomSet> = b.blocks.keys().cloned().collect();
         for &i in &order {
+            budget.charge(1)?;
             let dep = &sigma[i];
             let (ubar_set, ubar_node) = b.ubar(&dep.lhs, x)?;
             let vtilde = alg.pdiff(&dep.rhs, &ubar_set);
@@ -259,10 +291,11 @@ pub fn certified_closure_and_basis(
                 continue;
             }
             // the anchoring invariant the derivations rely on
-            assert!(
-                dep.lhs.is_subset(&alg.join(&b.x_new, &ubar_set)),
-                "certify: anchoring invariant violated"
-            );
+            if !dep.lhs.is_subset(&alg.join(&b.x_new, &ubar_set)) {
+                return Err(CertifyError::Internal {
+                    what: "anchoring invariant violated",
+                });
+            }
             match dep.kind {
                 DepKind::Fd => {
                     // X_new ↠ Ū^C
@@ -310,21 +343,21 @@ pub fn certified_closure_and_basis(
                     let l_set = b.dag.conclusion(l_node).rhs.clone();
                     // L ↠ V (the premise, lifted — needs U ≤ L)
                     let va = b.lift(premise_nodes[i], &l_set)?;
-                    assert_eq!(
-                        b.dag.conclusion(va).lhs,
-                        l_set,
-                        "certify: premise LHS not anchored"
-                    );
+                    if b.dag.conclusion(va).lhs != l_set {
+                        return Err(CertifyError::Internal {
+                            what: "premise LHS not anchored",
+                        });
+                    }
                     // X_new ↠ V ∸ L, joined with the determined part = Ṽ
                     let tr = b.step(Rule::MvdTransitivity, &[l_node, va], &[])?;
                     let det = alg.meet(&vtilde, &x_cur);
                     let det_node = b.mvd_refl(&x_cur, &det)?;
                     let vt_node = b.step(Rule::MvdJoin, &[tr, det_node], &[])?;
-                    assert_eq!(
-                        b.dag.conclusion(vt_node).rhs,
-                        vtilde,
-                        "certify: Ṽ derivation mismatch"
-                    );
+                    if b.dag.conclusion(vt_node).rhs != vtilde {
+                        return Err(CertifyError::Internal {
+                            what: "Ṽ derivation mismatch",
+                        });
+                    }
                     // mixed meet: X_new → Ṽ ⊓ Ṽ^C, then the new X → X_new
                     let mixed = b.step(Rule::MixedMeet, &[vt_node], &[])?;
                     let x_to_m = b.step(Rule::FdTransitivity, &[b.x_node, mixed], &[])?;
@@ -364,10 +397,26 @@ pub fn certified_closure_and_basis(
 
     // cross-check against the uninstrumented engine
     let basis = closure_and_basis(alg, sigma, x);
-    assert_eq!(basis.closure, b.x_new, "certify: closure mismatch");
+    if basis.closure != b.x_new {
+        return Err(CertifyError::Internal {
+            what: "closure disagrees with the uninstrumented engine",
+        });
+    }
     let block_sets: Vec<AtomSet> = b.blocks.keys().cloned().collect();
-    assert_eq!(basis.blocks, block_sets, "certify: block mismatch");
-    let block_nodes: Vec<usize> = basis.blocks.iter().map(|w| b.blocks[w]).collect();
+    if basis.blocks != block_sets {
+        return Err(CertifyError::Internal {
+            what: "blocks disagree with the uninstrumented engine",
+        });
+    }
+    let block_nodes: Vec<usize> = basis
+        .blocks
+        .iter()
+        .map(|w| {
+            b.blocks.get(w).copied().ok_or(CertifyError::Internal {
+                what: "block without a proving node",
+            })
+        })
+        .collect::<Result<_, _>>()?;
     Ok(CertifiedBasis {
         basis,
         dag: b.dag,
@@ -399,7 +448,17 @@ pub fn certify(
     sigma: &[CompiledDep],
     dep: &CompiledDep,
 ) -> Result<Option<ProofDag>, CertifyError> {
-    let mut cert = certified_closure_and_basis(alg, sigma, &dep.lhs)?;
+    certify_governed(alg, sigma, dep, &Budget::unlimited())
+}
+
+/// Budget-governed twin of [`certify`].
+pub fn certify_governed(
+    alg: &Algebra,
+    sigma: &[CompiledDep],
+    dep: &CompiledDep,
+    budget: &Budget,
+) -> Result<Option<ProofDag>, CertifyError> {
+    let mut cert = certified_closure_and_basis_governed(alg, sigma, &dep.lhs, budget)?;
     match dep.kind {
         DepKind::Fd => {
             if !cert.basis.fd_derivable(&dep.rhs) {
@@ -449,11 +508,11 @@ pub fn certify(
                     acc = raw_step(&mut cert.dag, alg, Rule::MvdJoin, &[acc, wn], &[])?;
                 }
             }
-            assert_eq!(
-                cert.dag.conclusion(acc),
-                dep,
-                "certify: assembled MVD does not match the target"
-            );
+            if cert.dag.conclusion(acc) != dep {
+                return Err(CertifyError::Internal {
+                    what: "assembled MVD does not match the target",
+                });
+            }
             Ok(Some(cert.dag))
         }
     }

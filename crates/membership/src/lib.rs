@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod beeri;
+pub mod cert;
 pub mod certify;
 pub mod closure;
 pub mod decide;
@@ -28,7 +29,10 @@ pub mod trace;
 pub mod witness;
 pub mod worklist;
 
-pub use certify::{certified_closure_and_basis, certify, CertifiedBasis, CertifyError};
+pub use certify::{
+    certified_closure_and_basis, certified_closure_and_basis_governed, certify, certify_governed,
+    CertifiedBasis, CertifyError,
+};
 pub use closure::{
     closure_and_basis, closure_and_basis_governed, closure_and_basis_paper,
     closure_and_basis_paper_governed, closure_and_basis_traced, ClosureError, DependencyBasis,
@@ -37,7 +41,7 @@ pub use closure::{
 pub use decide::{
     default_batch_threads, implies, CacheStats, Evidence, QueryError, Reasoner, ReasonerError,
 };
-pub use witness::{refute, Witness, WitnessError};
+pub use witness::{refute, refute_governed, Witness, WitnessError};
 pub use worklist::{
     closure_and_basis_worklist_run_governed, closure_and_basis_worklist_run_observed,
     step_would_change, WorklistRun,

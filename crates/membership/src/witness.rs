@@ -16,10 +16,11 @@
 
 use nalist_algebra::{Algebra, AtomSet};
 use nalist_deps::{CompiledDep, DepKind, Instance};
+use nalist_guard::{Budget, ResourceExhausted};
 use nalist_types::attr::NestedAttr;
 use nalist_types::value::Value;
 
-use crate::closure::{closure_and_basis, DependencyBasis};
+use crate::closure::{closure_and_basis_governed, ClosureError, DependencyBasis};
 
 /// Upper bound on free blocks: the instance has `2^k` tuples.
 pub const MAX_FREE_BLOCKS: usize = 16;
@@ -60,6 +61,14 @@ pub enum WitnessError {
         /// The orphaned atom's index.
         atom: usize,
     },
+    /// The budget ran out mid-construction.
+    Resource(ResourceExhausted),
+}
+
+impl From<ResourceExhausted> for WitnessError {
+    fn from(e: ResourceExhausted) -> Self {
+        WitnessError::Resource(e)
+    }
 }
 
 impl std::fmt::Display for WitnessError {
@@ -82,6 +91,7 @@ impl std::fmt::Display for WitnessError {
                      (dependency basis is not a partition)"
                 )
             }
+            WitnessError::Resource(e) => write!(f, "{e}"),
         }
     }
 }
@@ -95,6 +105,17 @@ impl std::error::Error for WitnessError {}
 pub fn combination_instance(
     alg: &Algebra,
     basis: &DependencyBasis,
+) -> Result<Witness, WitnessError> {
+    combination_instance_governed(alg, basis, &Budget::unlimited())
+}
+
+/// Budget-governed twin of [`combination_instance`]: charges one fuel
+/// unit per constructed tuple, so a `2^16`-tuple instance respects the
+/// caller's admission limits.
+pub fn combination_instance_governed(
+    alg: &Algebra,
+    basis: &DependencyBasis,
+    budget: &Budget,
 ) -> Result<Witness, WitnessError> {
     let n = alg.attr().clone();
     let free: Vec<&AtomSet> = basis.free_blocks();
@@ -120,6 +141,7 @@ pub fn combination_instance(
     let mut t1 = None;
     let mut t2 = None;
     for combo in 0u32..(1u32 << k) {
+        budget.charge(1)?;
         let choice = |atom: usize| -> u8 {
             match block_of[atom] {
                 None => 0, // functionally determined: same value everywhere
@@ -140,10 +162,18 @@ pub fn combination_instance(
                 reason: format!("constructed value ill-typed: {e}"),
             })?;
     }
+    let (t1, t2) = match (t1, t2) {
+        (Some(t1), Some(t2)) => (t1, t2),
+        _ => {
+            return Err(WitnessError::VerificationFailed {
+                reason: "generator tuples were not constructed".to_owned(),
+            })
+        }
+    };
     Ok(Witness {
         instance,
-        t1: t1.expect("combo 0 always built"),
-        t2: t2.expect("last combo always built"),
+        t1,
+        t2,
         free_blocks: k,
     })
 }
@@ -186,7 +216,24 @@ pub fn refute(
     sigma: &[CompiledDep],
     dep: &CompiledDep,
 ) -> Result<Option<Witness>, WitnessError> {
-    let basis = closure_and_basis(alg, sigma, &dep.lhs);
+    refute_governed(alg, sigma, dep, &Budget::unlimited())
+}
+
+/// Budget-governed twin of [`refute`]: the closure run, the `2^k` tuple
+/// construction and the per-dependency instance verification all charge
+/// the same budget.
+pub fn refute_governed(
+    alg: &Algebra,
+    sigma: &[CompiledDep],
+    dep: &CompiledDep,
+    budget: &Budget,
+) -> Result<Option<Witness>, WitnessError> {
+    let basis = closure_and_basis_governed(alg, sigma, &dep.lhs, budget).map_err(|e| match e {
+        ClosureError::Resource(r) => WitnessError::Resource(r),
+        other => WitnessError::VerificationFailed {
+            reason: other.to_string(),
+        },
+    })?;
     let implied = match dep.kind {
         DepKind::Fd => basis.fd_derivable(&dep.rhs),
         DepKind::Mvd => basis.mvd_derivable(&dep.rhs),
@@ -194,9 +241,10 @@ pub fn refute(
     if implied {
         return Ok(None);
     }
-    let witness = combination_instance(alg, &basis)?;
+    let witness = combination_instance_governed(alg, &basis, budget)?;
     // verify: r ⊨ Σ …
     for (i, d) in sigma.iter().enumerate() {
+        budget.charge(witness.instance.len() as u64)?;
         if !witness.instance.satisfies(alg, d) {
             return Err(WitnessError::VerificationFailed {
                 reason: format!("instance violates premise #{i}: {}", d.render(alg)),
@@ -215,6 +263,7 @@ pub fn refute(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::closure::closure_and_basis;
     use nalist_deps::Dependency;
     use nalist_types::parser::parse_attr;
 

@@ -64,6 +64,9 @@ pub mod site {
     pub const BATCH_GROUP: &str = "batch::group";
     /// One query inside a batch (enter payload: original query index).
     pub const BATCH_QUERY: &str = "batch::query";
+    /// One certificate verification run (`nalist check`; exit payload:
+    /// 1 = accepted, 0 = rejected).
+    pub const CHECK_VERIFY: &str = "check::verify";
 }
 
 /// Monotone work counters. The set is closed — a fixed enum instead of
@@ -104,11 +107,15 @@ pub enum Counter {
     BatchThreads,
     /// Budget fuel spent, flushed once at the end of a governed run.
     FuelSpent,
+    /// Derivation nodes replayed by the certificate checker.
+    CertNodes,
+    /// Witness tuples re-verified by the certificate checker.
+    CertTuples,
 }
 
 impl Counter {
     /// Every counter, in declaration (and serialization) order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 16] = [
         Counter::DepsFired,
         Counter::WorklistSteps,
         Counter::AtomsAllocated,
@@ -123,6 +130,8 @@ impl Counter {
         Counter::BatchLocalHits,
         Counter::BatchThreads,
         Counter::FuelSpent,
+        Counter::CertNodes,
+        Counter::CertTuples,
     ];
 
     /// Stable snake_case name used in `--metrics` JSON and the perf
@@ -143,6 +152,8 @@ impl Counter {
             Counter::BatchLocalHits => "batch_local_hits",
             Counter::BatchThreads => "batch_threads",
             Counter::FuelSpent => "fuel_spent",
+            Counter::CertNodes => "cert_nodes",
+            Counter::CertTuples => "cert_tuples",
         }
     }
 }

@@ -1,8 +1,15 @@
-//! Minimal JSON support: string escaping for the renderer and a small
-//! recursive-descent parser used to round-trip `--format json` output in
-//! tests and CI tooling. No external dependencies — the workspace is
-//! offline — and no serialization framework: the emitted document is
-//! simple enough that a ~150-line reader keeps the whole surface in view.
+//! Minimal JSON support: string escaping for the renderers, a small
+//! recursive-descent parser, and a writer for [`Json`] values. Used to
+//! round-trip `--format json` output in tests and CI tooling, and as the
+//! wire form of proof certificates (`nalist-check`). No external
+//! dependencies — the workspace is offline — and no serialization
+//! framework: the emitted documents are simple enough that a ~150-line
+//! reader keeps the whole surface in view.
+//!
+//! This module lives in `nalist-types` (the bottom of the crate graph)
+//! so that the trusted certificate checker can parse certificates
+//! without pulling in the lint or engine crates; `nalist-lint`
+//! re-exports it under the historical `lint::json` path.
 
 use std::fmt::Write as _;
 
@@ -62,6 +69,14 @@ impl Json {
         }
     }
 
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The numeric payload as `usize`, if this is a non-negative integer.
     pub fn as_usize(&self) -> Option<usize> {
         match self {
@@ -77,7 +92,59 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Serialises the value back to JSON text (compact, single line).
+    /// Integers round-trip without a fractional part; [`parse`] ∘
+    /// [`Json::render`] is the identity on parsed documents.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Str(s) => out.push_str(&escape(s)),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&escape(k));
+                    out.push_str(": ");
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
+
+/// Maximum container-nesting depth [`parse`] accepts. The documents we
+/// exchange (lint reports, metrics, certificates) nest a handful of
+/// levels; the cap exists so an adversarial `[[[[…` input is a parse
+/// error instead of a recursion-induced stack overflow.
+pub const MAX_PARSE_DEPTH: usize = 64;
 
 /// Parses a complete JSON document. Errors are positions plus a short
 /// description — good enough for test assertions.
@@ -86,6 +153,7 @@ pub fn parse(src: &str) -> Result<Json, String> {
     let mut p = Parser {
         src: &bytes,
         pos: 0,
+        depth: 0,
     };
     let v = p.value()?;
     p.skip_ws();
@@ -98,6 +166,7 @@ pub fn parse(src: &str) -> Result<Json, String> {
 struct Parser<'a> {
     src: &'a [char],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -134,11 +203,24 @@ impl Parser<'_> {
             Some('t') => self.literal("true", Json::Bool(true)),
             Some('f') => self.literal("false", Json::Bool(false)),
             Some('"') => self.string().map(Json::Str),
-            Some('[') => self.array(),
-            Some('{') => self.object(),
+            Some('[') => self.nested(Parser::array),
+            Some('{') => self.nested(Parser::object),
             Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
             other => Err(format!("unexpected {other:?} at char {}", self.pos)),
         }
+    }
+
+    fn nested(&mut self, inner: fn(&mut Self) -> Result<Json, String>) -> Result<Json, String> {
+        if self.depth >= MAX_PARSE_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_PARSE_DEPTH} at char {}",
+                self.pos
+            ));
+        }
+        self.depth += 1;
+        let v = inner(self);
+        self.depth -= 1;
+        v
     }
 
     fn string(&mut self) -> Result<String, String> {
@@ -288,11 +370,33 @@ mod tests {
     }
 
     #[test]
+    fn render_round_trips() {
+        let doc = r#"{ "a": [1, 2.5, -3], "b": null, "c": true, "d": { "e": "λ ↠ B" } }"#;
+        let v = parse(doc).unwrap();
+        let rendered = v.render();
+        assert_eq!(parse(&rendered).unwrap(), v, "{rendered}");
+        // Integers come back without a fractional part.
+        assert_eq!(Json::Num(42.0).render(), "42");
+        assert_eq!(Json::Num(2.5).render(), "2.5");
+        assert_eq!(Json::Arr(vec![]).render(), "[]");
+        assert_eq!(Json::Obj(vec![]).render(), "{}");
+    }
+
+    #[test]
     fn parse_rejects_garbage() {
         assert!(parse("{").is_err());
         assert!(parse("[1,]").is_err());
         assert!(parse("\"unterminated").is_err());
         assert!(parse("{} trailing").is_err());
         assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn parse_caps_nesting_depth() {
+        let deep_ok = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        assert!(parse(&deep_ok).is_ok());
+        let bomb = "[".repeat(100_000);
+        let err = parse(&bomb).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
     }
 }

@@ -35,6 +35,7 @@
 pub mod attr;
 pub mod display;
 pub mod error;
+pub mod json;
 pub mod parser;
 pub mod projection;
 pub mod span;
