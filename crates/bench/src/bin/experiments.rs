@@ -11,7 +11,9 @@ use nalist::algebra::render::{basis_listing, full_lattice_dot};
 use nalist::deps::naive::{NaiveClosure, NaiveConfig};
 use nalist::membership::trace::{render_result, render_trace};
 use nalist::membership::witness::combination_instance;
+use nalist::membership::{recover, write_reasoner_snapshot, WalOp};
 use nalist::prelude::*;
+use nalist::store::WalWriter;
 use nalist_bench::{
     flat_workload, fmt_nanos, loglog_slope, median_nanos, nested_workload, run_closures,
     run_closures_paper,
@@ -50,6 +52,7 @@ fn main() {
         ("E-CHASE", chase_table),
         ("E-MINRULES", min_rules),
         ("E-APP", apps),
+        ("E-DUR", durability),
     ];
     let mut ran = 0usize;
     for (id, f) in experiments {
@@ -1214,5 +1217,225 @@ fn apps() {
                 "LOSSY ✗"
             }
         );
+    }
+}
+
+// ------------------------------------------------------------------ E-DUR
+
+/// Durability costs (DESIGN.md "Durability & crash recovery"): snapshot
+/// size and atomic-write time as `|Σ|` and the warm-cache population
+/// grow, WAL append latency with and without fsync, and warm recovery
+/// (snapshot + WAL tail) against a cold from-scratch replay of the same
+/// history.
+fn durability() {
+    header(
+        "E-DUR",
+        "durability: snapshot cost, WAL append latency, recovery vs cold replay",
+    );
+    let budget = Budget::unlimited();
+    let rec: std::sync::Arc<dyn nalist::obs::Recorder> =
+        std::sync::Arc::new(nalist::obs::NoopRecorder);
+    let dir = std::env::temp_dir().join(format!("nalist-edur-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir for E-DUR artifacts");
+    let mut json_rows: Vec<String> = Vec::new();
+    let median = |mut samples: Vec<u128>| {
+        samples.sort_unstable();
+        samples[samples.len() / 2]
+    };
+
+    // -- snapshot size & write time vs |Σ| and cache entries -----------
+    println!("\nsnapshot size and atomic-write time (median of 5, 32-LHS pool):");
+    println!(
+        "{:>6} {:>6} {:>8} {:>12} {:>12} {:>12}",
+        "|N|", "|Σ|", "cache", "bytes", "payload", "write"
+    );
+    for &(atoms, sigma) in &[(64usize, 8usize), (64, 32), (256, 8), (256, 32)] {
+        let ew = nalist_bench::incremental_edit_workload(10, atoms, sigma, 32);
+        let cold = {
+            let c = ew.reasoner.clone();
+            c.clear_cache();
+            c
+        };
+        for (label, r) in [("0", &cold), ("warm", &ew.reasoner)] {
+            let entries = r.cache_stats().entries;
+            let payload = snapshot_payload(r).len();
+            let path = dir.join(format!("snap-{atoms}-{sigma}-{label}.bin"));
+            let mut bytes = 0u64;
+            let t_write = median(
+                (0..5)
+                    .map(|_| {
+                        let t = std::time::Instant::now();
+                        bytes = write_reasoner_snapshot(&path, r, &budget, rec.as_ref())
+                            .expect("snapshot writes");
+                        t.elapsed().as_nanos()
+                    })
+                    .collect(),
+            );
+            println!(
+                "{atoms:>6} {sigma:>6} {entries:>8} {bytes:>12} {payload:>12} {:>12}",
+                fmt_nanos(t_write)
+            );
+            json_rows.push(format!(
+                "  {{\"id\": \"snapshot(atoms={atoms}, sigma={sigma}, cache={entries})\", \
+                 \"atoms\": {atoms}, \"sigma\": {sigma}, \"cache_entries\": {entries}, \
+                 \"file_bytes\": {bytes}, \"payload_bytes\": {payload}, \
+                 \"median_write_ns\": {t_write}}}"
+            ));
+        }
+    }
+    println!("cache column: snapshot carries the warm entries, so recovery skips recomputing them");
+
+    // -- WAL append latency, with and without fsync ---------------------
+    let ew = nalist_bench::incremental_edit_workload(10, 64, 32, 32);
+    let add_record = WalOp::Add(ew.edit.to_string()).encode();
+    println!(
+        "\nWAL append latency ({}-byte `+` record, median per append):",
+        add_record.len()
+    );
+    println!("{:>8} {:>10} {:>14}", "fsync", "appends", "median");
+    for (fsync, appends) in [(false, 256usize), (true, 64usize)] {
+        let path = dir.join(format!("append-{fsync}.wal"));
+        let mut w = WalWriter::create(&path, fsync).expect("WAL creates");
+        let t_append = median(
+            (0..appends)
+                .map(|_| {
+                    let t = std::time::Instant::now();
+                    w.append(&add_record, &budget, rec.as_ref())
+                        .expect("append");
+                    t.elapsed().as_nanos()
+                })
+                .collect(),
+        );
+        println!("{fsync:>8} {appends:>10} {:>14}", fmt_nanos(t_append));
+        json_rows.push(format!(
+            "  {{\"id\": \"wal_append(fsync={fsync})\", \"fsync\": {fsync}, \
+             \"appends\": {appends}, \"record_bytes\": {}, \"median_append_ns\": {t_append}}}",
+            add_record.len()
+        ));
+    }
+    println!("fsync-off batches edits between snapshots; fsync-on is the durable default");
+
+    // -- recovery (snapshot + WAL tail) vs cold full replay -------------
+    // two workload families: `random` (32 random deps, cheap µs-scale
+    // queries) and the paper's adversarial FD `chain` (|Σ| = |N| - 1,
+    // every basis query forces Θ(|N|) passes — expensive to recompute)
+    let scenarios: Vec<(&str, usize, Reasoner, Vec<AtomSet>, Dependency)> = {
+        let mut v = Vec::new();
+        for &atoms in &[64usize, 256] {
+            let ew = nalist_bench::incremental_edit_workload(10, atoms, 32, 32);
+            v.push(("random", atoms, ew.reasoner, ew.lhss, ew.edit));
+        }
+        for &atoms in &[64usize, 256] {
+            let w = nalist_bench::chain_workload(atoms);
+            let mut r = Reasoner::new(&w.attr);
+            for d in &w.sigma {
+                r.add(d.decompile(&w.alg)).expect("chain Σ compiles");
+            }
+            let pool: Vec<AtomSet> = (0..8)
+                .map(|i| {
+                    let mut x = w.alg.bottom_set();
+                    x.insert(i * atoms / 8);
+                    x
+                })
+                .collect();
+            for x in &pool {
+                std::hint::black_box(r.dependency_basis(x));
+            }
+            let mut lhs = w.alg.bottom_set();
+            lhs.insert(atoms - 1);
+            let mut rhs = w.alg.bottom_set();
+            rhs.insert(0);
+            let edit = CompiledDep::fd(lhs, rhs).decompile(&w.alg);
+            v.push(("chain", atoms, r, pool, edit));
+        }
+        v
+    };
+    println!("\nrecovery vs cold replay of the full history (3-op WAL tail, median of 5):");
+    println!(
+        "{:>8} {:>6} {:>6} {:>6} {:>14} {:>14} {:>9}",
+        "workload", "|N|", "|Σ|", "pool", "cold replay", "recover", "speedup"
+    );
+    for (name, atoms, r, pool, edit_dep) in &scenarios {
+        let sigma_len = r.sigma().len();
+        let snap = dir.join(format!("recover-{name}-{atoms}.snap"));
+        write_reasoner_snapshot(&snap, r, &budget, rec.as_ref()).expect("snapshot writes");
+        let wal = dir.join(format!("recover-{name}-{atoms}.wal"));
+        let edit = edit_dep.to_string();
+        let tail = [
+            WalOp::Header {
+                schema: r.attr().to_string(),
+            },
+            WalOp::Add(edit.clone()),
+            WalOp::Query(edit.clone()),
+            WalOp::Remove(edit.clone()),
+        ];
+        let mut w = WalWriter::create(&wal, true).expect("WAL creates");
+        for op in &tail {
+            w.append(&op.encode(), &budget, rec.as_ref())
+                .expect("append");
+        }
+        drop(w);
+        // cold replay: rebuild the reasoner from nothing and re-run the
+        // entire history the snapshot+WAL pair encodes — every add, every
+        // cache-warming query, then the tail
+        let sigma: Vec<Dependency> = r.sigma().to_vec();
+        let t_cold = median(
+            (0..5)
+                .map(|_| {
+                    let t = std::time::Instant::now();
+                    let mut fresh = Reasoner::new(r.attr());
+                    for d in &sigma {
+                        fresh.add(d.clone()).expect("Σ re-adds");
+                    }
+                    for x in pool {
+                        std::hint::black_box(fresh.dependency_basis(x));
+                    }
+                    fresh.add_str(&edit).expect("edit re-adds");
+                    fresh.implies_str(&edit).expect("edit queries");
+                    assert!(fresh.remove_str(&edit).expect("edit removes"));
+                    t.elapsed().as_nanos()
+                })
+                .collect(),
+        );
+        let t_recover = median(
+            (0..5)
+                .map(|_| {
+                    let t = std::time::Instant::now();
+                    let report = recover(&snap, Some(&wal), &budget, std::sync::Arc::clone(&rec))
+                        .expect("recovers");
+                    assert_eq!(report.replayed(), 3);
+                    t.elapsed().as_nanos()
+                })
+                .collect(),
+        );
+        let speedup = t_cold as f64 / t_recover.max(1) as f64;
+        println!(
+            "{name:>8} {atoms:>6} {sigma_len:>6} {:>6} {:>14} {:>14} {speedup:>8.1}x",
+            pool.len(),
+            fmt_nanos(t_cold),
+            fmt_nanos(t_recover)
+        );
+        json_rows.push(format!(
+            "  {{\"id\": \"recovery(workload={name}, atoms={atoms}, sigma={sigma_len}, \
+             lhs_pool={}, wal_tail_ops=3)\", \
+             \"workload\": \"{name}\", \"atoms\": {atoms}, \"sigma\": {sigma_len}, \
+             \"lhs_pool\": {}, \"wal_tail_ops\": 3, \
+             \"median_cold_replay_ns\": {t_cold}, \"median_recover_ns\": {t_recover}, \
+             \"speedup\": {speedup:.2}}}",
+            pool.len(),
+            pool.len()
+        ));
+    }
+    println!(
+        "recovery loads the cache warm from the snapshot and replays only the WAL tail:\n\
+         it wins when cached bases are expensive to recompute (chain) and loses when\n\
+         recomputation is cheaper than parsing the snapshot (easy random workloads);\n\
+         bit-identity with the live process is proptest-asserted in tests/durability.rs"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let json = format!("[\n{}\n]\n", json_rows.join(",\n"));
+    match std::fs::write("BENCH_durability.json", &json) {
+        Ok(()) => println!("machine-readable results written to BENCH_durability.json"),
+        Err(e) => println!("could not write BENCH_durability.json: {e}"),
     }
 }

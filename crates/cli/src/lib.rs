@@ -15,6 +15,11 @@
 //!                                                      decide Σ ⊨ σ for many σ in parallel
 //! nalist replay    <schema> <script-file>              replay a Σ edit script (add/remove/
 //!                                                      query) on the incremental reasoner
+//!                                                      [--wal <log>] journals every op first
+//! nalist snapshot  <schema> <deps-file> <out>          write a crash-safe snapshot of the
+//!                                                      reasoner state [--warm <queries>]
+//! nalist recover   <snapshot> [--wal <log>]            rebuild a reasoner from a snapshot
+//!                                                      plus an optional WAL tail
 //! nalist prove     <schema> <deps-file> <dependency>   emit a machine-checked derivation
 //! nalist closure   <schema> <deps-file> <subattr>      attribute-set closure X⁺
 //! nalist basis     <schema> <deps-file> <subattr>      dependency basis DepB(X)
@@ -60,19 +65,26 @@
 //! `nalist check` can later verify without re-running the engine.
 //!
 //! Exit codes: 0 success, 1 domain error (refuted query, lint findings,
-//! malformed spec contents, rejected certificate), 2 usage or
-//! file-access error (also: an invalid proof-rule instance surfaced by
-//! `prove`, or an unreadable certificate document), 3 resource
+//! malformed spec contents, rejected certificate, a WAL record that no
+//! longer replays), 2 usage or file-access error (also: an invalid
+//! proof-rule instance surfaced by `prove`, an unreadable certificate
+//! document, or a corrupt/unreadable snapshot or WAL), 3 resource
 //! exhaustion.
+//!
+//! Snapshot and WAL files are binary (checksummed; see the
+//! `nalist-store` crate) and are read and written directly on the real
+//! filesystem — they bypass the text-oriented [`Files`] seam.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
 use nalist::membership::trace::{render_result, render_trace};
+use nalist::membership::{recover, write_reasoner_snapshot, WalOp};
 use nalist::obs::{
     fmt_ns, site, Counter, MetricsRecorder, MetricsSnapshot, NoopRecorder, Recorder,
 };
@@ -175,8 +187,18 @@ pub const COMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         name: "replay",
-        synopsis: "<schema> <script-file>",
+        synopsis: "<schema> <script-file> [--wal <log>]",
         summary: "replay a Σ edit script (add/remove/query) incrementally",
+    },
+    CommandSpec {
+        name: "snapshot",
+        synopsis: "<schema> <deps-file> <out> [--warm <queries-file>]",
+        summary: "write a crash-safe snapshot of the reasoner state (Σ, ids, warm cache)",
+    },
+    CommandSpec {
+        name: "recover",
+        synopsis: "<snapshot> [--wal <log>]",
+        summary: "rebuild the reasoner from a snapshot, replaying an optional WAL tail",
     },
     CommandSpec {
         name: "prove",
@@ -415,8 +437,12 @@ impl Files for OsFiles {
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
     }
 
+    /// All CLI file outputs (metrics JSON, certificates) go through the
+    /// store layer's atomic write: temp file, fsync, rename. A crash
+    /// mid-write leaves the previous file intact, never a torn one.
     fn write(&self, path: &str, content: &str) -> Result<(), String> {
-        std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))
+        nalist::store::atomic_write(std::path::Path::new(path), content.as_bytes())
+            .map_err(|e| format!("cannot write {path}: {e}"))
     }
 }
 
@@ -487,6 +513,66 @@ pub fn run_with_budget(
 ) -> Result<String, CliError> {
     let rec: Arc<dyn Recorder> = Arc::new(NoopRecorder);
     dispatch(args, files, budget, &rec)
+}
+
+/// [`run`] with injected [`FailPoint`]s folded into the budget parsed
+/// from the command line. This is how `main` arms the
+/// `NALIST_FAILPOINT` environment hook (and how the crash-recovery CI
+/// job crashes a release binary at a chosen store site) without any
+/// library code reading process environment.
+pub fn run_with_failpoints(
+    args: &[String],
+    files: &dyn Files,
+    failpoints: Vec<nalist::guard::FailPoint>,
+) -> Result<String, CliError> {
+    let (rest, obs) = extract_obs_flags(args)?;
+    let (rest, mut budget) = extract_global_flags(&rest)?;
+    for fp in failpoints {
+        budget = budget.with_failpoint(fp);
+    }
+    if obs.enabled() {
+        run_observed(&rest, files, &budget, &obs)
+    } else {
+        run_with_budget(&rest, files, &budget)
+    }
+}
+
+/// Parses a `NALIST_FAILPOINT`-style spec: `<site>=<action>` with
+/// `action` one of `panic`, `exhaust` (every hit) or `panic@N` /
+/// `exhaust@N` (only the `N`-th hit, 0-based). Multiple specs separated
+/// by `;`. Returns `Err` with a message on a malformed spec.
+pub fn parse_failpoint_spec(spec: &str) -> Result<Vec<nalist::guard::FailPoint>, String> {
+    use nalist::guard::{FailAction, FailPoint};
+    let mut out = Vec::new();
+    for part in spec.split(';').filter(|p| !p.trim().is_empty()) {
+        let (site, action) = part
+            .trim()
+            .split_once('=')
+            .ok_or_else(|| format!("bad fail-point spec {part:?} (expected <site>=<action>)"))?;
+        let (name, nth) = match action.split_once('@') {
+            Some((name, n)) => {
+                let n: u64 = n
+                    .parse()
+                    .map_err(|e| format!("bad fail-point hit index {n:?}: {e}"))?;
+                (name, Some(n))
+            }
+            None => (action, None),
+        };
+        let act = match name {
+            "panic" => FailAction::Panic,
+            "exhaust" => FailAction::ExhaustFuel,
+            other => {
+                return Err(format!(
+                    "unknown fail-point action {other:?} (expected panic or exhaust)"
+                ))
+            }
+        };
+        out.push(match nth {
+            Some(n) => FailPoint::nth(site, n, act),
+            None => FailPoint::every(site, act),
+        });
+    }
+    Ok(out)
 }
 
 /// [`run`] under a live [`MetricsRecorder`]: the whole command runs
@@ -832,11 +918,34 @@ fn dispatch(
             }
             out.push('\n');
         }
-        ("replay", [schema, script]) => {
+        ("replay", [schema, script, flags @ ..]) => {
+            let wal_path = parse_wal_flag("replay", flags)?;
             let limits = ParseLimits::from_budget(budget);
             let n = parse_attr_with(schema, limits).map_err(|e| schema_error(&e))?;
             let mut r = Reasoner::try_new_observed(&n, budget, Arc::clone(rec))
                 .map_err(CliError::resource)?;
+            // Write-ahead journal: the header names the (canonical)
+            // schema, then every op is journaled *before* it is applied
+            // — after a crash, `nalist recover --wal` replays exactly
+            // the operations the live process had committed to.
+            let mut journaled = 0u64;
+            let mut wal = match wal_path {
+                None => None,
+                Some(path) => {
+                    let mut w = WalWriter::create(Path::new(path), true).map_err(store_error)?;
+                    w.append(
+                        &WalOp::Header {
+                            schema: n.to_string(),
+                        }
+                        .encode(),
+                        budget,
+                        rec.as_ref(),
+                    )
+                    .map_err(store_error)?;
+                    journaled += 1;
+                    Some(w)
+                }
+            };
             let text = files.read(script).map_err(CliError::file)?;
             let (mut adds, mut removes, mut queries) = (0u64, 0u64, 0u64);
             for (lineno, raw) in text.lines().enumerate() {
@@ -853,6 +962,17 @@ fn dispatch(
                     .ok_or_else(|| here(&"expected '<op> <dependency>'"))?;
                 let payload = payload.trim();
                 let parse = || Dependency::parse_with(&n, payload, limits).map_err(|e| here(&e));
+                let wal_op = match op {
+                    "+" | "add" => Some(WalOp::Add(payload.to_string())),
+                    "-" | "remove" => Some(WalOp::Remove(payload.to_string())),
+                    "?" | "query" => Some(WalOp::Query(payload.to_string())),
+                    _ => None,
+                };
+                if let (Some(w), Some(wal_op)) = (wal.as_mut(), &wal_op) {
+                    w.append(&wal_op.encode(), budget, rec.as_ref())
+                        .map_err(store_error)?;
+                    journaled += 1;
+                }
                 match op {
                     "+" | "add" => {
                         let dep = parse()?;
@@ -898,6 +1018,73 @@ fn dispatch(
                 stats.hits, stats.misses, stats.retained, stats.evicted
             )
             .unwrap();
+            if let Some(path) = wal_path {
+                drop(wal);
+                writeln!(out, "WAL: journaled {journaled} record(s) to {path}").unwrap();
+            }
+        }
+        ("snapshot", [schema, deps, out_path, flags @ ..]) => {
+            let warm = parse_warm_flag(flags)?;
+            let r = load_reasoner(files, schema, deps, budget, rec)?;
+            if let Some(queries_path) = warm {
+                let text = files.read(queries_path).map_err(CliError::file)?;
+                let limits = ParseLimits::from_budget(budget);
+                let mut warmed = 0u64;
+                for (lineno, line) in text.lines().enumerate() {
+                    let line = line.trim();
+                    if line.is_empty() || line.starts_with('#') {
+                        continue;
+                    }
+                    checkpoint(budget)?;
+                    let dep = Dependency::parse_with(r.attr(), line, limits).map_err(|e| {
+                        CliError::domain(format!("{queries_path}:{}: {e}", lineno + 1))
+                    })?;
+                    r.implies_governed(&dep, budget)
+                        .map_err(|e| CliError::reasoner(&e))?;
+                    warmed += 1;
+                }
+                writeln!(out, "warmed the cache with {warmed} query(ies)").unwrap();
+            }
+            checkpoint(budget)?;
+            let bytes = write_reasoner_snapshot(Path::new(out_path), &r, budget, rec.as_ref())
+                .map_err(persist_error)?;
+            writeln!(out, "snapshot written to {out_path} ({bytes} bytes)").unwrap();
+            writeln!(
+                out,
+                "Σ: {} dependencies, cache: {} warm entries",
+                r.sigma().len(),
+                r.cache_stats().entries
+            )
+            .unwrap();
+        }
+        ("recover", [snap, flags @ ..]) => {
+            let wal_path = parse_wal_flag("recover", flags)?;
+            checkpoint(budget)?;
+            let report = recover(
+                Path::new(snap),
+                wal_path.map(Path::new),
+                budget,
+                Arc::clone(rec),
+            )
+            .map_err(persist_error)?;
+            let r = &report.reasoner;
+            writeln!(out, "recovered {}", r.attr()).unwrap();
+            writeln!(out, "Σ ({} dependencies):", r.sigma().len()).unwrap();
+            for (dep, id) in r.sigma().iter().zip(r.dep_ids()) {
+                writeln!(out, "  [{id}] {}", dep.display_in(r.attr())).unwrap();
+            }
+            if wal_path.is_some() {
+                if let Some(at) = report.truncated_at {
+                    writeln!(out, "WAL: torn tail truncated at byte {at}").unwrap();
+                }
+                writeln!(
+                    out,
+                    "WAL: replayed {} add(s), {} remove(s), {} query(ies)",
+                    report.adds, report.removes, report.queries
+                )
+                .unwrap();
+            }
+            writeln!(out, "cache: {} warm entries", r.cache_stats().entries).unwrap();
         }
         ("prove", [schema, deps, dep, flags @ ..]) => {
             let cert_path = parse_cert_flag("prove", flags)?;
@@ -1211,7 +1398,7 @@ fn dispatch(
             if t.name == "replay" {
                 writeln!(
                     out,
-                    "\n  script lines (one op per line, '#' comments):\n    + X -> Y     add the dependency to Σ   (alias: add)\n    - X ->> Y    remove it from Σ          (alias: remove)\n    ? X -> Y     decide Σ ⊨ σ              (alias: query)\n\n  Queries reuse cached dependency bases across edits: an edit\n  evicts only the bases it can affect, and the final line reports\n  the cache's hit/miss/retention counters."
+                    "\n  script lines (one op per line, '#' comments):\n    + X -> Y     add the dependency to Σ   (alias: add)\n    - X ->> Y    remove it from Σ          (alias: remove)\n    ? X -> Y     decide Σ ⊨ σ              (alias: query)\n\n  Queries reuse cached dependency bases across edits: an edit\n  evicts only the bases it can affect, and the final line reports\n  the cache's hit/miss/retention counters.\n\n  `--wal <log>` journals every operation (queries included) to a\n  checksummed write-ahead log *before* applying it; after a crash,\n  `nalist recover <snapshot> --wal <log>` replays the committed\n  tail. The log is fsynced per record."
                 )
                 .unwrap();
             }
@@ -1235,6 +1422,20 @@ fn dispatch(
                 for r in nalist::deps::rules::ALL_RULES {
                     writeln!(out, "    {:<22} {}", r.id(), r.cite()).unwrap();
                 }
+            }
+            if t.name == "snapshot" {
+                writeln!(
+                    out,
+                    "\n  Writes the full reasoner state — the schema, Σ with its stable\n  dependency ids, and every warm dependency-basis cache entry — as\n  a versioned, CRC-checksummed binary snapshot (written atomically:\n  temp file, fsync, rename). `--warm <queries-file>` first runs the\n  given membership queries so their cache entries are captured.\n\n  A snapshot plus a `replay --wal` journal is a crash-safe pair:\n  see `nalist help recover`."
+                )
+                .unwrap();
+            }
+            if t.name == "recover" {
+                writeln!(
+                    out,
+                    "\n  Rebuilds the reasoner from a snapshot; cache entries land warm,\n  with no recomputation. With `--wal <log>`, the journal's tail is\n  replayed through the ordinary incremental edit path, so the\n  recovered reasoner is bit-identical to the crashed one.\n\n  A torn final record (the crash hit mid-append) is truncated and\n  reported; corruption anywhere else in the snapshot or log is a\n  hard error (exit 2) — never a silently wrong answer.\n\n  exit codes: 0 recovered; 1 a WAL record no longer replays;\n  2 missing or corrupt snapshot/WAL; 3 budget exhausted."
+                )
+                .unwrap();
             }
             if t.name == "decide" || t.name == "prove" || t.name == "basis" {
                 writeln!(
@@ -1275,6 +1476,50 @@ fn certify_error(e: CertifyError) -> CliError {
             message: other.to_string(),
             code: 2,
         },
+    }
+}
+
+/// Maps a [`StoreError`]: budget exhaustion exits 3; I/O, corruption
+/// and format failures are file errors (exit 2) — the input never
+/// reached the reasoner.
+fn store_error(e: StoreError) -> CliError {
+    match e {
+        StoreError::Resource(r) => CliError::resource(r),
+        other => CliError::file(other),
+    }
+}
+
+/// Maps a [`PersistError`]: a WAL record the reasoner rejects on replay
+/// is a domain error (exit 1, like the same op in a `replay` script);
+/// store-layer and structural failures are file errors (exit 2); budget
+/// exhaustion exits 3.
+fn persist_error(e: PersistError) -> CliError {
+    match e {
+        PersistError::Resource(r) => CliError::resource(r),
+        PersistError::Replay { .. } => CliError::domain(e),
+        other => CliError::file(other),
+    }
+}
+
+/// Extracts the optional trailing `--wal <log>` flag.
+fn parse_wal_flag<'a>(cmd: &str, flags: &'a [String]) -> Result<Option<&'a String>, CliError> {
+    match flags {
+        [] => Ok(None),
+        [flag, path] if flag == "--wal" => Ok(Some(path)),
+        _ => Err(CliError::usage(format!(
+            "unknown flags for {cmd} (expected --wal <log>)"
+        ))),
+    }
+}
+
+/// Extracts the optional trailing `--warm <queries-file>` flag.
+fn parse_warm_flag(flags: &[String]) -> Result<Option<&String>, CliError> {
+    match flags {
+        [] => Ok(None),
+        [flag, path] if flag == "--warm" => Ok(Some(path)),
+        _ => Err(CliError::usage(
+            "unknown flags for snapshot (expected --warm <queries-file>)",
+        )),
     }
 }
 

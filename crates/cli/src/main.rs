@@ -1,8 +1,25 @@
 //! Thin binary wrapper around [`nalist_cli::run`].
+//!
+//! One extra hook lives here (and only here, so library code never
+//! reads process environment): `NALIST_FAILPOINT=<site>=<action>`
+//! arms fault-injection points for crash-recovery testing, e.g.
+//! `NALIST_FAILPOINT='store::append=panic@2' nalist replay … --wal …`
+//! crashes the process on the third WAL append. See
+//! [`nalist_cli::parse_failpoint_spec`] for the grammar.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match nalist_cli::run(&args, &nalist_cli::OsFiles) {
+    let failpoints = match std::env::var("NALIST_FAILPOINT") {
+        Err(_) => Vec::new(),
+        Ok(spec) => match nalist_cli::parse_failpoint_spec(&spec) {
+            Ok(fps) => fps,
+            Err(e) => {
+                eprintln!("bad NALIST_FAILPOINT: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
+    match nalist_cli::run_with_failpoints(&args, &nalist_cli::OsFiles, failpoints) {
         Ok(output) => print!("{output}"),
         Err(e) => {
             eprintln!("{}", e.message);

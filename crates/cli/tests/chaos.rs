@@ -10,9 +10,9 @@ use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
-use nalist::gen::chaos::{corpus, Expectation};
+use nalist::gen::chaos::{corpus, durability_corpus, Expectation};
 use nalist::guard::{Budget, FailAction, FailPoint};
-use nalist_cli::{run, run_with_budget, Files};
+use nalist_cli::{run, run_with_budget, run_with_failpoints, Files};
 
 struct MemFiles(BTreeMap<String, String>);
 
@@ -286,6 +286,141 @@ fn hostile_certificates_are_rejected_not_fatal() {
             "{name}: took {elapsed:?}"
         );
     }
+}
+
+/// Seeds a valid snapshot/WAL pair on the real filesystem (snapshot and
+/// WAL files are binary and bypass the [`Files`] seam) and returns
+/// `(dir, snapshot bytes, wal bytes)`. The journal's last record is a
+/// remove, so the duplicate-record corpus case exercises the
+/// replay-rejection path.
+fn seed_durability_pair(tag: &str) -> (std::path::PathBuf, Vec<u8>, Vec<u8>) {
+    let dir = std::env::temp_dir().join(format!("nalist_chaos_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap_path = dir.join("base.snap");
+    let wal_path = dir.join("base.wal");
+    let mut files = BTreeMap::new();
+    files.insert("deps.txt".to_string(), String::new());
+    files.insert(
+        "edits.txt".to_string(),
+        "+ L(A) -> L(B)\n+ L(B) ->> L(C)\n? L(A) ->> L(C)\n- L(A) -> L(B)\n".to_string(),
+    );
+    let files = MemFiles(files);
+    let (code, _) = invoke(
+        &[
+            "snapshot".to_string(),
+            "L(A, B, C)".to_string(),
+            "deps.txt".to_string(),
+            snap_path.to_str().unwrap().to_string(),
+        ],
+        &files,
+    );
+    assert_eq!(code, 0, "seed snapshot failed");
+    let (code, _) = invoke(
+        &[
+            "replay".to_string(),
+            "L(A, B, C)".to_string(),
+            "edits.txt".to_string(),
+            "--wal".to_string(),
+            wal_path.to_str().unwrap().to_string(),
+        ],
+        &files,
+    );
+    assert_eq!(code, 0, "seed journal failed");
+    let snap = std::fs::read(&snap_path).unwrap();
+    let wal = std::fs::read(&wal_path).unwrap();
+    (dir, snap, wal)
+}
+
+/// Every mangled snapshot/WAL pair in the durability corpus yields a
+/// structured outcome within the contract's exit-code set — detected
+/// corruption (2), a reported torn-tail recovery (0), or a replay
+/// rejection (1) — never a panic, a hang, or a code outside 0..=3.
+#[test]
+fn durability_corpus_exit_code_contract() {
+    let (dir, snap, wal) = seed_durability_pair("dur");
+    let files = MemFiles(BTreeMap::new());
+    for case in durability_corpus(&snap, &wal) {
+        let s = dir.join(format!("{}.snap", case.name));
+        std::fs::write(&s, &case.snapshot).unwrap();
+        let mut cmd = vec!["recover".to_string(), s.to_str().unwrap().to_string()];
+        if let Some(wal_bytes) = &case.wal {
+            let w = dir.join(format!("{}.wal", case.name));
+            std::fs::write(&w, wal_bytes).unwrap();
+            cmd.push("--wal".to_string());
+            cmd.push(w.to_str().unwrap().to_string());
+        }
+        cmd.extend(["--timeout".to_string(), TIMEOUT_MS.to_string()]);
+        let (code, elapsed) = invoke(&cmd, &files);
+        assert!(
+            case.expect.contains(&code),
+            "case {}: exit code {code}, expected one of {:?}",
+            case.name,
+            case.expect
+        );
+        assert!(
+            elapsed < Duration::from_millis(2 * TIMEOUT_MS + 250),
+            "case {}: took {elapsed:?}",
+            case.name
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A crash injected mid-journaling (panic at the `store::append` fail
+/// point, as the crash-recovery CI job does to the release binary via
+/// `NALIST_FAILPOINT`) leaves a prefix-consistent journal that recovery
+/// accepts without error.
+#[test]
+fn crash_mid_append_leaves_a_recoverable_journal() {
+    let dir = std::env::temp_dir().join(format!("nalist_chaos_crash_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap_path = dir.join("base.snap");
+    let wal_path = dir.join("crash.wal");
+    let mut mem = BTreeMap::new();
+    mem.insert("deps.txt".to_string(), String::new());
+    mem.insert(
+        "edits.txt".to_string(),
+        "+ L(A) -> L(B)\n+ L(B) ->> L(C)\n? L(A) ->> L(C)\n".to_string(),
+    );
+    let files = MemFiles(mem);
+    let (code, _) = invoke(
+        &[
+            "snapshot".to_string(),
+            "L(A, B, C)".to_string(),
+            "deps.txt".to_string(),
+            snap_path.to_str().unwrap().to_string(),
+        ],
+        &files,
+    );
+    assert_eq!(code, 0);
+    // crash on the 3rd append: header + first add commit, the second
+    // add never reaches the log
+    let argv = vec![
+        "replay".to_string(),
+        "L(A, B, C)".to_string(),
+        "edits.txt".to_string(),
+        "--wal".to_string(),
+        wal_path.to_str().unwrap().to_string(),
+    ];
+    let crashed = catch_unwind(AssertUnwindSafe(|| {
+        run_with_failpoints(
+            &argv,
+            &files,
+            vec![FailPoint::nth("store::append", 2, FailAction::Panic)],
+        )
+    }));
+    assert!(crashed.is_err(), "injected panic did not fire");
+    let (code, _) = invoke(
+        &[
+            "recover".to_string(),
+            snap_path.to_str().unwrap().to_string(),
+            "--wal".to_string(),
+            wal_path.to_str().unwrap().to_string(),
+        ],
+        &files,
+    );
+    assert_eq!(code, 0, "committed journal prefix must recover cleanly");
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 /// The universal certificate really is universally accepted: emit-check

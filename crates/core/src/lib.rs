@@ -48,6 +48,7 @@
 //! | [`gen`] | workload generators and named scenarios |
 //! | [`obs`] | observability: span recorder, work counters, histograms |
 //! | [`guard`] | resource governance: budgets, deadlines, fail points |
+//! | [`store`] | crash-safe durability: versioned snapshots, checksummed WAL |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -63,6 +64,7 @@ pub use nalist_lint as lint;
 pub use nalist_membership as membership;
 pub use nalist_obs as obs;
 pub use nalist_schema as schema;
+pub use nalist_store as store;
 pub use nalist_types as types;
 
 /// One-stop imports for typical use.
@@ -76,13 +78,14 @@ pub mod prelude {
     pub use nalist_membership::{
         certified_closure_and_basis, certify, closure_and_basis, closure_and_basis_governed,
         closure_and_basis_paper, closure_and_basis_traced, default_batch_threads, implies, refute,
-        CertifiedBasis, CertifyError, ClosureError, DependencyBasis, QueryError, Reasoner,
-        ReasonerError, Witness, WitnessError,
+        snapshot_payload, CertifiedBasis, CertifyError, ClosureError, DependencyBasis,
+        PersistError, QueryError, Reasoner, ReasonerError, Witness, WitnessError,
     };
     pub use nalist_schema::{
         binary_split, candidate_keys, decompose_4nf, equivalent, is_fourth_nf, is_superkey,
         minimal_cover, verify_lossless,
     };
+    pub use nalist_store::{StoreError, WalWriter};
     pub use nalist_types::parser::{
         parse_attr, parse_attr_with, parse_subattr_of, parse_value, ParseLimits,
     };

@@ -200,6 +200,152 @@ pub fn corpus() -> Vec<ChaosCase> {
     ]
 }
 
+/// One durability chaos case: a (possibly mangled) snapshot file and an
+/// optional (possibly mangled) WAL, plus the exit codes a correct
+/// `nalist recover` may produce for the pair. The invariant under test
+/// is the store contract: damage is *detected* (a structured error,
+/// exit 2) or *survived* (a reported torn-tail truncation, exit 0) —
+/// never a panic, a hang, or a silently wrong answer.
+#[derive(Debug, Clone)]
+pub struct DurabilityCase {
+    /// Short unique identifier, used in test output.
+    pub name: &'static str,
+    /// Snapshot file bytes to recover from.
+    pub snapshot: Vec<u8>,
+    /// WAL file bytes (`None`: recover without `--wal`).
+    pub wal: Option<Vec<u8>>,
+    /// Exit codes a correct implementation may produce.
+    pub expect: &'static [i32],
+}
+
+/// Walks the record boundaries of a structurally valid WAL image:
+/// returns the byte offset where each record's header starts (after the
+/// 8-byte magic). Used to mangle *specific* records.
+fn wal_record_offsets(wal: &[u8]) -> Vec<usize> {
+    let mut offsets = Vec::new();
+    let mut at = 8; // skip magic
+    while at + 8 <= wal.len() {
+        offsets.push(at);
+        let len = u32::from_le_bytes(wal[at..at + 4].try_into().unwrap()) as usize;
+        at += 8 + len;
+    }
+    offsets
+}
+
+/// The durability corpus: every way a crash (or bit rot) can damage a
+/// snapshot/WAL pair, derived by mangling a *valid* pair produced by
+/// the caller. Layout knowledge used here: a snapshot is
+/// `magic(8) | version(4) | payload-len(4) | crc(4) | payload`, a WAL
+/// is `magic(8)` followed by `len(4) | crc(4) | payload` records.
+///
+/// `valid_wal` must contain at least one record whose payload is at
+/// least 4 bytes (any real journal qualifies).
+#[must_use]
+pub fn durability_corpus(valid_snapshot: &[u8], valid_wal: &[u8]) -> Vec<DurabilityCase> {
+    let snap = valid_snapshot.to_vec();
+    let wal = valid_wal.to_vec();
+    let records = wal_record_offsets(&wal);
+    assert!(
+        !records.is_empty() && wal.len() > records[records.len() - 1] + 8,
+        "durability_corpus needs a WAL with at least one non-empty record"
+    );
+    let flip = |bytes: &[u8], at: usize| {
+        let mut m = bytes.to_vec();
+        m[at] ^= 0x01;
+        m
+    };
+    let last = records[records.len() - 1];
+    // duplicate the last record verbatim: its CRC only covers its own
+    // header+payload, so the copy is checksum-valid — the damage is
+    // semantic, not structural
+    let mut dup = wal.clone();
+    dup.extend_from_slice(&wal[last..]);
+    vec![
+        DurabilityCase {
+            name: "pristine_pair",
+            snapshot: snap.clone(),
+            wal: Some(wal.clone()),
+            expect: &[0],
+        },
+        DurabilityCase {
+            name: "truncated_snapshot_header",
+            snapshot: snap[..12.min(snap.len())].to_vec(),
+            wal: None,
+            expect: &[2],
+        },
+        DurabilityCase {
+            name: "snapshot_bad_magic",
+            snapshot: flip(&snap, 0),
+            wal: None,
+            expect: &[2],
+        },
+        DurabilityCase {
+            name: "snapshot_flipped_crc_byte",
+            snapshot: flip(&snap, 16),
+            wal: None,
+            expect: &[2],
+        },
+        DurabilityCase {
+            name: "snapshot_flipped_payload_byte",
+            snapshot: flip(&snap, snap.len() - 1),
+            wal: None,
+            expect: &[2],
+        },
+        DurabilityCase {
+            name: "zero_byte_wal",
+            snapshot: snap.clone(),
+            wal: Some(Vec::new()),
+            expect: &[0],
+        },
+        DurabilityCase {
+            name: "magic_only_wal",
+            snapshot: snap.clone(),
+            wal: Some(wal[..8].to_vec()),
+            expect: &[0],
+        },
+        DurabilityCase {
+            name: "wal_partial_magic",
+            snapshot: snap.clone(),
+            wal: Some(wal[..4].to_vec()),
+            expect: &[0],
+        },
+        DurabilityCase {
+            name: "wal_torn_tail_mid_record",
+            snapshot: snap.clone(),
+            wal: Some(wal[..wal.len() - 3].to_vec()),
+            expect: &[0],
+        },
+        DurabilityCase {
+            name: "wal_torn_tail_header_only",
+            snapshot: snap.clone(),
+            wal: Some(wal[..last + 5].to_vec()),
+            expect: &[0],
+        },
+        DurabilityCase {
+            name: "wal_mid_log_flipped_crc",
+            snapshot: snap.clone(),
+            wal: Some(flip(&wal, records[0] + 4)),
+            expect: &[2],
+        },
+        DurabilityCase {
+            name: "wal_mid_log_flipped_payload",
+            snapshot: snap,
+            wal: Some(flip(&wal, records[records.len() - 1] + 8)),
+            expect: &[2],
+        },
+        DurabilityCase {
+            name: "wal_duplicate_last_record",
+            snapshot: valid_snapshot.to_vec(),
+            wal: Some(dup),
+            // checksum-valid, so the store accepts it; whether the
+            // *reasoner* accepts the doubled operation depends on what
+            // it was (a re-run query is harmless, a second remove is
+            // a replay error)
+            expect: &[0, 1],
+        },
+    ]
+}
+
 /// A version-1 proof certificate for the trivial statement `λ -> λ`,
 /// derived by a single reflexivity axiom. Valid against *any*
 /// well-formed schema and dependency file — the chaos harness's
@@ -359,5 +505,34 @@ mod tests {
     fn failpoint_reexport_is_usable() {
         let fp = FailPoint::every("chaos::test", FailAction::ExhaustFuel);
         assert_eq!(fp.site(), "chaos::test");
+    }
+
+    #[test]
+    fn durability_corpus_is_deterministic_with_unique_names() {
+        // a structurally plausible pair (the corpus only reads record
+        // boundaries, never checksums)
+        let snapshot = b"NALSNAP1\x01\0\0\0\x04\0\0\0zzzzBODY".to_vec();
+        let mut wal = b"NALWAL01".to_vec();
+        for payload in [&b"+first"[..], &b"?second"[..]] {
+            wal.extend_from_slice(&u32::try_from(payload.len()).unwrap().to_le_bytes());
+            wal.extend_from_slice(&[0xAA; 4]); // fake crc
+            wal.extend_from_slice(payload);
+        }
+        let a = durability_corpus(&snapshot, &wal);
+        let b = durability_corpus(&snapshot, &wal);
+        assert_eq!(a.len(), b.len());
+        let mut names: Vec<&str> = a.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), a.len(), "duplicate case names");
+        for case in &a {
+            assert_eq!(
+                case.snapshot == snapshot && case.wal.as_deref() == Some(&wal[..]),
+                case.name == "pristine_pair",
+                "only the pristine case may be unmangled: {}",
+                case.name
+            );
+            assert!(!case.expect.is_empty());
+        }
     }
 }

@@ -77,6 +77,45 @@ pub struct CacheStats {
     pub entries: u64,
 }
 
+/// One exported cache entry ([`Reasoner::export_cache`] /
+/// [`Reasoner::restore_parts`]): the public, persistence-facing shape
+/// of a cache slot — LHS key, cached basis, and the stable ids of the
+/// dependencies that fired while the basis was computed (ascending).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheExport {
+    /// The left-hand side the basis was computed for.
+    pub lhs: AtomSet,
+    /// The cached dependency basis.
+    pub basis: DependencyBasis,
+    /// Stable ids of the dependencies that fired, ascending.
+    pub fired: Vec<u64>,
+}
+
+/// Errors from [`Reasoner::restore_parts`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// A persisted dependency no longer typechecks against the schema.
+    Type(TypeError),
+    /// The resource [`Budget`] was exhausted rebuilding the algebra.
+    Resource(ResourceExhausted),
+    /// A structural invariant of the persisted state is broken
+    /// (non-ascending ids, fired-set naming an unknown dependency,
+    /// atom sets of the wrong capacity, …).
+    Invalid(String),
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::Type(e) => write!(f, "{e}"),
+            RestoreError::Resource(e) => write!(f, "{e}"),
+            RestoreError::Invalid(msg) => write!(f, "invalid persisted state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
 /// A thread-safe per-LHS dependency-basis cache, sharded by the hash of
 /// the left-hand side.
 ///
@@ -579,6 +618,119 @@ impl Reasoner {
     /// from zero).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// The stable id of each `sigma()[i]`, parallel to [`Reasoner::sigma`].
+    /// Ids are handed out by [`Reasoner::add`] and never reused, so they
+    /// survive arbitrary interleavings of adds and removals — the
+    /// property persistence (`membership::persist`) is keyed on.
+    pub fn dep_ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// The id the next [`Reasoner::add`] will assign.
+    pub fn next_dep_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Every live cache entry — LHS key, basis and fired-set — sorted
+    /// by LHS, so the export is deterministic regardless of shard count
+    /// or hash order. This is the warm state a snapshot persists.
+    pub fn export_cache(&self) -> Vec<CacheExport> {
+        let mut out = Vec::new();
+        for shard in &self.cache.shards {
+            let map = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            for (lhs, entry) in map.iter() {
+                out.push(CacheExport {
+                    lhs: lhs.clone(),
+                    basis: entry.basis.clone(),
+                    fired: entry.fired.clone(),
+                });
+            }
+        }
+        out.sort_by(|a, b| a.lhs.cmp(&b.lhs));
+        out
+    }
+
+    /// Rebuilds a reasoner from persisted parts: `Σ` with *pinned*
+    /// stable ids, the id counter, and previously warm cache entries
+    /// (inserted verbatim — no eviction sweep, no stats impact), so the
+    /// result is bit-identical to the reasoner that was exported.
+    ///
+    /// Everything is validated: this entry point accepts bytes that
+    /// merely passed a checksum, which guards against accidental
+    /// corruption but not against a well-formed file encoding broken
+    /// invariants.
+    pub fn restore_parts(
+        n: &NestedAttr,
+        sigma: Vec<(u64, Dependency)>,
+        next_id: u64,
+        cache: Vec<CacheExport>,
+        budget: &Budget,
+        rec: Arc<dyn Recorder>,
+    ) -> Result<Self, RestoreError> {
+        let mut r = Reasoner::try_new_observed(n, budget, rec).map_err(RestoreError::Resource)?;
+        let mut prev: Option<u64> = None;
+        for (id, dep) in sigma {
+            if prev.is_some_and(|p| p >= id) {
+                return Err(RestoreError::Invalid(
+                    "dependency ids are not strictly ascending".to_string(),
+                ));
+            }
+            if id >= next_id {
+                return Err(RestoreError::Invalid(format!(
+                    "dependency id {id} is not below the next-id counter {next_id}"
+                )));
+            }
+            prev = Some(id);
+            let c = dep.compile(&r.alg).map_err(RestoreError::Type)?;
+            r.sigma.push(dep);
+            r.compiled.push(c);
+            r.ids.push(id);
+        }
+        r.next_id = next_id;
+        let atoms = r.alg.atom_count();
+        for entry in cache {
+            for (set, what) in std::iter::once((&entry.lhs, "LHS"))
+                .chain(std::iter::once((&entry.basis.closure, "closure")))
+                .chain(entry.basis.blocks.iter().map(|b| (b, "block")))
+                .chain(entry.basis.basis.iter().map(|b| (b, "basis element")))
+            {
+                if set.capacity() != atoms {
+                    return Err(RestoreError::Invalid(format!(
+                        "cache entry {what} is over {} atoms, schema has {atoms}",
+                        set.capacity()
+                    )));
+                }
+            }
+            if !r.alg.is_downward_closed(&entry.lhs) {
+                return Err(RestoreError::Invalid(
+                    "cache entry LHS is not downward closed".to_string(),
+                ));
+            }
+            let mut prev_fired: Option<u64> = None;
+            for &id in &entry.fired {
+                if prev_fired.is_some_and(|p| p >= id) {
+                    return Err(RestoreError::Invalid(
+                        "cache entry fired-set is not strictly ascending".to_string(),
+                    ));
+                }
+                prev_fired = Some(id);
+                if r.ids.binary_search(&id).is_err() {
+                    return Err(RestoreError::Invalid(format!(
+                        "cache entry fired on dependency id {id} which is not in Σ"
+                    )));
+                }
+            }
+            r.cache.insert(
+                entry.lhs,
+                CacheEntry {
+                    basis: entry.basis,
+                    fired: entry.fired,
+                },
+            );
+        }
+        Ok(r)
     }
 
     /// Decides `Σ ⊨ σ` (using the per-LHS basis cache).

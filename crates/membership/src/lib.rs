@@ -13,6 +13,8 @@
 //!   from the completeness argument of Section 4.2;
 //! * [`beeri`] — Beeri's classical relational algorithm, the baseline
 //!   Algorithm 5.1 generalises;
+//! * [`persist`] — the snapshot/WAL payload encodings and crash
+//!   recovery on top of `nalist-store`;
 //! * [`trace`] — paper-notation rendering of algorithm runs.
 
 #![forbid(unsafe_code)]
@@ -23,6 +25,7 @@ pub mod cert;
 pub mod certify;
 pub mod closure;
 pub mod decide;
+pub mod persist;
 pub mod reference;
 mod steal;
 pub mod trace;
@@ -39,7 +42,12 @@ pub use closure::{
     Trace,
 };
 pub use decide::{
-    default_batch_threads, implies, CacheStats, Evidence, QueryError, Reasoner, ReasonerError,
+    default_batch_threads, implies, CacheExport, CacheStats, Evidence, QueryError, Reasoner,
+    ReasonerError, RestoreError,
+};
+pub use persist::{
+    read_reasoner_snapshot, recover, restore_reasoner, snapshot_payload, write_reasoner_snapshot,
+    PersistError, RecoveryReport, WalOp,
 };
 pub use witness::{refute, refute_governed, Witness, WitnessError};
 pub use worklist::{

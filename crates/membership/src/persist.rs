@@ -1,0 +1,575 @@
+//! The reasoner's persistence layer: what the bytes inside a
+//! `nalist-store` snapshot and WAL *mean*.
+//!
+//! The store crate moves opaque, checksummed payloads; this module owns
+//! the two payload encodings built on [`nalist_store::binio`]:
+//!
+//! * **snapshot payload** — the full reasoner state: the schema (round-
+//!   trippable text), the algebra identity (`|N|` and width class, as a
+//!   cross-check), `Σ` with its *stable dependency ids* plus the next-id
+//!   counter, and every warm cache entry with its fired-set. The
+//!   encoding is deterministic (cache entries sorted by LHS), so equal
+//!   reasoners produce byte-equal payloads — the property the
+//!   bit-identical-recovery proptests and the format-stability golden
+//!   are built on;
+//! * **WAL records** — one [`WalOp`] per record: `+`/`-` edits and `?`
+//!   queries in the same dependency syntax the CLI accepts, plus a
+//!   header record naming the schema. Queries are journaled too:
+//!   replaying them reproduces the cache warmth a crash destroyed.
+//!
+//! [`recover`] composes the two: load the snapshot (surviving cache
+//! entries land warm, no recomputation), then replay the WAL tail
+//! through the ordinary incremental [`Reasoner::add`] /
+//! [`Reasoner::remove`] path — eviction decisions during replay are
+//! the same code that made them live, which is what makes recovery
+//! bit-identical rather than merely equivalent.
+//!
+//! The checksums guard against *accidental* corruption (bit rot, torn
+//! writes); they are not authentication. A hand-crafted file with a
+//! valid CRC but broken invariants is caught by the structural
+//! validation in [`Reasoner::restore_parts`] and surfaces as a typed
+//! error, never a panic or a wrong answer.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use nalist_algebra::{AtomSet, WidthClass};
+use nalist_deps::Dependency;
+use nalist_guard::{Budget, ResourceExhausted};
+use nalist_obs::{Counter, Recorder};
+use nalist_store::{self as store, StoreError};
+use nalist_types::error::TypeError;
+use nalist_types::parser::parse_attr;
+
+use crate::decide::{CacheExport, Reasoner, ReasonerError, RestoreError};
+
+/// Errors from snapshotting, restoring or recovering a reasoner.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The store layer failed: I/O, corruption, or an unreadable format.
+    Store(StoreError),
+    /// The payload decoded but encodes an impossible state (schema
+    /// mismatch, out-of-range atom index, broken id invariants, …).
+    Invalid(String),
+    /// A persisted dependency no longer typechecks against its schema.
+    Type(TypeError),
+    /// A WAL operation failed to apply during recovery: record `index`
+    /// replayed into a reasoner that rejected it.
+    Replay {
+        /// Zero-based record index in the log.
+        index: usize,
+        /// Why the reasoner rejected the operation.
+        message: String,
+    },
+    /// The governing [`Budget`] was exhausted.
+    Resource(ResourceExhausted),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Store(e) => write!(f, "{e}"),
+            PersistError::Invalid(msg) => write!(f, "invalid persisted state: {msg}"),
+            PersistError::Type(e) => write!(f, "persisted dependency no longer typechecks: {e}"),
+            PersistError::Replay { index, message } => {
+                write!(f, "WAL record {index} failed to replay: {message}")
+            }
+            PersistError::Resource(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<StoreError> for PersistError {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::Resource(r) => PersistError::Resource(r),
+            other => PersistError::Store(other),
+        }
+    }
+}
+
+impl From<ResourceExhausted> for PersistError {
+    fn from(e: ResourceExhausted) -> Self {
+        PersistError::Resource(e)
+    }
+}
+
+impl From<RestoreError> for PersistError {
+    fn from(e: RestoreError) -> Self {
+        match e {
+            RestoreError::Type(t) => PersistError::Type(t),
+            RestoreError::Resource(r) => PersistError::Resource(r),
+            RestoreError::Invalid(msg) => PersistError::Invalid(msg),
+        }
+    }
+}
+
+fn u32_of(n: usize, what: &str) -> u32 {
+    u32::try_from(n).unwrap_or_else(|_| panic!("{what} count {n} exceeds the u32 format limit"))
+}
+
+fn put_atomset(w: &mut store::Writer, set: &AtomSet) {
+    w.u32(u32_of(set.count(), "atom"));
+    for i in set.iter() {
+        w.u32(u32_of(i, "atom index"));
+    }
+}
+
+fn get_atomset(r: &mut store::Reader<'_>, atoms: usize) -> Result<AtomSet, PersistError> {
+    let count = r.u32()? as usize;
+    let mut set = AtomSet::empty(atoms);
+    for _ in 0..count {
+        let i = r.u32()? as usize;
+        if i >= atoms {
+            return Err(PersistError::Invalid(format!(
+                "atom index {i} out of range for a {atoms}-atom schema"
+            )));
+        }
+        set.insert(i);
+    }
+    Ok(set)
+}
+
+/// Serializes the full state of `r` as a deterministic snapshot
+/// payload: equal reasoners (same schema, `Σ`, ids and warm entries)
+/// produce byte-equal payloads.
+pub fn snapshot_payload(r: &Reasoner) -> Vec<u8> {
+    let mut w = store::Writer::new();
+    let attr = r.attr();
+    let atoms = r.algebra().atom_count();
+    w.str(&attr.to_string());
+    w.u32(u32_of(atoms, "schema atom"));
+    w.str(WidthClass::for_capacity(atoms).name());
+    w.u64(r.next_dep_id());
+    let sigma = r.sigma();
+    w.u32(u32_of(sigma.len(), "dependency"));
+    for (dep, id) in sigma.iter().zip(r.dep_ids()) {
+        w.u64(*id);
+        w.str(&dep.display_in(attr));
+    }
+    let cache = r.export_cache();
+    w.u32(u32_of(cache.len(), "cache entry"));
+    for entry in cache {
+        put_atomset(&mut w, &entry.lhs);
+        put_atomset(&mut w, &entry.basis.closure);
+        w.u32(u32_of(entry.basis.blocks.len(), "block"));
+        for b in &entry.basis.blocks {
+            put_atomset(&mut w, b);
+        }
+        w.u32(u32_of(entry.basis.basis.len(), "basis element"));
+        for b in &entry.basis.basis {
+            put_atomset(&mut w, b);
+        }
+        w.u32(u32_of(entry.fired.len(), "fired id"));
+        for id in &entry.fired {
+            w.u64(*id);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Rebuilds a reasoner from a snapshot payload (the inverse of
+/// [`snapshot_payload`]), validating the schema round-trip, the
+/// declared algebra identity and every structural invariant.
+pub fn restore_reasoner(
+    payload: &[u8],
+    budget: &Budget,
+    rec: Arc<dyn Recorder>,
+) -> Result<Reasoner, PersistError> {
+    let mut r = store::Reader::new(payload);
+    let schema_text = r.str()?.to_string();
+    let declared_atoms = r.u32()? as usize;
+    let declared_width = r.str()?.to_string();
+    let next_id = r.u64()?;
+    let sigma_count = r.u32()? as usize;
+    let attr = parse_attr(&schema_text)
+        .map_err(|e| PersistError::Invalid(format!("schema does not parse back: {e}")))?;
+    let mut sigma = Vec::with_capacity(sigma_count.min(payload.len()));
+    for _ in 0..sigma_count {
+        let id = r.u64()?;
+        let text = r.str()?;
+        let dep = Dependency::parse(&attr, text).map_err(|e| {
+            PersistError::Invalid(format!("dependency {text:?} does not parse back: {e}"))
+        })?;
+        sigma.push((id, dep));
+    }
+    let entry_count = r.u32()? as usize;
+    let mut cache = Vec::with_capacity(entry_count.min(payload.len()));
+    for _ in 0..entry_count {
+        let lhs = get_atomset(&mut r, declared_atoms)?;
+        let closure = get_atomset(&mut r, declared_atoms)?;
+        let nblocks = r.u32()? as usize;
+        let mut blocks = Vec::with_capacity(nblocks.min(payload.len()));
+        for _ in 0..nblocks {
+            blocks.push(get_atomset(&mut r, declared_atoms)?);
+        }
+        let nbasis = r.u32()? as usize;
+        let mut basis = Vec::with_capacity(nbasis.min(payload.len()));
+        for _ in 0..nbasis {
+            basis.push(get_atomset(&mut r, declared_atoms)?);
+        }
+        let nfired = r.u32()? as usize;
+        let mut fired = Vec::with_capacity(nfired.min(payload.len()));
+        for _ in 0..nfired {
+            fired.push(r.u64()?);
+        }
+        cache.push(CacheExport {
+            lhs,
+            basis: crate::closure::DependencyBasis {
+                closure,
+                blocks,
+                basis,
+            },
+            fired,
+        });
+    }
+    r.finish()?;
+    let reasoner = Reasoner::restore_parts(&attr, sigma, next_id, cache, budget, rec)?;
+    let atoms = reasoner.algebra().atom_count();
+    if atoms != declared_atoms {
+        return Err(PersistError::Invalid(format!(
+            "snapshot declares {declared_atoms} atoms but the schema has {atoms}"
+        )));
+    }
+    let width = WidthClass::for_capacity(atoms).name();
+    if width != declared_width {
+        return Err(PersistError::Invalid(format!(
+            "snapshot declares width class {declared_width:?} but the schema is {width:?}"
+        )));
+    }
+    Ok(reasoner)
+}
+
+/// Writes a snapshot of `r` to `path` (atomically, via the store
+/// layer). Returns the file size in bytes.
+pub fn write_reasoner_snapshot(
+    path: &Path,
+    r: &Reasoner,
+    budget: &Budget,
+    rec: &dyn Recorder,
+) -> Result<u64, PersistError> {
+    Ok(store::snapshot::write_snapshot_governed(
+        path,
+        &snapshot_payload(r),
+        budget,
+        rec,
+    )?)
+}
+
+/// Reads, verifies and restores the snapshot at `path`.
+pub fn read_reasoner_snapshot(
+    path: &Path,
+    budget: &Budget,
+    rec: Arc<dyn Recorder>,
+) -> Result<Reasoner, PersistError> {
+    let payload = store::read_snapshot(path)?;
+    restore_reasoner(&payload, budget, rec)
+}
+
+/// One write-ahead-log operation. The journal records *queries* as
+/// well as edits: replaying a `?` record re-warms the exact cache entry
+/// the live process had, which is what makes recovery bit-identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// Names the schema the log's operations are written against;
+    /// conventionally the first record. Recovery cross-checks it
+    /// against the snapshot's schema.
+    Header {
+        /// The schema, in the same text form the snapshot stores.
+        schema: String,
+    },
+    /// `Σ := Σ ∪ {dep}` (dependency in abbreviated text form).
+    Add(String),
+    /// `Σ := Σ \ {dep}`.
+    Remove(String),
+    /// A membership query `Σ ⊨ dep` (journaled for cache warmth).
+    Query(String),
+}
+
+impl WalOp {
+    /// Encodes this operation as a WAL record payload: a one-byte tag
+    /// (`H`, `+`, `-`, `?`) followed by the raw UTF-8 text.
+    pub fn encode(&self) -> Vec<u8> {
+        let (tag, text) = match self {
+            WalOp::Header { schema } => (b'H', schema.as_str()),
+            WalOp::Add(d) => (b'+', d.as_str()),
+            WalOp::Remove(d) => (b'-', d.as_str()),
+            WalOp::Query(d) => (b'?', d.as_str()),
+        };
+        let mut out = Vec::with_capacity(1 + text.len());
+        out.push(tag);
+        out.extend_from_slice(text.as_bytes());
+        out
+    }
+
+    /// Decodes a WAL record payload. `offset` is the record's file
+    /// offset, used in corruption errors.
+    pub fn decode(payload: &[u8], offset: u64) -> Result<WalOp, StoreError> {
+        let (&tag, rest) = payload.split_first().ok_or_else(|| StoreError::Corrupt {
+            offset,
+            detail: "empty WAL record".to_string(),
+        })?;
+        let text = std::str::from_utf8(rest)
+            .map_err(|e| StoreError::Corrupt {
+                offset,
+                detail: format!("invalid UTF-8 in WAL record: {e}"),
+            })?
+            .to_string();
+        match tag {
+            b'H' => Ok(WalOp::Header { schema: text }),
+            b'+' => Ok(WalOp::Add(text)),
+            b'-' => Ok(WalOp::Remove(text)),
+            b'?' => Ok(WalOp::Query(text)),
+            other => Err(StoreError::Corrupt {
+                offset,
+                detail: format!("unknown WAL op tag {other:#04x}"),
+            }),
+        }
+    }
+}
+
+/// What [`recover`] replayed, alongside the recovered reasoner.
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// The recovered reasoner: snapshot state plus the WAL tail.
+    pub reasoner: Reasoner,
+    /// `+` records replayed.
+    pub adds: u64,
+    /// `-` records replayed.
+    pub removes: u64,
+    /// `?` records replayed (cache re-warming).
+    pub queries: u64,
+    /// Where the WAL's torn tail was cut, if the crash left one.
+    pub truncated_at: Option<u64>,
+}
+
+impl RecoveryReport {
+    /// Total operations replayed from the log.
+    pub fn replayed(&self) -> u64 {
+        self.adds + self.removes + self.queries
+    }
+}
+
+/// Crash recovery: loads the snapshot at `snapshot` (cache entries land
+/// warm) and, when `wal` is given, replays its operations through the
+/// ordinary incremental edit path. A torn WAL tail is truncated and
+/// reported; mid-log corruption is a hard error (see
+/// [`nalist_store::wal`] for the policy).
+pub fn recover(
+    snapshot: &Path,
+    wal: Option<&Path>,
+    budget: &Budget,
+    rec: Arc<dyn Recorder>,
+) -> Result<RecoveryReport, PersistError> {
+    let mut reasoner = read_reasoner_snapshot(snapshot, budget, Arc::clone(&rec))?;
+    let mut report_counts = (0u64, 0u64, 0u64);
+    let mut truncated_at = None;
+    if let Some(wal_path) = wal {
+        let replay = store::read_wal(wal_path)?;
+        truncated_at = replay.truncated_at;
+        let schema_text = reasoner.attr().to_string();
+        // offsets are only needed for error messages; recompute as we walk
+        let mut offset = store::WAL_MAGIC.len() as u64;
+        for (index, record) in replay.records.iter().enumerate() {
+            let op = WalOp::decode(record, offset)?;
+            offset += 8 + record.len() as u64;
+            let fail = |e: &ReasonerError| match e {
+                ReasonerError::Resource(r) => PersistError::Resource(*r),
+                other => PersistError::Replay {
+                    index,
+                    message: other.to_string(),
+                },
+            };
+            match op {
+                WalOp::Header { schema } => {
+                    if schema != schema_text {
+                        return Err(PersistError::Invalid(format!(
+                            "WAL is for schema {schema:?} but the snapshot is {schema_text:?}"
+                        )));
+                    }
+                }
+                WalOp::Add(text) => {
+                    reasoner.add_str(&text).map_err(|e| fail(&e))?;
+                    report_counts.0 += 1;
+                }
+                WalOp::Remove(text) => {
+                    reasoner.remove_str(&text).map_err(|e| fail(&e))?;
+                    report_counts.1 += 1;
+                }
+                WalOp::Query(text) => {
+                    reasoner
+                        .implies_str_governed(&text, budget)
+                        .map_err(|e| fail(&e))?;
+                    report_counts.2 += 1;
+                }
+            }
+            rec.add(Counter::RecoveryReplayedOps, 1);
+        }
+    }
+    Ok(RecoveryReport {
+        reasoner,
+        adds: report_counts.0,
+        removes: report_counts.1,
+        queries: report_counts.2,
+        truncated_at,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nalist_obs::NoopRecorder;
+
+    fn reasoner_with(schema: &str, deps: &[&str]) -> Reasoner {
+        let n = parse_attr(schema).unwrap();
+        let mut r = Reasoner::new(&n);
+        for d in deps {
+            r.add_str(d).unwrap();
+        }
+        r
+    }
+
+    fn restore(payload: &[u8]) -> Result<Reasoner, PersistError> {
+        restore_reasoner(payload, &Budget::unlimited(), Arc::new(NoopRecorder))
+    }
+
+    #[test]
+    fn payload_round_trips_cold_and_warm() {
+        let r = reasoner_with("L(A, B, C)", &["L(A) -> L(B)", "L(B) ->> L(C)"]);
+        let cold = snapshot_payload(&r);
+        assert_eq!(snapshot_payload(&restore(&cold).unwrap()), cold);
+        // warm the cache, round trip again
+        assert!(r.implies_str("L(A) -> L(B)").unwrap());
+        r.implies_str("L(C) -> L(A)").unwrap();
+        let warm = snapshot_payload(&r);
+        assert_ne!(warm, cold, "warm cache must be part of the payload");
+        let back = restore(&warm).unwrap();
+        assert_eq!(snapshot_payload(&back), warm);
+        assert_eq!(back.cache_stats().entries, r.cache_stats().entries);
+        assert_eq!(back.dep_ids(), r.dep_ids());
+        assert_eq!(back.next_dep_id(), r.next_dep_id());
+    }
+
+    #[test]
+    fn ids_survive_interleaved_edits_through_a_round_trip() {
+        let mut r = reasoner_with(
+            "L(A, B, C, D)",
+            &["L(A) -> L(B)", "L(B) -> L(C)", "L(C) -> L(D)"],
+        );
+        r.remove_at(1); // ids now [0, 2], next 3
+        r.add_str("L(D) ->> L(A)").unwrap(); // ids [0, 2, 3]
+        assert_eq!(r.dep_ids(), &[0, 2, 3]);
+        let back = restore(&snapshot_payload(&r)).unwrap();
+        assert_eq!(back.dep_ids(), &[0, 2, 3]);
+        assert_eq!(back.next_dep_id(), 4);
+    }
+
+    #[test]
+    fn wal_ops_round_trip() {
+        for op in [
+            WalOp::Header {
+                schema: "L(A, B)".to_string(),
+            },
+            WalOp::Add("L(A) -> L(B)".to_string()),
+            WalOp::Remove("L(A) ->> L(B)".to_string()),
+            WalOp::Query("λ -> λ".to_string()),
+        ] {
+            assert_eq!(WalOp::decode(&op.encode(), 0).unwrap(), op);
+        }
+        assert!(WalOp::decode(b"", 7).is_err());
+        assert!(WalOp::decode(b"Xwhat", 7).is_err());
+    }
+
+    #[test]
+    fn hand_crafted_payload_with_bad_invariants_is_rejected_typed() {
+        // valid shape, but an atom index out of range
+        let r = reasoner_with("L(A, B)", &["L(A) -> L(B)"]);
+        let mut payload = snapshot_payload(&r);
+        // no cache entries: append a fake one with an absurd LHS index
+        // by rebuilding through the public encoder on a tampered export
+        // is impossible — so hand-edit the entry count instead
+        let len = payload.len();
+        payload[len - 4..].copy_from_slice(&1u32.to_le_bytes());
+        match restore(&payload) {
+            Err(PersistError::Store(StoreError::Corrupt { .. })) => {}
+            other => panic!("expected truncated-payload corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schema_identity_mismatch_is_invalid() {
+        let r = reasoner_with("L(A, B)", &[]);
+        let payload = snapshot_payload(&r);
+        // find and damage the declared atom count (right after the schema string)
+        let mut r2 = store::Reader::new(&payload);
+        r2.str().unwrap();
+        let at = usize::try_from(r2.offset()).unwrap();
+        let mut bad = payload.clone();
+        bad[at..at + 4].copy_from_slice(&7u32.to_le_bytes());
+        match restore(&bad) {
+            Err(PersistError::Invalid(msg)) => {
+                assert!(msg.contains("atom"), "unexpected message: {msg}");
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recover_without_wal_is_the_snapshot_state() {
+        let d = std::env::temp_dir().join(format!("nalist_persist_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        let snap = d.join("s.snap");
+        let r = reasoner_with("L(A, B, C)", &["L(A) -> L(B)"]);
+        r.implies_str("L(A) -> L(B)").unwrap();
+        write_reasoner_snapshot(&snap, &r, &Budget::unlimited(), &NoopRecorder).unwrap();
+        let rep = recover(&snap, None, &Budget::unlimited(), Arc::new(NoopRecorder)).unwrap();
+        assert_eq!(rep.replayed(), 0);
+        assert_eq!(snapshot_payload(&rep.reasoner), snapshot_payload(&r));
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn recover_replays_the_wal_tail_bit_identically() {
+        let d = std::env::temp_dir().join(format!("nalist_persist_wal_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        let snap = d.join("s.snap");
+        let log = d.join("ops.wal");
+        let mut live = reasoner_with("L(A, B, C)", &["L(A) -> L(B)"]);
+        live.implies_str("L(A) -> L(C)").unwrap();
+        write_reasoner_snapshot(&snap, &live, &Budget::unlimited(), &NoopRecorder).unwrap();
+        // journal-then-apply three more operations on the live side
+        let mut wal = store::WalWriter::create(&log, false).unwrap();
+        let ops = [
+            WalOp::Add("L(B) ->> L(C)".to_string()),
+            WalOp::Query("L(A) ->> L(C)".to_string()),
+            WalOp::Remove("L(A) -> L(B)".to_string()),
+        ];
+        for op in &ops {
+            wal.append(&op.encode(), &Budget::unlimited(), &NoopRecorder)
+                .unwrap();
+            match op {
+                WalOp::Add(t) => live.add_str(t).unwrap(),
+                WalOp::Remove(t) => {
+                    live.remove_str(t).unwrap();
+                }
+                WalOp::Query(t) => {
+                    live.implies_str(t).unwrap();
+                }
+                WalOp::Header { .. } => unreachable!(),
+            }
+        }
+        drop(wal);
+        let rep = recover(
+            &snap,
+            Some(&log),
+            &Budget::unlimited(),
+            Arc::new(NoopRecorder),
+        )
+        .unwrap();
+        assert_eq!((rep.adds, rep.removes, rep.queries), (1, 1, 1));
+        assert_eq!(snapshot_payload(&rep.reasoner), snapshot_payload(&live));
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+}

@@ -111,11 +111,21 @@ pub enum Counter {
     CertNodes,
     /// Witness tuples re-verified by the certificate checker.
     CertTuples,
+    /// Records appended to the write-ahead log.
+    WalAppends,
+    /// fsyncs issued by WAL appends (only counted when the log is in
+    /// durable mode).
+    WalFsyncs,
+    /// Snapshot files written (atomically) to disk.
+    SnapshotWrites,
+    /// WAL operations replayed through the incremental edit path
+    /// during crash recovery.
+    RecoveryReplayedOps,
 }
 
 impl Counter {
     /// Every counter, in declaration (and serialization) order.
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 20] = [
         Counter::DepsFired,
         Counter::WorklistSteps,
         Counter::AtomsAllocated,
@@ -132,6 +142,10 @@ impl Counter {
         Counter::FuelSpent,
         Counter::CertNodes,
         Counter::CertTuples,
+        Counter::WalAppends,
+        Counter::WalFsyncs,
+        Counter::SnapshotWrites,
+        Counter::RecoveryReplayedOps,
     ];
 
     /// Stable snake_case name used in `--metrics` JSON and the perf
@@ -154,6 +168,10 @@ impl Counter {
             Counter::FuelSpent => "fuel_spent",
             Counter::CertNodes => "cert_nodes",
             Counter::CertTuples => "cert_tuples",
+            Counter::WalAppends => "wal_appends",
+            Counter::WalFsyncs => "wal_fsyncs",
+            Counter::SnapshotWrites => "snapshot_writes",
+            Counter::RecoveryReplayedOps => "recovery_replayed_ops",
         }
     }
 }

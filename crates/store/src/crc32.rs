@@ -1,0 +1,83 @@
+//! Hand-rolled CRC-32 (IEEE 802.3, reflected, polynomial
+//! `0xEDB88320`) — the checksum both store formats use. Table-driven,
+//! with the table built at compile time; no external crate, matching
+//! the workspace's zero-dependency policy.
+
+/// The 256-entry lookup table for the reflected IEEE polynomial.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `bytes` (init `0xFFFFFFFF`, final xor `0xFFFFFFFF`) —
+/// byte-compatible with zlib's `crc32()`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    !update(!0, bytes)
+}
+
+/// Streaming form: feed chunks through a running state seeded with
+/// `!0`, then finish with `!state`. [`crc32`] is the one-shot wrapper.
+pub fn update(state: u32, bytes: &[u8]) -> u32 {
+    let mut crc = state;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // reference values from the zlib crc32() implementation
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+        assert_eq!(crc32(&[0u8; 32]), 0x190A_55AD);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"abcdefghijklmnopqrstuvwxyz0123456789";
+        for split in 0..data.len() {
+            let state = update(!0, &data[..split]);
+            assert_eq!(!update(state, &data[split..]), crc32(data));
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_always_changes_the_checksum() {
+        let data = b"nalist store integrity probe";
+        let base = crc32(data);
+        let mut copy = *data;
+        for i in 0..copy.len() {
+            for bit in 0..8 {
+                copy[i] ^= 1 << bit;
+                assert_ne!(crc32(&copy), base, "flip at byte {i} bit {bit} undetected");
+                copy[i] ^= 1 << bit;
+            }
+        }
+    }
+}

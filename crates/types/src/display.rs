@@ -129,12 +129,23 @@ pub fn count_resolutions(d: &Loose, n: &NestedAttr) -> u64 {
 /// component list `ds` against the context components `ns`, where skipped
 /// positions become bottoms.
 fn count_assignments(ds: &[Loose], ns: &[NestedAttr]) -> u64 {
-    // f[i][j]: ways to match ds[i..] against ns[j..].
+    assignment_table(ds, ns).map_or(0, |f| f[0][0])
+}
+
+/// The full DP table behind [`count_assignments`]: `f[i][j]` is the
+/// number of ways to match `ds[i..]` against `ns[j..]` (saturating).
+/// `None` when `ds` is longer than `ns` (no assignment can exist).
+/// [`assign`] uses the table to prune branches with no completions —
+/// without it the backtracking revisits exponentially many dead ends on
+/// wide records (e.g. the fully-explicit canonical rendering of a
+/// 200-component record, where every prefix of λs embeds everywhere).
+fn assignment_table(ds: &[Loose], ns: &[NestedAttr]) -> Option<Vec<Vec<u64>>> {
     let m = ds.len();
     let k = ns.len();
     if m > k {
-        return 0;
+        return None;
     }
+    // f[i][j]: ways to match ds[i..] against ns[j..].
     let mut f = vec![vec![0u64; k + 1]; m + 1];
     for cell in f[m].iter_mut() {
         *cell = 1; // remaining positions all become bottom
@@ -146,7 +157,7 @@ fn count_assignments(ds: &[Loose], ns: &[NestedAttr]) -> u64 {
             f[i][j] = skip.saturating_add(here);
         }
     }
-    f[0][0]
+    Some(f)
 }
 
 /// All subattributes of `n` matching the loose form `d`, in deterministic
@@ -157,8 +168,11 @@ pub fn resolutions(d: &Loose, n: &NestedAttr) -> Vec<NestedAttr> {
         (Loose::Lambda, _) => vec![n.bottom()],
         (Loose::Flat(a), NestedAttr::Flat(b)) if a == b => vec![n.clone()],
         (Loose::Record(l, ds), NestedAttr::Record(k, ncs)) if l == k => {
+            let Some(ways) = assignment_table(ds, ncs) else {
+                return Vec::new();
+            };
             let mut out = Vec::new();
-            assign(ds, ncs, 0, 0, &mut Vec::new(), &mut out);
+            assign(ds, ncs, 0, 0, &ways, &mut Vec::new(), &mut out);
             out.into_iter()
                 .map(|components| NestedAttr::Record(l.clone(), components))
                 .collect()
@@ -176,9 +190,13 @@ fn assign(
     ns: &[NestedAttr],
     i: usize,
     j: usize,
+    ways: &[Vec<u64>],
     acc: &mut Vec<NestedAttr>,
     out: &mut Vec<Vec<NestedAttr>>,
 ) {
+    if ways[i][j] == 0 {
+        return; // nothing down this branch completes
+    }
     if i == ds.len() {
         let mut full = acc.clone();
         full.extend(ns[j..].iter().map(NestedAttr::bottom));
@@ -188,15 +206,18 @@ fn assign(
     if j == ns.len() {
         return;
     }
-    // match ds[i] at position j
-    for r in resolutions(&ds[i], &ns[j]) {
-        acc.push(r);
-        assign(ds, ns, i + 1, j + 1, acc, out);
-        acc.pop();
+    // match ds[i] at position j — only enumerate the (possibly large)
+    // sub-resolution set when some completion actually uses it
+    if ways[i + 1][j + 1] > 0 {
+        for r in resolutions(&ds[i], &ns[j]) {
+            acc.push(r);
+            assign(ds, ns, i + 1, j + 1, ways, acc, out);
+            acc.pop();
+        }
     }
     // skip position j (it becomes bottom)
     acc.push(ns[j].bottom());
-    assign(ds, ns, i, j + 1, acc, out);
+    assign(ds, ns, i, j + 1, ways, acc, out);
     acc.pop();
 }
 
@@ -365,6 +386,30 @@ mod tests {
         assert_eq!(count_resolutions(&d, &n), 2);
         let rs = resolutions(&d, &n);
         assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn wide_record_canonical_form_resolves_fast() {
+        // a 200-component record whose loose form spells out every
+        // component (the canonical rendering: mostly λs). The unique
+        // diagonal assignment must be found by DP pruning — naive
+        // backtracking wanders through exponentially many λ-prefix
+        // embeddings that all die at the right edge
+        let n = rec("W", (0..200).map(|i| A::flat(format!("A{i}"))).collect());
+        let ds: Vec<Loose> = (0..200)
+            .map(|i| {
+                if i == 7 || i == 193 {
+                    Loose::Flat(format!("A{i}"))
+                } else {
+                    Loose::Lambda
+                }
+            })
+            .collect();
+        let d = Loose::Record("W".into(), ds);
+        assert_eq!(count_resolutions(&d, &n), 1);
+        let rs = resolutions(&d, &n);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(abbreviate(&rs[0], &n), "W(A7, A193)");
     }
 
     #[test]

@@ -85,6 +85,87 @@ proptest! {
         }
     }
 
+    /// Stable dependency ids: across any interleaving of `add` and
+    /// `remove_at`, the reasoner's id column matches a trivial model
+    /// that hands out ids from a never-reused counter — removals leave
+    /// holes, and no id is ever reassigned. (The durability layer keys
+    /// cache fired-sets on these ids; reuse would silently corrupt a
+    /// recovered cache.)
+    #[test]
+    fn dependency_ids_are_stable_across_interleaved_edits(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let atoms = rng.gen_range(4..=16);
+        let n = nalist::gen::attr_with_atoms(&mut rng, atoms);
+        let alg = Algebra::new(&n);
+        let mut r = Reasoner::new(&n);
+        let mut model: Vec<u64> = Vec::new();
+        let mut next = 0u64;
+        for _ in 0..40 {
+            if model.is_empty() || rng.gen_bool(0.6) {
+                let d = nalist::gen::random_dep(&mut rng, &alg, 0.4, 0.5);
+                r.add(d.decompile(&alg)).expect("generated Σ compiles");
+                model.push(next);
+                next += 1;
+            } else {
+                let i = rng.gen_range(0..model.len());
+                r.remove_at(i);
+                model.remove(i);
+            }
+            prop_assert_eq!(r.dep_ids(), &model[..]);
+            prop_assert_eq!(r.next_dep_id(), next);
+        }
+    }
+
+    /// A reasoner recovered from a snapshot is not merely equivalent to
+    /// the live one — it *stays* bit-identical under further edits: the
+    /// same cache entries survive, the same entries are evicted, and
+    /// every subsequent snapshot payload is byte-equal. This is the
+    /// property that makes crash recovery transparent to the cache.
+    #[test]
+    fn recovered_reasoner_tracks_live_bit_identically(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let atoms = rng.gen_range(4..=16);
+        let n = nalist::gen::attr_with_atoms(&mut rng, atoms);
+        let alg = Algebra::new(&n);
+        let script = random_edit_script(&mut rng, &alg, &EditConfig::default());
+        let cut = rng.gen_range(0..=script.len());
+        let apply = |r: &mut Reasoner, op: &EditOp| match op {
+            EditOp::Add(d) => {
+                r.add(d.decompile(&alg)).expect("generated Σ compiles");
+            }
+            EditOp::Remove(d) => {
+                assert!(r.remove(&d.decompile(&alg)).expect("compiles"));
+            }
+            EditOp::Query(d) => {
+                r.implies(&d.decompile(&alg)).expect("compiles");
+            }
+        };
+        let mut live = Reasoner::new(&n);
+        for op in &script[..cut] {
+            apply(&mut live, op);
+        }
+        let payload = snapshot_payload(&live);
+        let mut recovered = nalist::membership::restore_reasoner(
+            &payload,
+            &Budget::unlimited(),
+            std::sync::Arc::new(nalist::obs::NoopRecorder),
+        )
+        .expect("own snapshot restores");
+        prop_assert_eq!(snapshot_payload(&recovered), payload);
+        for (step, op) in script[cut..].iter().enumerate() {
+            apply(&mut live, op);
+            apply(&mut recovered, op);
+            prop_assert_eq!(
+                snapshot_payload(&recovered),
+                snapshot_payload(&live),
+                "diverged {} edit(s) after recovery",
+                step + 1
+            );
+        }
+        let (a, b) = (recovered.cache_stats(), live.cache_stats());
+        prop_assert_eq!(a.entries, b.entries, "cache sizes diverged");
+    }
+
     /// The same interleaving under a resource budget. A roomy budget must
     /// agree exactly with the ungoverned answer; a starved budget may
     /// refuse with `Resource`, but any answer it does return must be
