@@ -53,6 +53,7 @@ fn main() {
         ("E-MINRULES", min_rules),
         ("E-APP", apps),
         ("E-DUR", durability),
+        ("E-SERVE", serve_bench),
     ];
     let mut ran = 0usize;
     for (id, f) in experiments {
@@ -1437,5 +1438,200 @@ fn durability() {
     match std::fs::write("BENCH_durability.json", &json) {
         Ok(()) => println!("machine-readable results written to BENCH_durability.json"),
         Err(e) => println!("could not write BENCH_durability.json: {e}"),
+    }
+}
+
+// ------------------------------------------------------------------ E-SERVE
+
+/// The multi-tenant HTTP service under open-loop load: steady-state
+/// throughput and tail latency (read-heavy, then churn-heavy), cache
+/// hit rates under churn, and the two documented overload answers —
+/// `429` when per-request budgets run out, `503` when the accept queue
+/// is full. Emits `BENCH_serve.json`.
+fn serve_bench() {
+    use nalist::obs::MetricsRecorder;
+    use nalist::serve::{loadgen, LoadgenConfig, ServerConfig};
+    use std::sync::Arc;
+
+    header("E-SERVE", "the HTTP service under open-loop load");
+    let dir = std::env::temp_dir().join(format!("nalist-e-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("wal dir");
+    let mut json_rows: Vec<String> = Vec::new();
+
+    let lcfg = |addr: &str, rps: f64, edit_ratio: f64, reuse: bool| LoadgenConfig {
+        addr: addr.to_string(),
+        tenants: 3,
+        atoms: 10,
+        pool: 64,
+        rps,
+        duration_ms: 2_500,
+        conns: 3,
+        edit_ratio,
+        zipf_s: 1.1,
+        seed: 42,
+        reuse_tenants: reuse,
+    };
+    let row =
+        |id: String, stage: &str, fuel: &str, report: &loadgen::LoadgenReport, hit_rate: f64| {
+            let rj = report.to_json();
+            format!(
+            "  {{\"id\": {id:?}, \"stage\": \"{stage}\", \"tenants\": 3, \"fuel\": \"{fuel}\", \
+             \"cache_hit_rate\": {hit_rate:.4}, {}}}",
+            &rj[1..rj.len() - 1]
+        )
+        };
+    println!(
+        "\n{:>18} {:>8} {:>9} {:>6} {:>6} {:>5} {:>9} {:>9} {:>9}",
+        "stage", "offered", "achieved", "ok", "429", "503", "p50 µs", "p99 µs", "hit rate"
+    );
+
+    // Stages 1+2: steady state on a roomy durable server — read-heavy
+    // first (the zipf-hot cache carries the load), then churn-heavy
+    // (edits evict selectively and journal to the WAL before applying).
+    let rec = Arc::new(MetricsRecorder::new());
+    let cfg = ServerConfig {
+        workers: 4,
+        queue_cap: 64,
+        wal_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+    let srv = nalist::serve::server::start(&cfg, rec.clone()).expect("server starts");
+    let addr = srv.local_addr().to_string();
+    let counter = |rec: &Arc<MetricsRecorder>, name: &str| -> u64 {
+        rec.snapshot()
+            .counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |&(_, v)| v)
+    };
+    for (stage, rps, edit_ratio, reuse) in [
+        ("steady(read-heavy)", 300.0, 0.02, false),
+        ("steady(churn)", 300.0, 0.30, true),
+    ] {
+        let (h0, m0) = (counter(&rec, "cache_hits"), counter(&rec, "cache_misses"));
+        let report = loadgen::run(&lcfg(&addr, rps, edit_ratio, reuse)).expect("loadgen runs");
+        let (dh, dm) = (
+            counter(&rec, "cache_hits") - h0,
+            counter(&rec, "cache_misses") - m0,
+        );
+        let hit_rate = dh as f64 / (dh + dm).max(1) as f64;
+        println!(
+            "{stage:>18} {:>8.0} {:>9.0} {:>6} {:>6} {:>5} {:>9} {:>9} {hit_rate:>8.2}",
+            report.offered_rps,
+            report.achieved_rps,
+            report.ok,
+            report.status_429,
+            report.status_503,
+            report.p50_us,
+            report.p99_us
+        );
+        json_rows.push(row(
+            format!("steady(stage={stage}, tenants=3, edit_ratio={edit_ratio})"),
+            stage,
+            "unlimited",
+            &report,
+            hit_rate,
+        ));
+    }
+    srv.shutdown();
+
+    // Stage 3: budget overload. The same tenants come back from the WAL
+    // directory (recovery runs unbudgeted), but every *request* now gets
+    // a tiny fuel cap — hard queries answer 429 instead of degrading the
+    // tenants that stay within budget.
+    let rec2 = Arc::new(MetricsRecorder::new());
+    let cfg2 = ServerConfig {
+        workers: 4,
+        queue_cap: 64,
+        fuel: Some(64),
+        wal_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+    let srv2 = nalist::serve::server::start(&cfg2, rec2.clone()).expect("server restarts");
+    let addr2 = srv2.local_addr().to_string();
+    let report = loadgen::run(&lcfg(&addr2, 300.0, 0.10, true)).expect("loadgen runs");
+    let rejected = report.status_429;
+    println!(
+        "{:>18} {:>8.0} {:>9.0} {:>6} {:>6} {:>5} {:>9} {:>9} {:>8}",
+        "overload(fuel=64)",
+        report.offered_rps,
+        report.achieved_rps,
+        report.ok,
+        report.status_429,
+        report.status_503,
+        report.p50_us,
+        report.p99_us,
+        "-"
+    );
+    json_rows.push(row(
+        "overload(kind=budget, fuel=64, tenants=3)".to_string(),
+        "overload(budget)",
+        "64",
+        &report,
+        0.0,
+    ));
+    srv2.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Stage 4: accept-queue overload. One worker, a queue of two, and a
+    // burst of eight idle connections: everything past workers + queue
+    // is shed at accept time with a structured 503 + Retry-After.
+    let cfg3 = ServerConfig {
+        workers: 1,
+        queue_cap: 2,
+        read_timeout_ms: 500,
+        ..ServerConfig::default()
+    };
+    let srv3 =
+        nalist::serve::server::start(&cfg3, Arc::new(MetricsRecorder::new())).expect("server");
+    let addr3 = srv3.local_addr();
+    let burst = 8usize;
+    let mut socks = Vec::new();
+    for _ in 0..burst {
+        let s = std::net::TcpStream::connect(addr3).expect("connect");
+        s.set_read_timeout(Some(std::time::Duration::from_millis(1_500)))
+            .expect("read timeout");
+        socks.push(s);
+    }
+    let mut shed_503 = 0usize;
+    let mut accepted_idle = 0usize;
+    for s in &mut socks {
+        let mut buf = [0u8; 256];
+        match std::io::Read::read(s, &mut buf) {
+            Ok(n) if n > 0 => {
+                let text = String::from_utf8_lossy(&buf[..n]);
+                assert!(
+                    text.starts_with("HTTP/1.1 503"),
+                    "unexpected acceptor answer: {text}"
+                );
+                assert!(text.to_ascii_lowercase().contains("retry-after"));
+                shed_503 += 1;
+            }
+            _ => accepted_idle += 1,
+        }
+    }
+    drop(socks);
+    assert!(
+        shed_503 >= burst - 4,
+        "expected most of the burst shed, got {shed_503}/{burst}"
+    );
+    println!(
+        "\noverload point (acceptor): burst of {burst} idle conns at workers=1, queue=2:\n\
+         {accepted_idle} accepted, {shed_503} shed with `503 + Retry-After` before any\n\
+         worker time was spent on them; under per-request fuel caps, {rejected} hard\n\
+         requests above answered `429 resource_exhausted` while cheap ones kept flowing"
+    );
+    json_rows.push(format!(
+        "  {{\"id\": \"overload(kind=acceptor, workers=1, queue=2, burst={burst})\", \
+         \"stage\": \"overload(acceptor)\", \"burst\": {burst}, \
+         \"accepted_idle\": {accepted_idle}, \"rejects_503\": {shed_503}}}"
+    ));
+    srv3.shutdown();
+
+    let json = format!("[\n{}\n]\n", json_rows.join(",\n"));
+    match std::fs::write("BENCH_serve.json", &json) {
+        Ok(()) => println!("machine-readable results written to BENCH_serve.json"),
+        Err(e) => println!("could not write BENCH_serve.json: {e}"),
     }
 }

@@ -30,6 +30,10 @@
 //! nalist lint      <schema> <deps-file> [--deny warnings] [--format json]
 //!                                                      static analysis (rules L001–L009)
 //! nalist lattice   <schema> [--dot]                    Sub(N) summary / DOT diagram
+//! nalist serve     <addr> [--wal-dir <dir>]            multi-tenant HTTP reasoning
+//!                                                      service (one reasoner per tenant)
+//! nalist loadgen   <addr> [--rps N] [--duration-ms N]  open-loop load generator against
+//!                                                      a running `nalist serve`
 //! nalist help      [command]                           this listing / per-command help
 //! ```
 //!
@@ -246,6 +250,16 @@ pub const COMMANDS: &[CommandSpec] = &[
         summary: "Sub(N) summary, basis listing, optional DOT diagram",
     },
     CommandSpec {
+        name: "serve",
+        synopsis: "<addr> [--workers N] [--queue N] [--wal-dir <dir>] [--request-fuel N] [--request-deadline-ms N] [--read-timeout-ms N] [--port-file <path>] [--max-requests N]",
+        summary: "serve many named schemas over HTTP, one live reasoner per tenant",
+    },
+    CommandSpec {
+        name: "loadgen",
+        synopsis: "<addr> [--tenants N] [--rps N] [--duration-ms N] [--conns N] [--pool N] [--atoms N] [--edit-ratio F] [--zipf S] [--seed N] [--reuse-tenants]",
+        summary: "open-loop load generator against a running `nalist serve`",
+    },
+    CommandSpec {
         name: "help",
         synopsis: "[command]",
         summary: "show this listing, or details for one command",
@@ -410,6 +424,9 @@ exit codes: 0 success, 1 domain error, 2 usage or file error,
     out
 }
 
+/// An owned, thread-safe file writer returned by [`Files::writer`].
+pub type FileWriter = Box<dyn Fn(&str, &str) -> Result<(), String> + Send>;
+
 /// File access used by [`run`]; injectable for tests.
 pub trait Files {
     /// Reads a whole file to a string.
@@ -420,6 +437,15 @@ pub trait Files {
     fn write(&self, path: &str, content: &str) -> Result<(), String> {
         let _ = content;
         Err(format!("cannot write {path}: read-only file source"))
+    }
+
+    /// An owned, thread-safe writer reaching the same destination as
+    /// [`Files::write`], or `None` when writes cannot outlive the
+    /// calling frame (the read-only test default). Long-lived commands
+    /// (`serve`, `loadgen`) use it to flush in-progress `--metrics`
+    /// snapshots from a background thread while the command runs.
+    fn writer(&self) -> Option<FileWriter> {
+        None
     }
 }
 
@@ -443,6 +469,13 @@ impl Files for OsFiles {
     fn write(&self, path: &str, content: &str) -> Result<(), String> {
         nalist::store::atomic_write(std::path::Path::new(path), content.as_bytes())
             .map_err(|e| format!("cannot write {path}: {e}"))
+    }
+
+    fn writer(&self) -> Option<FileWriter> {
+        Some(Box::new(|path, content| {
+            nalist::store::atomic_write(std::path::Path::new(path), content.as_bytes())
+                .map_err(|e| format!("cannot write {path}: {e}"))
+        }))
     }
 }
 
@@ -590,7 +623,33 @@ fn run_observed(
     let metrics = Arc::new(MetricsRecorder::new());
     let rec: Arc<dyn Recorder> = metrics.clone();
     let token = rec.enter(site::CLI_COMMAND, args.len() as u64);
+    // Long-lived commands flush an in-progress snapshot every 500 ms so
+    // `--metrics` is useful *while* the daemon runs, not only at exit.
+    // The final write below still lands the authoritative document.
+    let flusher = obs.metrics.as_ref().and_then(|path| {
+        let cmd = args.first().filter(|c| *c == "serve" || *c == "loadgen")?;
+        let write = files.writer()?;
+        let (cmd, path) = (cmd.clone(), path.clone());
+        let m = Arc::clone(&metrics);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stopped = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !stopped.load(std::sync::atomic::Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(500));
+                if stopped.load(std::sync::atomic::Ordering::SeqCst) {
+                    break;
+                }
+                let doc = nalist::obs::render_snapshot_json(&cmd, 0, true, &m.snapshot());
+                let _ = write(&path, &doc);
+            }
+        });
+        Some((stop, handle))
+    });
     let mut result = dispatch(args, files, budget, &rec);
+    if let Some((stop, handle)) = flusher {
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        let _ = handle.join();
+    }
     rec.add(Counter::FuelSpent, budget.spent());
     rec.exit(token, u64::from(result.is_ok()));
     let snap = metrics.snapshot();
@@ -657,70 +716,13 @@ fn batch_timing_breakdown(snap: &MetricsSnapshot) -> String {
     out
 }
 
-/// Serialises a [`MetricsSnapshot`] as the `--metrics` JSON document
-/// (`schema_version` 1). Every counter in [`Counter::ALL`] order and
-/// every histogram appear unconditionally, so consumers can rely on
-/// the full key set; spans carry the fields of
-/// [`nalist::obs::SpanRecord`] verbatim.
+/// Serialises a [`MetricsSnapshot`] as the `--metrics` JSON document.
+/// Delegates to [`nalist::obs::render_snapshot_json`] (`schema_version`
+/// 2), which the serve path reuses for `GET /metrics` and for periodic
+/// mid-run flushes.
 fn render_metrics_json(args: &[String], exit_code: i32, snap: &MetricsSnapshot) -> String {
-    use nalist::lint::json::escape;
     let command = args.first().map_or("", String::as_str);
-    let mut out = String::from("{\n");
-    writeln!(out, "  \"schema_version\": 1,").unwrap();
-    writeln!(out, "  \"command\": {},", escape(command)).unwrap();
-    writeln!(out, "  \"exit_code\": {exit_code},").unwrap();
-    // Honest machine stamp: consumers comparing metrics across hosts
-    // (or reading `batch_threads`) need to know how many CPUs the run
-    // actually had.
-    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    writeln!(out, "  \"cpus\": {cpus},").unwrap();
-    writeln!(out, "  \"elapsed_ns\": {},", snap.elapsed_ns).unwrap();
-    out.push_str("  \"counters\": {\n");
-    for (i, (name, value)) in snap.counters.iter().enumerate() {
-        let sep = if i + 1 == snap.counters.len() {
-            ""
-        } else {
-            ","
-        };
-        writeln!(out, "    {}: {value}{sep}", escape(name)).unwrap();
-    }
-    out.push_str("  },\n  \"histograms\": [\n");
-    for (i, h) in snap.hists.iter().enumerate() {
-        let sep = if i + 1 == snap.hists.len() { "" } else { "," };
-        let buckets: Vec<String> = h
-            .buckets
-            .iter()
-            .map(|(ix, n)| format!("[{ix}, {n}]"))
-            .collect();
-        writeln!(
-            out,
-            "    {{\"name\": {}, \"count\": {}, \"sum\": {}, \"buckets\": [{}]}}{sep}",
-            escape(h.name),
-            h.count,
-            h.sum,
-            buckets.join(", ")
-        )
-        .unwrap();
-    }
-    out.push_str("  ],\n  \"spans\": [\n");
-    for (i, s) in snap.spans.iter().enumerate() {
-        let sep = if i + 1 == snap.spans.len() { "" } else { "," };
-        writeln!(
-            out,
-            "    {{\"site\": {}, \"thread\": {}, \"depth\": {}, \"payload_in\": {}, \
-             \"payload_out\": {}, \"start_ns\": {}, \"dur_ns\": {}}}{sep}",
-            escape(s.site),
-            s.thread,
-            s.depth,
-            s.payload_in,
-            s.payload_out,
-            s.start_ns,
-            s.dur_ns
-        )
-        .unwrap();
-    }
-    out.push_str("  ]\n}\n");
-    out
+    nalist::obs::render_snapshot_json(command, exit_code, false, snap)
 }
 
 /// The dispatcher proper: one arm per [`COMMANDS`] row, running under
@@ -1386,6 +1388,16 @@ fn dispatch(
             }
             out.push_str(&rendered);
         }
+        ("serve", [addr, flags @ ..]) => {
+            let opts = parse_serve_flags(addr, flags)?;
+            out.push_str(&run_serve(&opts, files, budget, rec)?);
+        }
+        ("loadgen", [addr, flags @ ..]) => {
+            let cfg = parse_loadgen_flags(addr, flags)?;
+            checkpoint(budget)?;
+            let report = nalist::serve::loadgen::run(&cfg).map_err(CliError::file)?;
+            out.push_str(&report.render());
+        }
         ("help", []) => {
             out.push_str(&usage_text());
             out.push('\n');
@@ -1434,6 +1446,20 @@ fn dispatch(
                 writeln!(
                     out,
                     "\n  Rebuilds the reasoner from a snapshot; cache entries land warm,\n  with no recomputation. With `--wal <log>`, the journal's tail is\n  replayed through the ordinary incremental edit path, so the\n  recovered reasoner is bit-identical to the crashed one.\n\n  A torn final record (the crash hit mid-append) is truncated and\n  reported; corruption anywhere else in the snapshot or log is a\n  hard error (exit 2) — never a silently wrong answer.\n\n  exit codes: 0 recovered; 1 a WAL record no longer replays;\n  2 missing or corrupt snapshot/WAL; 3 budget exhausted."
+                )
+                .unwrap();
+            }
+            if t.name == "serve" {
+                writeln!(
+                    out,
+                    "\n  Hosts many named schemas over HTTP/1.1 (keep-alive, fixed\n  worker pool, bounded accept queue). One long-lived incremental\n  reasoner per tenant: queries share a read lock, Σ edits take the\n  write lock and journal to the tenant's WAL *before* applying.\n\n  endpoints (all JSON):\n    POST /v1/<tenant>/create   {{\"schema\": \"...\", \"deps\": [\"X -> Y\", ...]}}\n    POST /v1/<tenant>/query    {{\"query\": \"X -> Y\"}} or {{\"queries\": [...]}}\n    POST /v1/<tenant>/edit     {{\"op\": \"add\"|\"remove\", \"dep\": \"...\"}}\n                               or {{\"edits\": [{{\"op\", \"dep\"}}, ...]}}\n    GET  /v1/<tenant>/cert?dep=<url-encoded dependency>\n    GET  /v1/<tenant>/sigma    Σ listing + cache counters\n    GET  /metrics              schema-versioned counters/histograms\n    GET  /healthz              liveness + tenant count\n\n  With `--wal-dir <dir>` each tenant persists as <dir>/<name>.snap\n  plus <dir>/<name>.wal; on restart tenants recover bit-identically\n  and compact. Overload is structured: 503 (Retry-After) when the\n  accept queue is full, 429 when a request exhausts the per-request\n  fuel/deadline budget, 408/413/431 for slow or oversized clients.\n\n  `--port-file <path>` writes the bound address (use `:0` for an\n  ephemeral port); `--max-requests N` stops after N requests (smoke\n  tests — production runs until SIGTERM); the global `--timeout`\n  bounds the run with a graceful shutdown and the usual exit 3.\n  Under `--metrics <path>` the snapshot file is rewritten every\n  500 ms while the daemon runs (`\"in_progress\": true`)."
+                )
+                .unwrap();
+            }
+            if t.name == "loadgen" {
+                writeln!(
+                    out,
+                    "\n  Open-loop load against a running `nalist serve`: arrivals follow\n  a Poisson schedule fixed up front, so a slow server cannot\n  throttle the offered rate and flatter its latency (coordinated\n  omission). Each connection thread owns a slice of the rate;\n  queries pick zipf-skewed targets from a per-tenant pool, and\n  `--edit-ratio` of requests are add/remove churn against the\n  pool's second half. Deterministic under `--seed`.\n\n  Reports sent/ok/429/503 counts, exact p50/p99/mean latency, and\n  achieved vs offered rps. `--reuse-tenants` skips creation when\n  the tenants survived a previous run (e.g. across a restart)."
                 )
                 .unwrap();
             }
@@ -1532,6 +1558,171 @@ fn parse_cert_flag<'a>(cmd: &str, flags: &'a [String]) -> Result<Option<&'a Stri
             "unknown flags for {cmd} (expected --cert <path>)"
         ))),
     }
+}
+
+/// `nalist serve` options beyond the server configuration proper.
+struct ServeOptions {
+    cfg: nalist::serve::ServerConfig,
+    port_file: Option<String>,
+    max_requests: Option<u64>,
+}
+
+fn flag_value<'a>(
+    cmd: &str,
+    flag: &str,
+    it: &mut std::slice::Iter<'a, String>,
+) -> Result<&'a String, CliError> {
+    it.next().ok_or_else(|| {
+        CliError::usage(format!("{flag} requires a value (see `nalist help {cmd}`)"))
+    })
+}
+
+fn flag_num<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, CliError>
+where
+    T::Err: std::fmt::Display,
+{
+    raw.parse()
+        .map_err(|e| CliError::usage(format!("bad {flag} value '{raw}': {e}")))
+}
+
+fn parse_serve_flags(addr: &str, flags: &[String]) -> Result<ServeOptions, CliError> {
+    let mut cfg = nalist::serve::ServerConfig {
+        addr: addr.to_string(),
+        ..nalist::serve::ServerConfig::default()
+    };
+    let mut port_file = None;
+    let mut max_requests = None;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--workers" => cfg.workers = flag_num(flag, flag_value("serve", flag, &mut it)?)?,
+            "--queue" => cfg.queue_cap = flag_num(flag, flag_value("serve", flag, &mut it)?)?,
+            "--request-fuel" => {
+                cfg.fuel = Some(flag_num(flag, flag_value("serve", flag, &mut it)?)?);
+            }
+            "--request-deadline-ms" => {
+                cfg.deadline_ms = Some(flag_num(flag, flag_value("serve", flag, &mut it)?)?);
+            }
+            "--read-timeout-ms" => {
+                cfg.read_timeout_ms = flag_num(flag, flag_value("serve", flag, &mut it)?)?;
+            }
+            "--wal-dir" => {
+                cfg.wal_dir = Some(std::path::PathBuf::from(flag_value(
+                    "serve", flag, &mut it,
+                )?));
+            }
+            "--port-file" => port_file = Some(flag_value("serve", flag, &mut it)?.clone()),
+            "--max-requests" => {
+                max_requests = Some(flag_num(flag, flag_value("serve", flag, &mut it)?)?);
+            }
+            other => return Err(CliError::usage(format!("unknown flag {other} for serve"))),
+        }
+    }
+    Ok(ServeOptions {
+        cfg,
+        port_file,
+        max_requests,
+    })
+}
+
+fn parse_loadgen_flags(
+    addr: &str,
+    flags: &[String],
+) -> Result<nalist::serve::LoadgenConfig, CliError> {
+    let mut cfg = nalist::serve::LoadgenConfig {
+        addr: addr.to_string(),
+        ..nalist::serve::LoadgenConfig::default()
+    };
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--tenants" => cfg.tenants = flag_num(flag, flag_value("loadgen", flag, &mut it)?)?,
+            "--atoms" => cfg.atoms = flag_num(flag, flag_value("loadgen", flag, &mut it)?)?,
+            "--pool" => cfg.pool = flag_num(flag, flag_value("loadgen", flag, &mut it)?)?,
+            "--rps" => cfg.rps = flag_num(flag, flag_value("loadgen", flag, &mut it)?)?,
+            "--duration-ms" => {
+                cfg.duration_ms = flag_num(flag, flag_value("loadgen", flag, &mut it)?)?;
+            }
+            "--conns" => cfg.conns = flag_num(flag, flag_value("loadgen", flag, &mut it)?)?,
+            "--edit-ratio" => {
+                cfg.edit_ratio = flag_num(flag, flag_value("loadgen", flag, &mut it)?)?;
+            }
+            "--zipf" => cfg.zipf_s = flag_num(flag, flag_value("loadgen", flag, &mut it)?)?,
+            "--seed" => cfg.seed = flag_num(flag, flag_value("loadgen", flag, &mut it)?)?,
+            "--reuse-tenants" => cfg.reuse_tenants = true,
+            other => return Err(CliError::usage(format!("unknown flag {other} for loadgen"))),
+        }
+    }
+    Ok(cfg)
+}
+
+/// Sum the daemon's `requests` counter from a snapshot-capable recorder.
+fn requests_served(rec: &dyn Recorder) -> u64 {
+    rec.try_snapshot().map_or(0, |s| {
+        s.counters
+            .iter()
+            .find(|(name, _)| *name == "requests")
+            .map_or(0, |&(_, v)| v)
+    })
+}
+
+/// Runs the daemon until `--max-requests` requests are served, the
+/// global `--timeout` deadline passes (graceful shutdown, then the
+/// usual exit 3), or the process is killed.
+fn run_serve(
+    opts: &ServeOptions,
+    files: &dyn Files,
+    budget: &Budget,
+    rec: &Arc<dyn Recorder>,
+) -> Result<String, CliError> {
+    // `GET /metrics` needs a snapshot-capable recorder: reuse the
+    // command's own when `--metrics`/`--trace` provided a live one,
+    // else give the server a private recorder.
+    let server_rec: Arc<dyn Recorder> = if rec.try_snapshot().is_some() {
+        Arc::clone(rec)
+    } else {
+        Arc::new(MetricsRecorder::new())
+    };
+    let server = nalist::serve::server::start(&opts.cfg, Arc::clone(&server_rec))
+        .map_err(|e| CliError::file(e.message))?;
+    let addr = server.local_addr();
+    eprintln!(
+        "nalist serve: listening on http://{addr}/ ({} workers, queue {}{})",
+        opts.cfg.workers.max(1),
+        opts.cfg.queue_cap.max(1),
+        match &opts.cfg.wal_dir {
+            Some(dir) => format!(", wal-dir {}", dir.display()),
+            None => ", in-memory".to_string(),
+        }
+    );
+    if let Some(path) = &opts.port_file {
+        if let Err(e) = files.write(path, &format!("{addr}\n")) {
+            server.shutdown();
+            return Err(CliError::file(e));
+        }
+    }
+    let deadline_hit = loop {
+        std::thread::sleep(Duration::from_millis(50));
+        if budget.check_deadline().is_err() {
+            break true;
+        }
+        if let Some(cap) = opts.max_requests {
+            if requests_served(server_rec.as_ref()) >= cap {
+                break false;
+            }
+        }
+    };
+    let served = requests_served(server_rec.as_ref());
+    let tenants = server.state().registry.len();
+    server.shutdown();
+    if deadline_hit {
+        return Err(CliError::resource(format!(
+            "serve: --timeout reached after {served} request(s); shut down cleanly"
+        )));
+    }
+    Ok(format!(
+        "serve: shut down after {served} request(s) across {tenants} tenant(s)\n"
+    ))
 }
 
 /// Serialises and writes a certificate, reporting the path in `out`.
@@ -2313,7 +2504,7 @@ mod tests {
     }
 
     #[test]
-    fn metrics_flag_writes_schema_v1_json_and_keeps_output_unchanged() {
+    fn metrics_flag_writes_schema_v2_json_and_keeps_output_unchanged() {
         let query = "Pubcrawl(Person) -> Pubcrawl(Visit[λ])";
         let plain = run(&args(&["decide", SCHEMA, "deps.txt", query]), &files()).unwrap();
         let rw = RwFiles::new(files());
@@ -2324,9 +2515,14 @@ mod tests {
         .unwrap();
         assert_eq!(out, plain);
         let doc = nalist::lint::json::parse(&rw.written("m.json")).expect("valid JSON");
-        assert_eq!(doc.get("schema_version").and_then(Json::as_usize), Some(1));
+        assert_eq!(doc.get("schema_version").and_then(Json::as_usize), Some(2));
         assert_eq!(doc.get("command").and_then(Json::as_str), Some("decide"));
         assert_eq!(doc.get("exit_code").and_then(Json::as_usize), Some(0));
+        assert_eq!(
+            doc.get("in_progress").and_then(Json::as_bool),
+            Some(false),
+            "a final flush must not be marked in-progress"
+        );
         let counters = doc.get("counters").expect("counters object");
         for c in Counter::ALL {
             assert!(

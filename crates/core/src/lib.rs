@@ -49,6 +49,7 @@
 //! | [`obs`] | observability: span recorder, work counters, histograms |
 //! | [`guard`] | resource governance: budgets, deadlines, fail points |
 //! | [`store`] | crash-safe durability: versioned snapshots, checksummed WAL |
+//! | [`serve`] | the multi-tenant HTTP service and its open-loop load generator |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,6 +65,7 @@ pub use nalist_lint as lint;
 pub use nalist_membership as membership;
 pub use nalist_obs as obs;
 pub use nalist_schema as schema;
+pub use nalist_serve as serve;
 pub use nalist_store as store;
 pub use nalist_types as types;
 

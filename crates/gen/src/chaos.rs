@@ -200,6 +200,147 @@ pub fn corpus() -> Vec<ChaosCase> {
     ]
 }
 
+/// One hostile wire-protocol exchange for the HTTP server.
+///
+/// The harness opens a fresh connection, writes `bytes` (optionally
+/// half-closing the write side afterwards), and reads whatever comes
+/// back. The contract is the server-hardening one: a *typed* rejection
+/// (the pinned status) or a clean close — never a hang past the read
+/// timeout, and never a dead worker (the harness follows every case
+/// with a healthy request on a new connection).
+#[derive(Debug, Clone)]
+pub struct WireCase {
+    /// Short unique identifier, used in test output.
+    pub name: &'static str,
+    /// Raw bytes written to a fresh connection. An *incomplete* request
+    /// left unterminated with the socket open is a slowloris stall: the
+    /// server's read timeout must answer `408`.
+    pub bytes: Vec<u8>,
+    /// Half-close the write side after writing (a client that gave up
+    /// mid-request); the server still owes a structured answer.
+    pub shutdown_after_write: bool,
+    /// Pinned status code of the first response; `None` accepts any
+    /// complete response or a clean close.
+    pub expect_status: Option<u16>,
+}
+
+/// Hostile wire-protocol corpus: oversized heads, absurd bodies,
+/// truncated and stalled requests, pipelined garbage, binary junk.
+/// Status pins follow the `nalist-serve` parser contract (`400`
+/// malformed, `408` stall, `413` body cap, `431` head cap).
+#[must_use]
+pub fn wire_corpus() -> Vec<WireCase> {
+    let case = |name, bytes: Vec<u8>, shutdown, expect| WireCase {
+        name,
+        bytes,
+        shutdown_after_write: shutdown,
+        expect_status: expect,
+    };
+    let mut huge_head = b"GET / HTTP/1.1\r\nx-pad: ".to_vec();
+    huge_head.extend(std::iter::repeat(b'a').take(64 * 1024));
+    huge_head.extend_from_slice(b"\r\n\r\n");
+    vec![
+        case(
+            "request-line-garbage",
+            b"\x01\x02\x03 garbage junk\r\n\r\n".to_vec(),
+            false,
+            Some(400),
+        ),
+        case(
+            "binary-junk-not-utf8",
+            [&[0xFFu8, 0xFE, 0x80, 0x80][..], b" x y\r\n\r\n"].concat(),
+            false,
+            Some(400),
+        ),
+        case(
+            "lowercase-method",
+            b"get / HTTP/1.1\r\n\r\n".to_vec(),
+            false,
+            Some(400),
+        ),
+        case(
+            "missing-version",
+            b"GET /\r\n\r\n".to_vec(),
+            false,
+            Some(400),
+        ),
+        case(
+            "unsupported-version",
+            b"GET / HTTP/2.0\r\n\r\n".to_vec(),
+            false,
+            Some(400),
+        ),
+        case(
+            "extra-request-line-token",
+            b"GET / HTTP/1.1 EXTRA\r\n\r\n".to_vec(),
+            false,
+            Some(400),
+        ),
+        case(
+            "header-without-colon",
+            b"GET / HTTP/1.1\r\nnocolon\r\n\r\n".to_vec(),
+            false,
+            Some(400),
+        ),
+        case(
+            "chunked-rejected",
+            b"POST /healthz HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n0\r\n\r\n".to_vec(),
+            false,
+            Some(400),
+        ),
+        case(
+            "content-length-not-a-number",
+            b"POST / HTTP/1.1\r\ncontent-length: banana\r\n\r\n".to_vec(),
+            false,
+            Some(400),
+        ),
+        case(
+            "content-length-negative",
+            b"POST / HTTP/1.1\r\ncontent-length: -5\r\n\r\n".to_vec(),
+            false,
+            Some(400),
+        ),
+        case(
+            "body-too-large-declared",
+            b"POST /v1/a/query HTTP/1.1\r\ncontent-length: 10000000\r\n\r\n".to_vec(),
+            false,
+            Some(413),
+        ),
+        case("head-too-large", huge_head, false, Some(431)),
+        case("slowloris-head", b"GET / HTT".to_vec(), false, Some(408)),
+        case(
+            "slowloris-body",
+            b"POST / HTTP/1.1\r\ncontent-length: 50\r\n\r\nabc".to_vec(),
+            false,
+            Some(408),
+        ),
+        case(
+            "truncated-head-close",
+            b"GET / HTT".to_vec(),
+            true,
+            Some(400),
+        ),
+        case(
+            "truncated-body-close",
+            b"POST / HTTP/1.1\r\ncontent-length: 50\r\n\r\nabc".to_vec(),
+            true,
+            Some(400),
+        ),
+        case(
+            "pipelined-garbage",
+            b"GET /healthz HTTP/1.1\r\n\r\nXYZZY JUNK\r\n\r\n".to_vec(),
+            false,
+            Some(200),
+        ),
+        case(
+            "nul-in-header-value",
+            b"GET /nowhere HTTP/1.1\r\nx-a: a\0b\r\n\r\n".to_vec(),
+            false,
+            None,
+        ),
+    ]
+}
+
 /// One durability chaos case: a (possibly mangled) snapshot file and an
 /// optional (possibly mangled) WAL, plus the exit codes a correct
 /// `nalist recover` may produce for the pair. The invariant under test

@@ -67,6 +67,13 @@ pub mod site {
     /// One certificate verification run (`nalist check`; exit payload:
     /// 1 = accepted, 0 = rejected).
     pub const CHECK_VERIFY: &str = "check::verify";
+    /// One tenant construction in the service layer (enter payload:
+    /// initial |Σ|; exit payload: 1 = created, 0 = recovered from a
+    /// snapshot). Requests deliberately get **no** span: a long-lived
+    /// server would grow the span buffer without bound. The request
+    /// path reports through counters and the `request_ns` histogram
+    /// instead.
+    pub const SERVE_TENANT: &str = "serve::tenant";
 }
 
 /// Monotone work counters. The set is closed — a fixed enum instead of
@@ -121,11 +128,25 @@ pub enum Counter {
     /// WAL operations replayed through the incremental edit path
     /// during crash recovery.
     RecoveryReplayedOps,
+    /// TCP connections accepted by the service listener (admitted or
+    /// not).
+    ConnsAccepted,
+    /// HTTP requests fully parsed and dispatched by the service.
+    HttpRequests,
+    /// Requests served on an already-used connection (request ≥ 2 on a
+    /// keep-alive connection).
+    KeepaliveReuses,
+    /// Connections refused by admission control (queue full → 503) and
+    /// requests refused by the per-request budget (fuel/deadline → 429).
+    AdmissionRejects,
+    /// Requests whose worker caught a handler panic (answered 500; the
+    /// worker survives).
+    RequestPanics,
 }
 
 impl Counter {
     /// Every counter, in declaration (and serialization) order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 25] = [
         Counter::DepsFired,
         Counter::WorklistSteps,
         Counter::AtomsAllocated,
@@ -146,6 +167,11 @@ impl Counter {
         Counter::WalFsyncs,
         Counter::SnapshotWrites,
         Counter::RecoveryReplayedOps,
+        Counter::ConnsAccepted,
+        Counter::HttpRequests,
+        Counter::KeepaliveReuses,
+        Counter::AdmissionRejects,
+        Counter::RequestPanics,
     ];
 
     /// Stable snake_case name used in `--metrics` JSON and the perf
@@ -172,6 +198,11 @@ impl Counter {
             Counter::WalFsyncs => "wal_fsyncs",
             Counter::SnapshotWrites => "snapshot_writes",
             Counter::RecoveryReplayedOps => "recovery_replayed_ops",
+            Counter::ConnsAccepted => "conns_accepted",
+            Counter::HttpRequests => "requests",
+            Counter::KeepaliveReuses => "keepalive_reuses",
+            Counter::AdmissionRejects => "admission_rejects",
+            Counter::RequestPanics => "request_panics",
         }
     }
 }
@@ -186,11 +217,22 @@ pub enum Hist {
     GroupNs,
     /// Dependencies fired per closure fixpoint run.
     FiredPerClosure,
+    /// Admission-queue depth sampled at each enqueue attempt (the
+    /// connections already waiting when a new one arrives).
+    QueueDepth,
+    /// Wall nanoseconds per HTTP request, parse to last response byte.
+    RequestNs,
 }
 
 impl Hist {
     /// Every histogram, in declaration (and serialization) order.
-    pub const ALL: [Hist; 3] = [Hist::QueryNs, Hist::GroupNs, Hist::FiredPerClosure];
+    pub const ALL: [Hist; 5] = [
+        Hist::QueryNs,
+        Hist::GroupNs,
+        Hist::FiredPerClosure,
+        Hist::QueueDepth,
+        Hist::RequestNs,
+    ];
 
     /// Stable snake_case name used in `--metrics` JSON.
     pub fn name(self) -> &'static str {
@@ -198,6 +240,8 @@ impl Hist {
             Hist::QueryNs => "query_ns",
             Hist::GroupNs => "group_ns",
             Hist::FiredPerClosure => "fired_per_closure",
+            Hist::QueueDepth => "queue_depth",
+            Hist::RequestNs => "request_ns",
         }
     }
 }
@@ -242,6 +286,15 @@ pub trait Recorder: Send + Sync + fmt::Debug {
 
     /// Records one observation into a histogram.
     fn observe(&self, hist: Hist, value: u64);
+
+    /// Point-in-time snapshot, when this recorder keeps state
+    /// ([`MetricsRecorder`] does; the default — and [`NoopRecorder`] —
+    /// report `None`). Lets long-lived consumers (the serve layer's
+    /// `GET /metrics`) expose whatever recorder they were handed
+    /// without knowing its concrete type.
+    fn try_snapshot(&self) -> Option<MetricsSnapshot> {
+        None
+    }
 }
 
 /// The disabled recorder: every method is an inline empty body, so an
@@ -342,6 +395,134 @@ pub struct HistSnapshot {
     pub sum: u64,
     /// Non-empty buckets as `(bucket_index, count)` pairs.
     pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistSnapshot {
+    /// Upper bound of the bucket holding the `q`-quantile observation
+    /// (`q` in `[0, 1]`), or `None` when the histogram is empty. Log2
+    /// buckets make this a ≤2× overestimate — good enough for coarse
+    /// latency bounds (smoke-test p99 checks), not for benchmarks,
+    /// which record exact samples instead.
+    #[must_use]
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        // bucket 0 holds the value 0; bucket k holds [2^(k-1), 2^k)
+        let upper = |ix: usize| -> u64 {
+            match ix {
+                0 => 0,
+                1..=63 => (1u64 << ix) - 1,
+                _ => u64::MAX,
+            }
+        };
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(ix, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(upper(ix));
+            }
+        }
+        self.buckets.last().map(|&(ix, _)| upper(ix))
+    }
+}
+
+/// JSON string escape (quotes included) for the metrics document.
+/// Local to `obs` because the crate deliberately has no dependencies;
+/// the richer parser lives in `nalist-types`.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Serialises a [`MetricsSnapshot`] as the `--metrics` / `GET /metrics`
+/// JSON document (`schema_version` 2). Every counter in
+/// [`Counter::ALL`] order and every histogram appear unconditionally,
+/// so consumers can rely on the full key set; spans carry the fields of
+/// [`SpanRecord`] verbatim. `in_progress` marks mid-run flushes from
+/// long-lived commands (serve, replay), whose `exit_code` is
+/// necessarily provisional.
+#[must_use]
+pub fn render_snapshot_json(
+    command: &str,
+    exit_code: i32,
+    in_progress: bool,
+    snap: &MetricsSnapshot,
+) -> String {
+    use fmt::Write as _;
+    let mut out = String::from("{\n");
+    writeln!(out, "  \"schema_version\": 2,").unwrap();
+    writeln!(out, "  \"command\": {},", json_escape(command)).unwrap();
+    writeln!(out, "  \"exit_code\": {exit_code},").unwrap();
+    writeln!(out, "  \"in_progress\": {in_progress},").unwrap();
+    // Honest machine stamp: consumers comparing metrics across hosts
+    // (or reading `batch_threads`) need to know how many CPUs the run
+    // actually had.
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    writeln!(out, "  \"cpus\": {cpus},").unwrap();
+    writeln!(out, "  \"elapsed_ns\": {},", snap.elapsed_ns).unwrap();
+    out.push_str("  \"counters\": {\n");
+    for (i, (name, value)) in snap.counters.iter().enumerate() {
+        let sep = if i + 1 == snap.counters.len() {
+            ""
+        } else {
+            ","
+        };
+        writeln!(out, "    {}: {value}{sep}", json_escape(name)).unwrap();
+    }
+    out.push_str("  },\n  \"histograms\": [\n");
+    for (i, h) in snap.hists.iter().enumerate() {
+        let sep = if i + 1 == snap.hists.len() { "" } else { "," };
+        let buckets: Vec<String> = h
+            .buckets
+            .iter()
+            .map(|(ix, n)| format!("[{ix}, {n}]"))
+            .collect();
+        writeln!(
+            out,
+            "    {{\"name\": {}, \"count\": {}, \"sum\": {}, \"buckets\": [{}]}}{sep}",
+            json_escape(h.name),
+            h.count,
+            h.sum,
+            buckets.join(", ")
+        )
+        .unwrap();
+    }
+    out.push_str("  ],\n  \"spans\": [\n");
+    for (i, s) in snap.spans.iter().enumerate() {
+        let sep = if i + 1 == snap.spans.len() { "" } else { "," };
+        writeln!(
+            out,
+            "    {{\"site\": {}, \"thread\": {}, \"depth\": {}, \"payload_in\": {}, \
+             \"payload_out\": {}, \"start_ns\": {}, \"dur_ns\": {}}}{sep}",
+            json_escape(s.site),
+            s.thread,
+            s.depth,
+            s.payload_in,
+            s.payload_out,
+            s.start_ns,
+            s.dur_ns
+        )
+        .unwrap();
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 thread_local! {
@@ -534,6 +715,10 @@ impl Recorder for MetricsRecorder {
         core.count.fetch_add(1, Ordering::Relaxed);
         core.sum.fetch_add(value, Ordering::Relaxed);
         core.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn try_snapshot(&self) -> Option<MetricsSnapshot> {
+        Some(self.snapshot())
     }
 }
 

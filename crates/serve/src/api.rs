@@ -1,0 +1,495 @@
+//! Request routing and the JSON API.
+//!
+//! Every route answers JSON; every failure is a structured error
+//! document `{"error": {"status", "kind", "message"}}` whose status
+//! code mirrors the CLI's exit-code contract: domain errors are `400`,
+//! unknown tenants/routes `404`, budget exhaustion `429` (the HTTP
+//! face of exit code 3), and overload `503`.
+//!
+//! | route | verb | answer |
+//! |-------|------|--------|
+//! | `/healthz` | GET | liveness + tenant count |
+//! | `/metrics` | GET | the schema-versioned metrics document |
+//! | `/v1/{tenant}/create` | POST | make a tenant from `{schema, deps}` |
+//! | `/v1/{tenant}/query` | POST | decide `{query}` or batch `{queries}` |
+//! | `/v1/{tenant}/edit` | POST | apply `{edits: [{op, dep}]}`, WAL-first |
+//! | `/v1/{tenant}/cert?dep=…` | GET | decide + portable proof certificate |
+//! | `/v1/{tenant}/sigma` | GET | Σ listing + cache stats (recovery audits) |
+
+use std::num::NonZeroUsize;
+use std::sync::{Arc, PoisonError};
+use std::time::Duration;
+
+use nalist_guard::{Budget, ResourceExhausted};
+use nalist_membership::{QueryError, Reasoner, ReasonerError, WalOp};
+use nalist_obs::{render_snapshot_json, MetricsSnapshot, Recorder};
+use nalist_types::json::{escape, parse as parse_json, Json};
+
+use crate::http::{percent_decode, Request, Response};
+use crate::tenant::Registry;
+
+/// A structured API failure: one HTTP status, a stable machine-readable
+/// kind, and a human message.
+#[derive(Debug)]
+pub struct ApiError {
+    /// HTTP status code.
+    pub status: u16,
+    /// Stable kind slug (`bad_request`, `not_found`, `resource_exhausted`, …).
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ApiError {
+    /// A `400` domain error.
+    pub fn bad_request(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 400,
+            kind: "bad_request",
+            message: message.into(),
+        }
+    }
+
+    /// A `404`.
+    pub fn not_found(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 404,
+            kind: "not_found",
+            message: message.into(),
+        }
+    }
+
+    /// A `500`.
+    pub fn internal(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 500,
+            kind: "internal",
+            message: message.into(),
+        }
+    }
+
+    /// A `429`: the per-request [`Budget`] ran out — the admission
+    /// contract's "shed load, don't degrade" answer.
+    pub fn resource(e: ResourceExhausted) -> ApiError {
+        ApiError {
+            status: 429,
+            kind: "resource_exhausted",
+            message: e.to_string(),
+        }
+    }
+
+    /// Maps a reasoner failure: budget exhaustion is `429`, anything
+    /// else is the caller's fault (`400`).
+    pub fn reasoner(e: &ReasonerError) -> ApiError {
+        match e {
+            ReasonerError::Resource(r) => ApiError::resource(*r),
+            other => ApiError::bad_request(other.to_string()),
+        }
+    }
+
+    /// Renders the error document and response.
+    #[must_use]
+    pub fn to_response(&self) -> Response {
+        let body = format!(
+            "{{\"error\": {{\"status\": {}, \"kind\": {}, \"message\": {}}}}}\n",
+            self.status,
+            escape(self.kind),
+            escape(&self.message)
+        );
+        let mut resp = Response::json(self.status, body);
+        if matches!(self.status, 429 | 503) {
+            resp.retry_after = Some(1);
+        }
+        resp
+    }
+}
+
+/// Everything a worker needs to answer requests.
+#[derive(Debug)]
+pub struct ServiceState {
+    /// The tenant table.
+    pub registry: Registry,
+    /// Per-request fuel cap (`None` = unlimited).
+    pub fuel: Option<u64>,
+    /// Per-request deadline (`None` = unlimited).
+    pub deadline: Option<Duration>,
+    /// Worker count for batch query planning.
+    pub batch_threads: NonZeroUsize,
+}
+
+impl ServiceState {
+    /// A fresh per-request budget from the server-wide caps.
+    #[must_use]
+    pub fn request_budget(&self) -> Budget {
+        let mut b = Budget::unlimited();
+        if let Some(fuel) = self.fuel {
+            b = b.with_fuel(fuel);
+        }
+        if let Some(window) = self.deadline {
+            b = b.with_deadline_in(window);
+        }
+        b
+    }
+
+    fn recorder(&self) -> &Arc<dyn Recorder> {
+        self.registry.recorder()
+    }
+}
+
+fn require_method(req: &Request, method: &str) -> Result<(), ApiError> {
+    if req.method == method {
+        Ok(())
+    } else {
+        Err(ApiError {
+            status: 405,
+            kind: "method_not_allowed",
+            message: format!("{} {} wants {method}", req.method, req.path()),
+        })
+    }
+}
+
+fn parse_body(req: &Request) -> Result<Json, ApiError> {
+    let text =
+        std::str::from_utf8(&req.body).map_err(|_| ApiError::bad_request("body is not UTF-8"))?;
+    parse_json(text).map_err(|e| ApiError::bad_request(format!("body is not valid JSON: {e}")))
+}
+
+fn body_str<'a>(body: &'a Json, key: &str) -> Result<&'a str, ApiError> {
+    body.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::bad_request(format!("missing string field {key:?}")))
+}
+
+fn body_str_list(body: &Json, key: &str) -> Result<Vec<String>, ApiError> {
+    match body.get(key) {
+        None => Ok(Vec::new()),
+        Some(v) => {
+            let arr = v
+                .as_arr()
+                .ok_or_else(|| ApiError::bad_request(format!("{key:?} must be an array")))?;
+            arr.iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    item.as_str().map(str::to_string).ok_or_else(|| {
+                        ApiError::bad_request(format!("{key:?}[{i}] must be a string"))
+                    })
+                })
+                .collect()
+        }
+    }
+}
+
+/// Routes one request. Never panics deliberately; the worker wraps the
+/// call in `catch_unwind` for the accidents.
+pub fn handle(state: &ServiceState, req: &Request) -> Response {
+    match route(state, req) {
+        Ok(resp) => resp,
+        Err(e) => e.to_response(),
+    }
+}
+
+fn route(state: &ServiceState, req: &Request) -> Result<Response, ApiError> {
+    match req.path() {
+        "/healthz" => {
+            require_method(req, "GET")?;
+            Ok(Response::json(
+                200,
+                format!("{{\"ok\": true, \"tenants\": {}}}\n", state.registry.len()),
+            ))
+        }
+        "/metrics" => {
+            require_method(req, "GET")?;
+            let snap = state
+                .recorder()
+                .try_snapshot()
+                .unwrap_or_else(|| MetricsSnapshot {
+                    counters: Vec::new(),
+                    hists: Vec::new(),
+                    spans: Vec::new(),
+                    elapsed_ns: 0,
+                });
+            Ok(Response::json(
+                200,
+                render_snapshot_json("serve", 0, true, &snap),
+            ))
+        }
+        path => {
+            let mut parts = path.split('/').skip(1);
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some("v1"), Some(tenant), Some(action), None) => {
+                    tenant_route(state, req, tenant, action)
+                }
+                _ => Err(ApiError::not_found(format!("no route {path}"))),
+            }
+        }
+    }
+}
+
+fn tenant_route(
+    state: &ServiceState,
+    req: &Request,
+    tenant: &str,
+    action: &str,
+) -> Result<Response, ApiError> {
+    let budget = state.request_budget();
+    if action == "create" {
+        require_method(req, "POST")?;
+        let body = parse_body(req)?;
+        let schema = body_str(&body, "schema")?;
+        let deps = body_str_list(&body, "deps")?;
+        let t = state.registry.create(tenant, schema, &deps, &budget)?;
+        let r = t.reasoner.read().unwrap_or_else(PoisonError::into_inner);
+        return Ok(Response::json(
+            201,
+            format!(
+                "{{\"tenant\": {}, \"schema\": {}, \"sigma\": {}}}\n",
+                escape(tenant),
+                escape(&r.attr().to_string()),
+                r.sigma().len()
+            ),
+        ));
+    }
+    let t = state
+        .registry
+        .get(tenant)
+        .ok_or_else(|| ApiError::not_found(format!("no tenant {tenant:?}")))?;
+    match action {
+        "query" => {
+            require_method(req, "POST")?;
+            let body = parse_body(req)?;
+            let r = t.reasoner.read().unwrap_or_else(PoisonError::into_inner);
+            handle_query(state, &r, &body, &budget)
+        }
+        "edit" => {
+            require_method(req, "POST")?;
+            let body = parse_body(req)?;
+            let mut r = t.reasoner.write().unwrap_or_else(PoisonError::into_inner);
+            let mut wal = t.wal.lock().unwrap_or_else(PoisonError::into_inner);
+            handle_edit(state, &mut r, wal.as_mut(), &body, &budget)
+        }
+        "cert" => {
+            require_method(req, "GET")?;
+            let dep = req
+                .query()
+                .and_then(|q| {
+                    q.split('&')
+                        .find_map(|kv| kv.strip_prefix("dep=").map(percent_decode))
+                })
+                .ok_or_else(|| ApiError::bad_request("missing query parameter dep="))?;
+            let r = t.reasoner.read().unwrap_or_else(PoisonError::into_inner);
+            handle_cert(&r, &dep, &budget)
+        }
+        "sigma" => {
+            require_method(req, "GET")?;
+            let r = t.reasoner.read().unwrap_or_else(PoisonError::into_inner);
+            let stats = r.cache_stats();
+            let deps: Vec<String> = r
+                .sigma()
+                .iter()
+                .zip(r.dep_ids())
+                .map(|(d, id)| {
+                    format!(
+                        "{{\"id\": {id}, \"dep\": {}}}",
+                        escape(&d.display_in(r.attr()))
+                    )
+                })
+                .collect();
+            Ok(Response::json(
+                200,
+                format!(
+                    "{{\"tenant\": {}, \"schema\": {}, \"sigma\": [{}], \
+                     \"cache\": {{\"entries\": {}, \"hits\": {}, \"misses\": {}, \
+                     \"retained\": {}, \"evicted\": {}}}}}\n",
+                    escape(tenant),
+                    escape(&r.attr().to_string()),
+                    deps.join(", "),
+                    stats.entries,
+                    stats.hits,
+                    stats.misses,
+                    stats.retained,
+                    stats.evicted
+                ),
+            ))
+        }
+        other => Err(ApiError::not_found(format!(
+            "no tenant action {other:?} (want create, query, edit, cert or sigma)"
+        ))),
+    }
+}
+
+fn handle_query(
+    state: &ServiceState,
+    r: &Reasoner,
+    body: &Json,
+    budget: &Budget,
+) -> Result<Response, ApiError> {
+    if let Some(q) = body.get("query") {
+        let text = q
+            .as_str()
+            .ok_or_else(|| ApiError::bad_request("\"query\" must be a string"))?;
+        let verdict = r
+            .implies_str_governed(text, budget)
+            .map_err(|e| ApiError::reasoner(&e))?;
+        return Ok(Response::json(200, format!("{{\"implied\": {verdict}}}\n")));
+    }
+    let texts = body_str_list(body, "queries")?;
+    if texts.is_empty() {
+        return Err(ApiError::bad_request(
+            "body needs \"query\" (string) or \"queries\" (non-empty array)",
+        ));
+    }
+    let limits = nalist_types::parser::ParseLimits::from_budget(budget);
+    let mut targets = Vec::with_capacity(texts.len());
+    for (i, text) in texts.iter().enumerate() {
+        let dep = nalist_deps::Dependency::parse_with(r.attr(), text, limits)
+            .map_err(|e| ApiError::bad_request(format!("queries[{i}]: {e}")))?;
+        targets.push(dep);
+    }
+    // The batch planner computes each distinct LHS once per request.
+    let verdicts = r
+        .implies_batch_governed_with(&targets, budget, state.batch_threads)
+        .map_err(|e| ApiError::reasoner(&e))?;
+    let mut any_resource = None;
+    let rendered: Vec<String> = verdicts
+        .iter()
+        .map(|v| match v {
+            Ok(b) => b.to_string(),
+            Err(QueryError::Resource(res)) => {
+                any_resource = Some(*res);
+                "null".to_string()
+            }
+            Err(e) => format!("{{\"error\": {}}}", escape(&e.to_string())),
+        })
+        .collect();
+    if let Some(res) = any_resource {
+        return Err(ApiError::resource(res));
+    }
+    Ok(Response::json(
+        200,
+        format!("{{\"verdicts\": [{}]}}\n", rendered.join(", ")),
+    ))
+}
+
+fn handle_edit(
+    state: &ServiceState,
+    r: &mut Reasoner,
+    mut wal: Option<&mut nalist_store::WalWriter>,
+    body: &Json,
+    budget: &Budget,
+) -> Result<Response, ApiError> {
+    // Accept both a single {"op", "dep"} and {"edits": [{...}]}.
+    let edits: Vec<(String, String)> = if let Some(arr) = body.get("edits") {
+        let arr = arr
+            .as_arr()
+            .ok_or_else(|| ApiError::bad_request("\"edits\" must be an array"))?;
+        arr.iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let op = e.get("op").and_then(Json::as_str).ok_or_else(|| {
+                    ApiError::bad_request(format!("edits[{i}]: missing string field \"op\""))
+                })?;
+                let dep = e.get("dep").and_then(Json::as_str).ok_or_else(|| {
+                    ApiError::bad_request(format!("edits[{i}]: missing string field \"dep\""))
+                })?;
+                Ok((op.to_string(), dep.to_string()))
+            })
+            .collect::<Result<_, ApiError>>()?
+    } else {
+        vec![(
+            body_str(body, "op")?.to_string(),
+            body_str(body, "dep")?.to_string(),
+        )]
+    };
+    let limits = nalist_types::parser::ParseLimits::from_budget(budget);
+    let rec = Arc::clone(state.recorder());
+    let (mut adds, mut removes) = (0u64, 0u64);
+    for (i, (op, text)) in edits.iter().enumerate() {
+        budget.check_deadline().map_err(ApiError::resource)?;
+        let here = |e: &dyn std::fmt::Display| ApiError::bad_request(format!("edits[{i}]: {e}"));
+        let dep =
+            nalist_deps::Dependency::parse_with(r.attr(), text, limits).map_err(|e| here(&e))?;
+        // Validate fully *before* journaling: a record that cannot
+        // replay must never reach the log.
+        let compiled = dep.compile(r.algebra()).map_err(|m| here(&m))?;
+        let wal_op = match op.as_str() {
+            "add" => WalOp::Add(text.clone()),
+            "remove" => {
+                if !r.compiled_sigma().contains(&compiled) {
+                    return Err(here(&format!("dependency not in Σ: {text}")));
+                }
+                WalOp::Remove(text.clone())
+            }
+            other => return Err(here(&format!("unknown op {other:?} (want add or remove)"))),
+        };
+        if let Some(w) = wal.as_deref_mut() {
+            w.append(&wal_op.encode(), budget, rec.as_ref())
+                .map_err(|e| ApiError::internal(format!("WAL append failed: {e}")))?;
+        }
+        match op.as_str() {
+            "add" => {
+                r.add(dep).map_err(|e| ApiError::reasoner(&e))?;
+                adds += 1;
+            }
+            _ => {
+                r.remove(&dep).map_err(|e| ApiError::reasoner(&e))?;
+                removes += 1;
+            }
+        }
+    }
+    let stats = r.cache_stats();
+    Ok(Response::json(
+        200,
+        format!(
+            "{{\"adds\": {adds}, \"removes\": {removes}, \"sigma\": {}, \
+             \"cache\": {{\"entries\": {}, \"retained\": {}, \"evicted\": {}}}}}\n",
+            r.sigma().len(),
+            stats.entries,
+            stats.retained,
+            stats.evicted
+        ),
+    ))
+}
+
+fn handle_cert(r: &Reasoner, dep_text: &str, budget: &Budget) -> Result<Response, ApiError> {
+    let limits = nalist_types::parser::ParseLimits::from_budget(budget);
+    let alg = r.algebra();
+    let target = nalist_deps::Dependency::parse_with(r.attr(), dep_text, limits)
+        .map_err(|e| ApiError::bad_request(format!("bad dependency: {e}")))?
+        .compile(alg)
+        .map_err(|e| ApiError::bad_request(e.to_string()))?;
+    let proof = nalist_membership::certify_governed(alg, r.compiled_sigma(), &target, budget)
+        .map_err(|e| match e {
+            nalist_membership::CertifyError::Resource(res) => ApiError::resource(res),
+            other => ApiError::internal(other.to_string()),
+        })?;
+    let (implied, cert) = match proof {
+        Some(dag) => (
+            true,
+            nalist_membership::cert::implied_certificate(alg, r.compiled_sigma(), &target, &dag),
+        ),
+        None => {
+            let w = nalist_membership::witness::refute_governed(
+                alg,
+                r.compiled_sigma(),
+                &target,
+                budget,
+            )
+            .map_err(|e| match e {
+                nalist_membership::witness::WitnessError::Resource(res) => ApiError::resource(res),
+                other => ApiError::internal(other.to_string()),
+            })?
+            .ok_or_else(|| ApiError::internal("not implied but no witness found".to_string()))?;
+            (
+                false,
+                nalist_membership::cert::refuted_certificate(alg, r.compiled_sigma(), &target, &w),
+            )
+        }
+    };
+    Ok(Response::json(
+        200,
+        format!(
+            "{{\"implied\": {implied}, \"certificate\": {}}}\n",
+            cert.to_json().trim_end()
+        ),
+    ))
+}

@@ -1,0 +1,298 @@
+//! Tenant lifecycle: one long-lived [`Reasoner`] per named schema,
+//! with optional snapshot + write-ahead-log durability per tenant.
+//!
+//! Locking discipline: queries share `reasoner.read()`; Σ edits take
+//! `reasoner.write()` and, while holding it, journal to the tenant's
+//! WAL *before* applying — so the log is always at least as new as the
+//! in-memory state and a killed daemon recovers bit-identically via
+//! [`nalist_membership::recover`]. Tenants are fully independent:
+//! nothing is shared between two [`Tenant`]s but the process, so one
+//! tenant's edits cannot evict another's cache entries by construction.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+
+use nalist_guard::Budget;
+use nalist_membership::{recover, write_reasoner_snapshot, Reasoner, WalOp};
+use nalist_obs::{site, Recorder};
+use nalist_store::WalWriter;
+use nalist_types::parser::{parse_attr_with, ParseLimits};
+
+use crate::api::ApiError;
+
+/// Longest accepted tenant name; names are path components, so the
+/// alphabet is restricted to `[A-Za-z0-9_-]`.
+pub const MAX_TENANT_NAME: usize = 64;
+
+/// Validates a tenant name (used as a WAL/snapshot file stem).
+pub fn valid_tenant_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= MAX_TENANT_NAME
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+/// One tenant: a named schema with its warm reasoner and, when the
+/// server runs durable, its open write-ahead log.
+#[derive(Debug)]
+pub struct Tenant {
+    name: String,
+    /// Queries take the read lock, Σ edits the write lock.
+    pub reasoner: RwLock<Reasoner>,
+    /// The open journal, `None` when the server runs without
+    /// `--wal-dir`. Held *inside* the reasoner write lock during
+    /// edits, so journal order always matches apply order.
+    pub wal: Mutex<Option<WalWriter>>,
+}
+
+impl Tenant {
+    /// The tenant's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The tenant table: name → tenant, plus the durability directory.
+#[derive(Debug)]
+pub struct Registry {
+    tenants: RwLock<BTreeMap<String, Arc<Tenant>>>,
+    wal_dir: Option<PathBuf>,
+    rec: Arc<dyn Recorder>,
+}
+
+fn io_err(path: &Path, what: &str, e: &dyn std::fmt::Display) -> ApiError {
+    ApiError::internal(format!("{what} {}: {e}", path.display()))
+}
+
+impl Registry {
+    /// Opens a registry. With a `wal_dir`, every `<name>.snap` found
+    /// there is recovered (replaying `<name>.wal` when present) and
+    /// the log is *compacted*: the recovered state becomes the new
+    /// snapshot and a fresh WAL is started, so a torn tail from a
+    /// crash never accumulates.
+    pub fn open(wal_dir: Option<PathBuf>, rec: Arc<dyn Recorder>) -> Result<Registry, ApiError> {
+        let registry = Registry {
+            tenants: RwLock::new(BTreeMap::new()),
+            wal_dir,
+            rec,
+        };
+        let Some(dir) = registry.wal_dir.clone() else {
+            return Ok(registry);
+        };
+        std::fs::create_dir_all(&dir).map_err(|e| io_err(&dir, "cannot create", &e))?;
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&dir).map_err(|e| io_err(&dir, "cannot read", &e))? {
+            let entry = entry.map_err(|e| io_err(&dir, "cannot read", &e))?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("snap") {
+                continue;
+            }
+            match path.file_stem().and_then(|s| s.to_str()) {
+                Some(stem) if valid_tenant_name(stem) => names.push(stem.to_string()),
+                _ => {
+                    return Err(ApiError::internal(format!(
+                        "snapshot file {} is not named after a valid tenant",
+                        path.display()
+                    )))
+                }
+            }
+        }
+        let budget = Budget::unlimited();
+        for name in names {
+            let snap = dir.join(format!("{name}.snap"));
+            let wal = dir.join(format!("{name}.wal"));
+            let wal_arg = wal.exists().then_some(wal.as_path());
+            let report = recover(&snap, wal_arg, &budget, Arc::clone(&registry.rec))
+                .map_err(|e| io_err(&snap, "cannot recover", &e))?;
+            let token = registry
+                .rec
+                .enter(site::SERVE_TENANT, report.reasoner.sigma().len() as u64);
+            let tenant = registry.persist_fresh(&name, report.reasoner, &budget)?;
+            registry.rec.exit(token, 0);
+            registry
+                .tenants
+                .write()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(name, tenant);
+        }
+        Ok(registry)
+    }
+
+    /// Writes a fresh snapshot + empty WAL (header only) for `r` and
+    /// wraps it as a tenant. No-op on the durability side when the
+    /// registry has no `wal_dir`.
+    fn persist_fresh(
+        &self,
+        name: &str,
+        r: Reasoner,
+        budget: &Budget,
+    ) -> Result<Arc<Tenant>, ApiError> {
+        let wal = match &self.wal_dir {
+            None => None,
+            Some(dir) => {
+                let snap = dir.join(format!("{name}.snap"));
+                write_reasoner_snapshot(&snap, &r, budget, self.rec.as_ref())
+                    .map_err(|e| io_err(&snap, "cannot snapshot", &e))?;
+                let wal_path = dir.join(format!("{name}.wal"));
+                let mut w = WalWriter::create(&wal_path, true)
+                    .map_err(|e| io_err(&wal_path, "cannot create", &e))?;
+                w.append(
+                    &WalOp::Header {
+                        schema: r.attr().to_string(),
+                    }
+                    .encode(),
+                    budget,
+                    self.rec.as_ref(),
+                )
+                .map_err(|e| io_err(&wal_path, "cannot write", &e))?;
+                Some(w)
+            }
+        };
+        Ok(Arc::new(Tenant {
+            name: name.to_string(),
+            reasoner: RwLock::new(r),
+            wal: Mutex::new(wal),
+        }))
+    }
+
+    /// Creates a tenant from a schema and an initial Σ (dependency
+    /// texts). Fails with `409` if the name is taken, `400` if the
+    /// name, schema or a dependency is invalid.
+    pub fn create(
+        &self,
+        name: &str,
+        schema: &str,
+        deps: &[String],
+        budget: &Budget,
+    ) -> Result<Arc<Tenant>, ApiError> {
+        if !valid_tenant_name(name) {
+            return Err(ApiError::bad_request(format!(
+                "bad tenant name {name:?} (want 1-{MAX_TENANT_NAME} chars of [A-Za-z0-9_-])"
+            )));
+        }
+        // Cheap duplicate probe before the expensive reasoner build (a
+        // conflict must answer 409, not burn the request budget and
+        // answer 429); the authoritative check still runs under the
+        // write lock below.
+        if self.get(name).is_some() {
+            return Err(ApiError {
+                status: 409,
+                kind: "conflict",
+                message: format!("tenant {name:?} already exists"),
+            });
+        }
+        let limits = ParseLimits::from_budget(budget);
+        let n = parse_attr_with(schema, limits)
+            .map_err(|e| ApiError::bad_request(format!("bad schema: {e}")))?;
+        let mut r = Reasoner::try_new_observed(&n, budget, Arc::clone(&self.rec))
+            .map_err(ApiError::resource)?;
+        for (i, text) in deps.iter().enumerate() {
+            let dep = nalist_deps::Dependency::parse_with(&n, text, limits)
+                .map_err(|e| ApiError::bad_request(format!("deps[{i}]: {e}")))?;
+            r.add(dep).map_err(|e| ApiError::reasoner(&e))?;
+        }
+        // The registry write lock is held across persistence: creates
+        // are rare, and this makes name-claim + snapshot atomic.
+        let mut tenants = self.tenants.write().unwrap_or_else(PoisonError::into_inner);
+        if tenants.contains_key(name) {
+            return Err(ApiError {
+                status: 409,
+                kind: "conflict",
+                message: format!("tenant {name:?} already exists"),
+            });
+        }
+        let token = self.rec.enter(site::SERVE_TENANT, r.sigma().len() as u64);
+        let tenant = self.persist_fresh(name, r, budget)?;
+        self.rec.exit(token, 1);
+        tenants.insert(name.to_string(), Arc::clone(&tenant));
+        Ok(tenant)
+    }
+
+    /// Looks a tenant up by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Arc<Tenant>> {
+        self.tenants
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(name)
+            .cloned()
+    }
+
+    /// Current tenant names, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.tenants
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of tenants.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tenants
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether the registry has no tenants.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The recorder every tenant reports to.
+    #[must_use]
+    pub fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.rec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nalist_obs::NoopRecorder;
+
+    #[test]
+    fn tenant_names_are_validated() {
+        assert!(valid_tenant_name("a"));
+        assert!(valid_tenant_name("tenant-2_x"));
+        assert!(!valid_tenant_name(""));
+        assert!(!valid_tenant_name("a/b"));
+        assert!(!valid_tenant_name("a.b"));
+        assert!(!valid_tenant_name(&"x".repeat(65)));
+    }
+
+    #[test]
+    fn create_get_and_conflicts() {
+        let rec: Arc<dyn Recorder> = Arc::new(NoopRecorder);
+        let reg = Registry::open(None, rec).unwrap();
+        let budget = Budget::unlimited();
+        let t = reg
+            .create(
+                "pub",
+                "Pubcrawl(Person, Visit[Drink(Beer, Pub)])",
+                &["Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])".to_string()],
+                &budget,
+            )
+            .unwrap();
+        assert_eq!(t.name(), "pub");
+        assert_eq!(reg.len(), 1);
+        assert!(reg.get("pub").is_some());
+        assert!(reg.get("absent").is_none());
+        let dup = reg
+            .create("pub", "Pubcrawl(Person)", &[], &budget)
+            .unwrap_err();
+        assert_eq!(dup.status, 409);
+        let bad = reg
+            .create("no/slash", "Pubcrawl(Person)", &[], &budget)
+            .unwrap_err();
+        assert_eq!(bad.status, 400);
+    }
+}

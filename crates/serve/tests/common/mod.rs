@@ -1,0 +1,38 @@
+//! Shared blocking HTTP client for the serve integration tests: one
+//! request per connection (`connection: close`), no keep-alive state to
+//! reason about.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One round trip on a fresh connection, parsed to `(status, body)`.
+pub fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_nodelay(true).expect("nodelay");
+    s.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let body = body.unwrap_or("");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nhost: test\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    s.write_all(req.as_bytes()).expect("write request");
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).expect("read response");
+    parse_response(&raw)
+}
+
+/// Splits a raw HTTP response into `(status, body)`; panics on an
+/// incomplete response (the tests always expect one).
+pub fn parse_response(raw: &[u8]) -> (u16, String) {
+    let text = String::from_utf8_lossy(raw);
+    let (head, body) = text.split_once("\r\n\r\n").expect("complete response head");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    (status, body.to_string())
+}

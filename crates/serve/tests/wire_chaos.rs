@@ -1,0 +1,52 @@
+//! The wire-protocol chaos harness: every case in
+//! `nalist_gen::wire_corpus` gets its pinned typed rejection, and after
+//! each one the worker pool still answers a healthy request — hostile
+//! bytes never take a worker down or wedge a connection slot.
+
+mod common;
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use nalist_gen::wire_corpus;
+use nalist_obs::MetricsRecorder;
+use nalist_serve::ServerConfig;
+
+#[test]
+fn hostile_wire_input_gets_typed_rejections_and_workers_survive() {
+    let cfg = ServerConfig {
+        workers: 2,
+        // Short read timeout so the slowloris cases resolve quickly.
+        read_timeout_ms: 300,
+        ..ServerConfig::default()
+    };
+    let srv = nalist_serve::server::start(&cfg, Arc::new(MetricsRecorder::new())).expect("start");
+    let addr = srv.local_addr();
+    for case in wire_corpus() {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_nodelay(true).expect("nodelay");
+        s.set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        s.write_all(&case.bytes).expect("write case bytes");
+        if case.shutdown_after_write {
+            s.shutdown(Shutdown::Write).expect("half-close");
+        }
+        let mut raw = Vec::new();
+        // A clean close with no response is acceptable for unpinned
+        // cases; pinned ones must produce a complete response.
+        let _ = s.read_to_end(&mut raw);
+        if let Some(want) = case.expect_status {
+            assert!(!raw.is_empty(), "case {}: no response at all", case.name);
+            let (status, _) = common::parse_response(&raw);
+            assert_eq!(status, want, "case {}", case.name);
+        }
+        drop(s);
+        // Worker recovery: the pool still answers on a fresh connection.
+        let (status, body) = common::request(addr, "GET", "/healthz", None);
+        assert_eq!(status, 200, "server unhealthy after case {}", case.name);
+        assert!(body.contains("\"ok\": true"), "{body}");
+    }
+    srv.shutdown();
+}
