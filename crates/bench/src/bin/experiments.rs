@@ -54,6 +54,7 @@ fn main() {
         ("E-APP", apps),
         ("E-DUR", durability),
         ("E-SERVE", serve_bench),
+        ("E-REPL", repl_bench),
     ];
     let mut ran = 0usize;
     for (id, f) in experiments {
@@ -1471,6 +1472,7 @@ fn serve_bench() {
         zipf_s: 1.1,
         seed: 42,
         reuse_tenants: reuse,
+        verify: None,
     };
     let row =
         |id: String, stage: &str, fuel: &str, report: &loadgen::LoadgenReport, hit_rate: f64| {
@@ -1633,5 +1635,239 @@ fn serve_bench() {
     match std::fs::write("BENCH_serve.json", &json) {
         Ok(()) => println!("machine-readable results written to BENCH_serve.json"),
         Err(e) => println!("could not write BENCH_serve.json: {e}"),
+    }
+}
+
+// ------------------------------------------------------------------ E-REPL
+
+/// Leader/follower replication: cold bootstrap time, steady-state lag
+/// under churn with the post-churn drain rate, a certificate-verified
+/// leader/follower comparison (`loadgen --verify`), and read scale-out
+/// across two followers. Emits `BENCH_repl.json`.
+#[allow(clippy::too_many_lines)]
+fn repl_bench() {
+    use nalist::obs::MetricsRecorder;
+    use nalist::serve::{loadgen, FollowerConfig, LoadgenConfig, ServerConfig};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::time::{Duration, Instant};
+
+    header("E-REPL", "leader/follower replication");
+    let dir = std::env::temp_dir().join(format!("nalist-e-repl-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("wal dir");
+    let mut json_rows: Vec<String> = Vec::new();
+
+    let counter = |rec: &Arc<MetricsRecorder>, name: &str| -> u64 {
+        rec.snapshot()
+            .counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |&(_, v)| v)
+    };
+    let wait_for = |what: &str, mut ok: Box<dyn FnMut() -> bool>| -> u64 {
+        let t0 = Instant::now();
+        loop {
+            if ok() {
+                return t0.elapsed().as_millis() as u64;
+            }
+            assert!(
+                t0.elapsed() < Duration::from_secs(60),
+                "timed out waiting for {what}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    };
+    let lcfg = |addr: &str, rps: f64, edit_ratio: f64, reuse: bool| LoadgenConfig {
+        addr: addr.to_string(),
+        tenants: 3,
+        atoms: 10,
+        pool: 64,
+        rps,
+        duration_ms: 2_000,
+        conns: 3,
+        edit_ratio,
+        zipf_s: 1.1,
+        seed: 7,
+        reuse_tenants: reuse,
+        verify: None,
+    };
+
+    // The leader, seeded by a short churny loadgen run so the three
+    // tenants carry real Σs and the WAL real history.
+    let cfg = ServerConfig {
+        workers: 4,
+        wal_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+    let leader =
+        nalist::serve::server::start(&cfg, Arc::new(MetricsRecorder::new())).expect("leader");
+    let laddr = leader.local_addr().to_string();
+    let seed_cfg = LoadgenConfig {
+        duration_ms: 1_000,
+        ..lcfg(&laddr, 200.0, 0.3, false)
+    };
+    loadgen::run(&seed_cfg).expect("seed loadgen");
+
+    // Stage 1: cold bootstrap — time from follower start to the
+    // readiness latch (every tenant snapshot-installed and caught up).
+    let f1_rec = Arc::new(MetricsRecorder::new());
+    let fcfg = |leader: &str| FollowerConfig {
+        server: ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        },
+        leader: leader.to_string(),
+        poll_wait_ms: 200,
+    };
+    let f1 = nalist::serve::start_follower(&fcfg(&laddr), f1_rec.clone()).expect("follower 1");
+    let f1_status = Arc::clone(f1.status());
+    let bootstrap_ms = wait_for("follower 1 readiness", {
+        let s = Arc::clone(&f1_status);
+        Box::new(move || s.ready())
+    });
+    println!(
+        "\ncold bootstrap: 3 tenants snapshot-installed and caught up in {bootstrap_ms} ms \
+         ({} snapshot(s) shipped)",
+        f1_status.bootstraps()
+    );
+    json_rows.push(format!(
+        "  {{\"id\": \"bootstrap(tenants=3)\", \"stage\": \"bootstrap\", \
+         \"bootstrap_ms\": {bootstrap_ms}, \"bootstraps\": {}}}",
+        f1_status.bootstraps()
+    ));
+
+    // Stage 2: steady-state lag under churn — sample the follower's
+    // byte lag while an edit-heavy loadgen hammers the leader, then
+    // time the post-churn drain back to zero lag.
+    let sampling = Arc::new(AtomicBool::new(true));
+    let samples: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let sampler = {
+        let stop = Arc::clone(&sampling);
+        let samples = Arc::clone(&samples);
+        let status = Arc::clone(&f1_status);
+        std::thread::spawn(move || {
+            while stop.load(Ordering::SeqCst) {
+                samples.lock().unwrap().push(status.lag().1);
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        })
+    };
+    let applied_before = counter(&f1_rec, "repl_records_applied");
+    let churn_t0 = Instant::now();
+    let churn = loadgen::run(&lcfg(&laddr, 300.0, 0.5, true)).expect("churn loadgen");
+    let drain_ms = wait_for("follower 1 to drain", {
+        let s = Arc::clone(&f1_status);
+        Box::new(move || s.lag() == (0, 0))
+    });
+    let churn_elapsed = churn_t0.elapsed();
+    sampling.store(false, Ordering::SeqCst);
+    let _ = sampler.join();
+    let applied = counter(&f1_rec, "repl_records_applied") - applied_before;
+    let lag_samples = samples.lock().unwrap();
+    let max_lag = lag_samples.iter().copied().max().unwrap_or(0);
+    let mean_lag =
+        lag_samples.iter().sum::<u64>() as f64 / lag_samples.len().max(1) as f64;
+    let applied_per_s = applied as f64 / churn_elapsed.as_secs_f64();
+    println!(
+        "churn ({:.0} rps offered, edit ratio 0.5): {applied} records replayed \
+         ({applied_per_s:.0}/s); byte lag max {max_lag}, mean {mean_lag:.0}; \
+         drained to zero {drain_ms} ms after the churn stopped",
+        churn.offered_rps
+    );
+    json_rows.push(format!(
+        "  {{\"id\": \"churn(rps=300, edit_ratio=0.5)\", \"stage\": \"churn\", \
+         \"records_applied\": {applied}, \"applied_per_s\": {applied_per_s:.1}, \
+         \"max_lag_bytes\": {max_lag}, \"mean_lag_bytes\": {mean_lag:.1}, \
+         \"drain_ms\": {drain_ms}}}"
+    ));
+
+    // Stage 3: the certificate-verified comparison — `--verify` routes
+    // the same queries to leader and follower, requires byte-identical
+    // answers, and runs follower certificates through the independent
+    // trusted checker.
+    let faddr1 = f1.local_addr().to_string();
+    let verify_cfg = LoadgenConfig {
+        verify: Some(faddr1.clone()),
+        duration_ms: 1_000,
+        ..lcfg(&laddr, 200.0, 0.2, true)
+    };
+    let verified = loadgen::run(&verify_cfg).expect("verify loadgen");
+    let v = verified.verify.as_ref().expect("verify report");
+    assert!(!v.failed(), "leader/follower verification failed");
+    println!(
+        "verified: {} Σ comparisons, {} query answers byte-identical, \
+         {} follower certificates accepted by the trusted checker",
+        v.sigma_compared, v.queries_compared, v.certs_checked
+    );
+    let vr = verified.to_json();
+    json_rows.push(format!(
+        "  {{\"id\": \"verify(follower=1)\", \"stage\": \"verify\", {}}}",
+        &vr[1..vr.len() - 1]
+    ));
+
+    // Stage 4: read scale-out — the same read-only offered load against
+    // the leader alone, then split across leader + two followers.
+    let f2 = nalist::serve::start_follower(&fcfg(&laddr), Arc::new(MetricsRecorder::new()))
+        .expect("follower 2");
+    let f2_status = Arc::clone(f2.status());
+    wait_for("follower 2 readiness", Box::new(move || f2_status.ready()));
+    let faddr2 = f2.local_addr().to_string();
+    let solo = loadgen::run(&LoadgenConfig {
+        conns: 6,
+        ..lcfg(&laddr, 6_000.0, 0.0, true)
+    })
+    .expect("solo loadgen");
+    println!(
+        "read-only, leader alone:        offered {:>6.0} rps, achieved {:>6.0} rps, \
+         p99 {} µs",
+        solo.offered_rps, solo.achieved_rps, solo.p99_us
+    );
+    let targets = [laddr.clone(), faddr1, faddr2];
+    let parts: Vec<loadgen::LoadgenReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = targets
+            .iter()
+            .map(|addr| {
+                let cfg = LoadgenConfig {
+                    conns: 2,
+                    ..lcfg(addr, 2_000.0, 0.0, true)
+                };
+                scope.spawn(move || loadgen::run(&cfg).expect("scale-out loadgen"))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("join")).collect()
+    });
+    let total_achieved: f64 = parts.iter().map(|r| r.achieved_rps).sum();
+    let worst_p99 = parts.iter().map(|r| r.p99_us).max().unwrap_or(0);
+    println!(
+        "read-only, leader+2 followers:  offered {:>6.0} rps, achieved {:>6.0} rps, \
+         worst p99 {} µs",
+        parts.iter().map(|r| r.offered_rps).sum::<f64>(),
+        total_achieved,
+        worst_p99
+    );
+    json_rows.push(format!(
+        "  {{\"id\": \"scaleout(leader-only)\", \"stage\": \"scaleout\", \
+         \"targets\": 1, \"offered_rps\": {:.1}, \"achieved_rps\": {:.1}, \
+         \"p99_us\": {}}}",
+        solo.offered_rps, solo.achieved_rps, solo.p99_us
+    ));
+    json_rows.push(format!(
+        "  {{\"id\": \"scaleout(leader+2-followers)\", \"stage\": \"scaleout\", \
+         \"targets\": 3, \"offered_rps\": {:.1}, \"achieved_rps\": {:.1}, \
+         \"p99_us\": {worst_p99}}}",
+        parts.iter().map(|r| r.offered_rps).sum::<f64>(),
+        total_achieved
+    ));
+
+    f2.shutdown();
+    f1.shutdown();
+    leader.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let json = format!("[\n{}\n]\n", json_rows.join(",\n"));
+    match std::fs::write("BENCH_repl.json", &json) {
+        Ok(()) => println!("machine-readable results written to BENCH_repl.json"),
+        Err(e) => println!("could not write BENCH_repl.json: {e}"),
     }
 }

@@ -251,12 +251,12 @@ pub const COMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         name: "serve",
-        synopsis: "<addr> [--workers N] [--queue N] [--wal-dir <dir>] [--request-fuel N] [--request-deadline-ms N] [--read-timeout-ms N] [--port-file <path>] [--max-requests N]",
+        synopsis: "<addr> [--workers N] [--queue N] [--wal-dir <dir>] [--follow <leader>] [--request-fuel N] [--request-deadline-ms N] [--read-timeout-ms N] [--port-file <path>] [--max-requests N] [--stop-file <path>]",
         summary: "serve many named schemas over HTTP, one live reasoner per tenant",
     },
     CommandSpec {
         name: "loadgen",
-        synopsis: "<addr> [--tenants N] [--rps N] [--duration-ms N] [--conns N] [--pool N] [--atoms N] [--edit-ratio F] [--zipf S] [--seed N] [--reuse-tenants]",
+        synopsis: "<addr> [--tenants N] [--rps N] [--duration-ms N] [--conns N] [--pool N] [--atoms N] [--edit-ratio F] [--zipf S] [--seed N] [--reuse-tenants] [--verify <follower>]",
         summary: "open-loop load generator against a running `nalist serve`",
     },
     CommandSpec {
@@ -625,7 +625,11 @@ fn run_observed(
     let token = rec.enter(site::CLI_COMMAND, args.len() as u64);
     // Long-lived commands flush an in-progress snapshot every 500 ms so
     // `--metrics` is useful *while* the daemon runs, not only at exit.
-    // The final write below still lands the authoritative document.
+    // The final write below still lands the authoritative document: the
+    // `finalized` latch flips *before* the join, and the flusher
+    // re-checks it immediately before every write, so no interleaving
+    // can stamp `in_progress: true` over the final snapshot.
+    let finalized = Arc::new(std::sync::atomic::AtomicBool::new(false));
     let flusher = obs.metrics.as_ref().and_then(|path| {
         let cmd = args.first().filter(|c| *c == "serve" || *c == "loadgen")?;
         let write = files.writer()?;
@@ -633,19 +637,34 @@ fn run_observed(
         let m = Arc::clone(&metrics);
         let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let stopped = Arc::clone(&stop);
+        let done = Arc::clone(&finalized);
         let handle = std::thread::spawn(move || {
-            while !stopped.load(std::sync::atomic::Ordering::SeqCst) {
-                std::thread::sleep(Duration::from_millis(500));
-                if stopped.load(std::sync::atomic::Ordering::SeqCst) {
-                    break;
+            let mut waited_ms = 0u64;
+            loop {
+                // Sleep in 50 ms steps so a shutdown is noticed fast
+                // instead of waiting out a full flush period.
+                std::thread::sleep(Duration::from_millis(50));
+                if stopped.load(std::sync::atomic::Ordering::SeqCst)
+                    || done.load(std::sync::atomic::Ordering::SeqCst)
+                {
+                    return;
                 }
+                waited_ms += 50;
+                if waited_ms < 500 {
+                    continue;
+                }
+                waited_ms = 0;
                 let doc = nalist::obs::render_snapshot_json(&cmd, 0, true, &m.snapshot());
+                if done.load(std::sync::atomic::Ordering::SeqCst) {
+                    return;
+                }
                 let _ = write(&path, &doc);
             }
         });
         Some((stop, handle))
     });
     let mut result = dispatch(args, files, budget, &rec);
+    finalized.store(true, std::sync::atomic::Ordering::SeqCst);
     if let Some((stop, handle)) = flusher {
         stop.store(true, std::sync::atomic::Ordering::SeqCst);
         let _ = handle.join();
@@ -1397,6 +1416,11 @@ fn dispatch(
             checkpoint(budget)?;
             let report = nalist::serve::loadgen::run(&cfg).map_err(CliError::file)?;
             out.push_str(&report.render());
+            // `--verify` makes divergence an error: a follower that
+            // answers differently from its leader fails the run.
+            if report.verify.as_ref().is_some_and(|v| v.failed()) {
+                return Err(CliError::domain(out.trim_end()));
+            }
         }
         ("help", []) => {
             out.push_str(&usage_text());
@@ -1452,14 +1476,14 @@ fn dispatch(
             if t.name == "serve" {
                 writeln!(
                     out,
-                    "\n  Hosts many named schemas over HTTP/1.1 (keep-alive, fixed\n  worker pool, bounded accept queue). One long-lived incremental\n  reasoner per tenant: queries share a read lock, Σ edits take the\n  write lock and journal to the tenant's WAL *before* applying.\n\n  endpoints (all JSON):\n    POST /v1/<tenant>/create   {{\"schema\": \"...\", \"deps\": [\"X -> Y\", ...]}}\n    POST /v1/<tenant>/query    {{\"query\": \"X -> Y\"}} or {{\"queries\": [...]}}\n    POST /v1/<tenant>/edit     {{\"op\": \"add\"|\"remove\", \"dep\": \"...\"}}\n                               or {{\"edits\": [{{\"op\", \"dep\"}}, ...]}}\n    GET  /v1/<tenant>/cert?dep=<url-encoded dependency>\n    GET  /v1/<tenant>/sigma    Σ listing + cache counters\n    GET  /metrics              schema-versioned counters/histograms\n    GET  /healthz              liveness + tenant count\n\n  With `--wal-dir <dir>` each tenant persists as <dir>/<name>.snap\n  plus <dir>/<name>.wal; on restart tenants recover bit-identically\n  and compact. Overload is structured: 503 (Retry-After) when the\n  accept queue is full, 429 when a request exhausts the per-request\n  fuel/deadline budget, 408/413/431 for slow or oversized clients.\n\n  `--port-file <path>` writes the bound address (use `:0` for an\n  ephemeral port); `--max-requests N` stops after N requests (smoke\n  tests — production runs until SIGTERM); the global `--timeout`\n  bounds the run with a graceful shutdown and the usual exit 3.\n  Under `--metrics <path>` the snapshot file is rewritten every\n  500 ms while the daemon runs (`\"in_progress\": true`)."
+                    "\n  Hosts many named schemas over HTTP/1.1 (keep-alive, fixed\n  worker pool, bounded accept queue). One long-lived incremental\n  reasoner per tenant: queries share a read lock, Σ edits take the\n  write lock and journal to the tenant's WAL *before* applying.\n\n  endpoints (all JSON):\n    POST /v1/<tenant>/create   {{\"schema\": \"...\", \"deps\": [\"X -> Y\", ...]}}\n    POST /v1/<tenant>/query    {{\"query\": \"X -> Y\"}} or {{\"queries\": [...]}}\n    POST /v1/<tenant>/edit     {{\"op\": \"add\"|\"remove\", \"dep\": \"...\"}}\n                               or {{\"edits\": [{{\"op\", \"dep\"}}, ...]}}\n    GET  /v1/<tenant>/cert?dep=<url-encoded dependency>\n    GET  /v1/<tenant>/sigma    Σ listing + cache counters\n    GET  /metrics              schema-versioned counters/histograms\n    GET  /healthz              liveness + tenant count\n\n  With `--wal-dir <dir>` each tenant persists as <dir>/<name>.snap\n  plus <dir>/<name>.wal; on restart tenants recover bit-identically\n  and compact. Overload is structured: 503 (Retry-After) when the\n  accept queue is full, 429 when a request exhausts the per-request\n  fuel/deadline budget, 408/413/431 for slow or oversized clients.\n\n  `--follow <leader>` runs a read-only replication follower: each\n  tenant bootstraps from GET /v1/<t>/snapshot, then tails the\n  leader's WAL (GET /v1/<t>/wal?from=<offset>), re-verifying every\n  record and replaying it through the same path crash recovery\n  uses — follower state is bit-identical by construction. Writes\n  answer 421 with a `leader:` header; /healthz answers 503 until\n  caught up, then reports replication lag. Leader restarts are\n  detected by the wal_id/416 offset handshake (re-snapshot).\n\n  `--port-file <path>` writes the bound address (use `:0` for an\n  ephemeral port); `--max-requests N` stops after N requests (smoke\n  tests — production runs until SIGTERM); `--stop-file <path>`\n  drains gracefully when the path appears (pair it with a shell\n  `trap` to turn SIGTERM into a clean exit whose final `--metrics`\n  document says `\"in_progress\": false`); the global `--timeout`\n  bounds the run with a graceful shutdown and the usual exit 3.\n  Under `--metrics <path>` the snapshot file is rewritten every\n  500 ms while the daemon runs (`\"in_progress\": true`)."
                 )
                 .unwrap();
             }
             if t.name == "loadgen" {
                 writeln!(
                     out,
-                    "\n  Open-loop load against a running `nalist serve`: arrivals follow\n  a Poisson schedule fixed up front, so a slow server cannot\n  throttle the offered rate and flatter its latency (coordinated\n  omission). Each connection thread owns a slice of the rate;\n  queries pick zipf-skewed targets from a per-tenant pool, and\n  `--edit-ratio` of requests are add/remove churn against the\n  pool's second half. Deterministic under `--seed`.\n\n  Reports sent/ok/429/503 counts, exact p50/p99/mean latency, and\n  achieved vs offered rps. `--reuse-tenants` skips creation when\n  the tenants survived a previous run (e.g. across a restart)."
+                    "\n  Open-loop load against a running `nalist serve`: arrivals follow\n  a Poisson schedule fixed up front, so a slow server cannot\n  throttle the offered rate and flatter its latency (coordinated\n  omission). Each connection thread owns a slice of the rate;\n  queries pick zipf-skewed targets from a per-tenant pool, and\n  `--edit-ratio` of requests are add/remove churn against the\n  pool's second half. Deterministic under `--seed`.\n\n  Reports sent/ok/429/503 counts, exact p50/p99/mean latency, and\n  achieved vs offered rps. `--reuse-tenants` skips creation when\n  the tenants survived a previous run (e.g. across a restart).\n\n  `--verify <follower>` audits a replica after the run: waits for\n  catch-up, requires byte-identical Σ and query answers from\n  leader and follower, and runs follower certificates through the\n  independent `nalist check` verifier. Any divergence is exit 1."
                 )
                 .unwrap();
             }
@@ -1565,6 +1589,13 @@ struct ServeOptions {
     cfg: nalist::serve::ServerConfig,
     port_file: Option<String>,
     max_requests: Option<u64>,
+    /// Leader address: run as a read-only replication follower.
+    follow: Option<String>,
+    /// Graceful-drain trigger: the daemon exits cleanly when this path
+    /// appears. The portable stand-in for a SIGTERM handler (no
+    /// `unsafe`, no signal crate): wrap the process in a shell `trap`
+    /// that touches the file.
+    stop_file: Option<String>,
 }
 
 fn flag_value<'a>(
@@ -1592,6 +1623,8 @@ fn parse_serve_flags(addr: &str, flags: &[String]) -> Result<ServeOptions, CliEr
     };
     let mut port_file = None;
     let mut max_requests = None;
+    let mut follow = None;
+    let mut stop_file = None;
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -1615,13 +1648,23 @@ fn parse_serve_flags(addr: &str, flags: &[String]) -> Result<ServeOptions, CliEr
             "--max-requests" => {
                 max_requests = Some(flag_num(flag, flag_value("serve", flag, &mut it)?)?);
             }
+            "--follow" => follow = Some(flag_value("serve", flag, &mut it)?.clone()),
+            "--stop-file" => stop_file = Some(flag_value("serve", flag, &mut it)?.clone()),
             other => return Err(CliError::usage(format!("unknown flag {other} for serve"))),
         }
+    }
+    if follow.is_some() && cfg.wal_dir.is_some() {
+        return Err(CliError::usage(
+            "--follow and --wal-dir are mutually exclusive: a follower keeps no \
+             durable state of its own (it re-bootstraps from the leader)",
+        ));
     }
     Ok(ServeOptions {
         cfg,
         port_file,
         max_requests,
+        follow,
+        stop_file,
     })
 }
 
@@ -1650,6 +1693,7 @@ fn parse_loadgen_flags(
             "--zipf" => cfg.zipf_s = flag_num(flag, flag_value("loadgen", flag, &mut it)?)?,
             "--seed" => cfg.seed = flag_num(flag, flag_value("loadgen", flag, &mut it)?)?,
             "--reuse-tenants" => cfg.reuse_tenants = true,
+            "--verify" => cfg.verify = Some(flag_value("loadgen", flag, &mut it)?.clone()),
             other => return Err(CliError::usage(format!("unknown flag {other} for loadgen"))),
         }
     }
@@ -1666,9 +1710,48 @@ fn requests_served(rec: &dyn Recorder) -> u64 {
     })
 }
 
+/// Why the serve wait loop decided to exit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ServeExit {
+    /// The global `--timeout` deadline passed (exit 3).
+    Deadline,
+    /// `--max-requests` requests have been served.
+    RequestCap,
+    /// The `--stop-file` path appeared (graceful drain — the portable
+    /// SIGTERM stand-in).
+    StopFile,
+}
+
+/// Polls the exit conditions every 50 ms until one fires.
+fn serve_wait(
+    opts: &ServeOptions,
+    files: &dyn Files,
+    budget: &Budget,
+    rec: &dyn Recorder,
+) -> ServeExit {
+    loop {
+        std::thread::sleep(Duration::from_millis(50));
+        if budget.check_deadline().is_err() {
+            return ServeExit::Deadline;
+        }
+        if let Some(cap) = opts.max_requests {
+            if requests_served(rec) >= cap {
+                return ServeExit::RequestCap;
+            }
+        }
+        if let Some(path) = &opts.stop_file {
+            if files.read(path).is_ok() {
+                return ServeExit::StopFile;
+            }
+        }
+    }
+}
+
 /// Runs the daemon until `--max-requests` requests are served, the
-/// global `--timeout` deadline passes (graceful shutdown, then the
-/// usual exit 3), or the process is killed.
+/// `--stop-file` path appears (graceful drain), the global `--timeout`
+/// deadline passes (graceful shutdown, then the usual exit 3), or the
+/// process is killed. With `--follow <leader>` the daemon runs as a
+/// read-only replication follower instead of an authority.
 fn run_serve(
     opts: &ServeOptions,
     files: &dyn Files,
@@ -1683,6 +1766,46 @@ fn run_serve(
     } else {
         Arc::new(MetricsRecorder::new())
     };
+    if let Some(leader) = &opts.follow {
+        let fcfg = nalist::serve::FollowerConfig {
+            server: opts.cfg.clone(),
+            leader: leader.clone(),
+            ..nalist::serve::FollowerConfig::default()
+        };
+        let follower = nalist::serve::start_follower(&fcfg, Arc::clone(&server_rec))
+            .map_err(|e| CliError::file(e.message))?;
+        let addr = follower.local_addr();
+        eprintln!(
+            "nalist serve: following {leader}, listening on http://{addr}/ \
+             (read-only replica, {} workers)",
+            opts.cfg.workers.max(1),
+        );
+        if let Some(path) = &opts.port_file {
+            if let Err(e) = files.write(path, &format!("{addr}\n")) {
+                follower.shutdown();
+                return Err(CliError::file(e));
+            }
+        }
+        let exit = serve_wait(opts, files, budget, server_rec.as_ref());
+        let served = requests_served(server_rec.as_ref());
+        let tenants = follower.state().registry.len();
+        let boots = follower.status().bootstraps();
+        follower.shutdown();
+        if exit == ServeExit::Deadline {
+            return Err(CliError::resource(format!(
+                "serve: --timeout reached after {served} request(s); shut down cleanly"
+            )));
+        }
+        return Ok(format!(
+            "serve: follower shut down after {served} request(s) across {tenants} \
+             tenant(s), {boots} snapshot bootstrap(s){}\n",
+            if exit == ServeExit::StopFile {
+                " (drained by --stop-file)"
+            } else {
+                ""
+            }
+        ));
+    }
     let server = nalist::serve::server::start(&opts.cfg, Arc::clone(&server_rec))
         .map_err(|e| CliError::file(e.message))?;
     let addr = server.local_addr();
@@ -1701,27 +1824,22 @@ fn run_serve(
             return Err(CliError::file(e));
         }
     }
-    let deadline_hit = loop {
-        std::thread::sleep(Duration::from_millis(50));
-        if budget.check_deadline().is_err() {
-            break true;
-        }
-        if let Some(cap) = opts.max_requests {
-            if requests_served(server_rec.as_ref()) >= cap {
-                break false;
-            }
-        }
-    };
+    let exit = serve_wait(opts, files, budget, server_rec.as_ref());
     let served = requests_served(server_rec.as_ref());
     let tenants = server.state().registry.len();
     server.shutdown();
-    if deadline_hit {
+    if exit == ServeExit::Deadline {
         return Err(CliError::resource(format!(
             "serve: --timeout reached after {served} request(s); shut down cleanly"
         )));
     }
     Ok(format!(
-        "serve: shut down after {served} request(s) across {tenants} tenant(s)\n"
+        "serve: shut down after {served} request(s) across {tenants} tenant(s){}\n",
+        if exit == ServeExit::StopFile {
+            " (drained by --stop-file)"
+        } else {
+            ""
+        }
     ))
 }
 
@@ -1891,6 +2009,104 @@ mod tests {
                 .insert(path.to_string(), content.to_string());
             Ok(())
         }
+    }
+
+    /// Thread-safe in-memory files: reads and writes share one map, so
+    /// a helper thread can make a `--stop-file` "appear" while `serve`
+    /// polls for it, and the metrics flusher gets a real [`FileWriter`].
+    #[derive(Clone)]
+    struct SharedFiles(Arc<std::sync::Mutex<BTreeMap<String, String>>>);
+
+    impl SharedFiles {
+        fn new() -> Self {
+            SharedFiles(Arc::new(std::sync::Mutex::new(BTreeMap::new())))
+        }
+    }
+
+    impl Files for SharedFiles {
+        fn read(&self, path: &str) -> Result<String, String> {
+            self.0
+                .lock()
+                .unwrap()
+                .get(path)
+                .cloned()
+                .ok_or_else(|| format!("no such file: {path}"))
+        }
+
+        fn write(&self, path: &str, content: &str) -> Result<(), String> {
+            self.0
+                .lock()
+                .unwrap()
+                .insert(path.to_string(), content.to_string());
+            Ok(())
+        }
+
+        fn writer(&self) -> Option<FileWriter> {
+            let map = Arc::clone(&self.0);
+            Some(Box::new(move |path, content| {
+                map.lock()
+                    .unwrap()
+                    .insert(path.to_string(), content.to_string());
+                Ok(())
+            }))
+        }
+    }
+
+    /// Regression for the graceful-drain bugfix: before `--stop-file`
+    /// existed, killing the daemon could leave the last `--metrics`
+    /// flush stamped `in_progress: true`. A drained shutdown must land
+    /// the authoritative final document (`in_progress: false`).
+    #[test]
+    fn serve_stop_file_drains_and_finalizes_metrics() {
+        let shared = SharedFiles::new();
+        let toucher = {
+            let shared = shared.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(300));
+                shared.write("stop.now", "").unwrap();
+            })
+        };
+        let out = run(
+            &args(&[
+                "serve",
+                "127.0.0.1:0",
+                "--port-file",
+                "port.txt",
+                "--stop-file",
+                "stop.now",
+                "--metrics",
+                "m.json",
+            ]),
+            &shared,
+        )
+        .unwrap();
+        toucher.join().unwrap();
+        assert!(out.contains("(drained by --stop-file)"), "{out}");
+        assert!(shared.read("port.txt").is_ok());
+        let metrics = shared.read("m.json").unwrap();
+        assert!(
+            metrics.contains("\"in_progress\": false"),
+            "drained shutdown left metrics in progress: {metrics}"
+        );
+        assert!(metrics.contains("\"exit_code\": 0"), "{metrics}");
+    }
+
+    #[test]
+    fn serve_follow_and_wal_dir_are_mutually_exclusive() {
+        let err = run(
+            &args(&[
+                "serve",
+                "127.0.0.1:0",
+                "--follow",
+                "127.0.0.1:7070",
+                "--wal-dir",
+                "/tmp/x",
+            ]),
+            &MemFiles(BTreeMap::new()),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("mutually exclusive"), "{}", err.message);
     }
 
     fn files() -> MemFiles {

@@ -46,8 +46,8 @@ pub use decide::{
     ReasonerError, RestoreError,
 };
 pub use persist::{
-    read_reasoner_snapshot, recover, restore_reasoner, snapshot_payload, write_reasoner_snapshot,
-    PersistError, RecoveryReport, WalOp,
+    apply_wal_op, read_reasoner_snapshot, recover, restore_reasoner, snapshot_payload,
+    write_reasoner_snapshot, AppliedOp, PersistError, RecoveryReport, WalOp,
 };
 pub use witness::{refute, refute_governed, Witness, WitnessError};
 pub use worklist::{

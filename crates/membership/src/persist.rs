@@ -352,6 +352,65 @@ impl RecoveryReport {
     }
 }
 
+/// How [`apply_wal_op`] changed the reasoner — which
+/// [`RecoveryReport`] bucket the op belongs in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppliedOp {
+    /// A `H` record: schema cross-checked, state untouched.
+    Header,
+    /// A `+` record applied through the incremental add path.
+    Add,
+    /// A `-` record applied through the incremental remove path.
+    Remove,
+    /// A `?` record re-run for cache warmth.
+    Query,
+}
+
+/// Applies one decoded WAL operation to `reasoner` through the
+/// ordinary incremental edit path — the single replay primitive behind
+/// both crash [`recover`]y and replication followers tailing a
+/// leader's log, so both reconstruct bit-identical state by
+/// construction. `index` only labels errors.
+pub fn apply_wal_op(
+    reasoner: &mut Reasoner,
+    op: WalOp,
+    index: usize,
+    budget: &Budget,
+) -> Result<AppliedOp, PersistError> {
+    let fail = |e: &ReasonerError| match e {
+        ReasonerError::Resource(r) => PersistError::Resource(*r),
+        other => PersistError::Replay {
+            index,
+            message: other.to_string(),
+        },
+    };
+    match op {
+        WalOp::Header { schema } => {
+            let schema_text = reasoner.attr().to_string();
+            if schema != schema_text {
+                return Err(PersistError::Invalid(format!(
+                    "WAL is for schema {schema:?} but the snapshot is {schema_text:?}"
+                )));
+            }
+            Ok(AppliedOp::Header)
+        }
+        WalOp::Add(text) => {
+            reasoner.add_str(&text).map_err(|e| fail(&e))?;
+            Ok(AppliedOp::Add)
+        }
+        WalOp::Remove(text) => {
+            reasoner.remove_str(&text).map_err(|e| fail(&e))?;
+            Ok(AppliedOp::Remove)
+        }
+        WalOp::Query(text) => {
+            reasoner
+                .implies_str_governed(&text, budget)
+                .map_err(|e| fail(&e))?;
+            Ok(AppliedOp::Query)
+        }
+    }
+}
+
 /// Crash recovery: loads the snapshot at `snapshot` (cache entries land
 /// warm) and, when `wal` is given, replays its operations through the
 /// ordinary incremental edit path. A torn WAL tail is truncated and
@@ -369,41 +428,16 @@ pub fn recover(
     if let Some(wal_path) = wal {
         let replay = store::read_wal(wal_path)?;
         truncated_at = replay.truncated_at;
-        let schema_text = reasoner.attr().to_string();
         // offsets are only needed for error messages; recompute as we walk
         let mut offset = store::WAL_MAGIC.len() as u64;
         for (index, record) in replay.records.iter().enumerate() {
             let op = WalOp::decode(record, offset)?;
             offset += 8 + record.len() as u64;
-            let fail = |e: &ReasonerError| match e {
-                ReasonerError::Resource(r) => PersistError::Resource(*r),
-                other => PersistError::Replay {
-                    index,
-                    message: other.to_string(),
-                },
-            };
-            match op {
-                WalOp::Header { schema } => {
-                    if schema != schema_text {
-                        return Err(PersistError::Invalid(format!(
-                            "WAL is for schema {schema:?} but the snapshot is {schema_text:?}"
-                        )));
-                    }
-                }
-                WalOp::Add(text) => {
-                    reasoner.add_str(&text).map_err(|e| fail(&e))?;
-                    report_counts.0 += 1;
-                }
-                WalOp::Remove(text) => {
-                    reasoner.remove_str(&text).map_err(|e| fail(&e))?;
-                    report_counts.1 += 1;
-                }
-                WalOp::Query(text) => {
-                    reasoner
-                        .implies_str_governed(&text, budget)
-                        .map_err(|e| fail(&e))?;
-                    report_counts.2 += 1;
-                }
+            match apply_wal_op(&mut reasoner, op, index, budget)? {
+                AppliedOp::Header => {}
+                AppliedOp::Add => report_counts.0 += 1,
+                AppliedOp::Remove => report_counts.1 += 1,
+                AppliedOp::Query => report_counts.2 += 1,
             }
             rec.add(Counter::RecoveryReplayedOps, 1);
         }

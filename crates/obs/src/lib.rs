@@ -142,11 +142,25 @@ pub enum Counter {
     /// Requests whose worker caught a handler panic (answered 500; the
     /// worker survives).
     RequestPanics,
+    /// WAL records shipped to replication followers (leader side,
+    /// counted per record served by `GET /v1/{t}/wal`).
+    ReplRecordsShipped,
+    /// Shipped WAL records applied through the incremental edit path
+    /// on a replication follower.
+    ReplRecordsApplied,
+    /// Replication lag observed at WAL polls, in bytes behind the
+    /// leader's log end, summed over polls (a caught-up follower adds
+    /// 0 per poll; live instantaneous lag is in the follower's
+    /// `/healthz`).
+    ReplLag,
+    /// Full snapshot bootstraps a follower performed (initial catch-up
+    /// plus every re-snapshot the compaction handshake forced).
+    SnapshotBootstraps,
 }
 
 impl Counter {
     /// Every counter, in declaration (and serialization) order.
-    pub const ALL: [Counter; 25] = [
+    pub const ALL: [Counter; 29] = [
         Counter::DepsFired,
         Counter::WorklistSteps,
         Counter::AtomsAllocated,
@@ -172,6 +186,10 @@ impl Counter {
         Counter::KeepaliveReuses,
         Counter::AdmissionRejects,
         Counter::RequestPanics,
+        Counter::ReplRecordsShipped,
+        Counter::ReplRecordsApplied,
+        Counter::ReplLag,
+        Counter::SnapshotBootstraps,
     ];
 
     /// Stable snake_case name used in `--metrics` JSON and the perf
@@ -203,6 +221,10 @@ impl Counter {
             Counter::KeepaliveReuses => "keepalive_reuses",
             Counter::AdmissionRejects => "admission_rejects",
             Counter::RequestPanics => "request_panics",
+            Counter::ReplRecordsShipped => "repl_records_shipped",
+            Counter::ReplRecordsApplied => "repl_records_applied",
+            Counter::ReplLag => "repl_lag",
+            Counter::SnapshotBootstraps => "snapshot_bootstraps",
         }
     }
 }
@@ -465,9 +487,28 @@ pub fn render_snapshot_json(
     in_progress: bool,
     snap: &MetricsSnapshot,
 ) -> String {
+    render_snapshot_json_with(command, exit_code, in_progress, snap, &[])
+}
+
+/// [`render_snapshot_json`] with extra top-level fields: each
+/// `(key, raw_json_value)` pair is emitted verbatim after the stamp
+/// fields. The fixed key set of the base document is unchanged —
+/// consumers that rely on it keep working; the serve layer uses this
+/// to add a `replication` object to a follower's `GET /metrics`.
+#[must_use]
+pub fn render_snapshot_json_with(
+    command: &str,
+    exit_code: i32,
+    in_progress: bool,
+    snap: &MetricsSnapshot,
+    extras: &[(&str, String)],
+) -> String {
     use fmt::Write as _;
     let mut out = String::from("{\n");
     writeln!(out, "  \"schema_version\": 2,").unwrap();
+    for (key, value) in extras {
+        writeln!(out, "  {}: {value},", json_escape(key)).unwrap();
+    }
     writeln!(out, "  \"command\": {},", json_escape(command)).unwrap();
     writeln!(out, "  \"exit_code\": {exit_code},").unwrap();
     writeln!(out, "  \"in_progress\": {in_progress},").unwrap();

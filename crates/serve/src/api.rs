@@ -15,18 +15,34 @@
 //! | `/v1/{tenant}/edit` | POST | apply `{edits: [{op, dep}]}`, WAL-first |
 //! | `/v1/{tenant}/cert?dep=…` | GET | decide + portable proof certificate |
 //! | `/v1/{tenant}/sigma` | GET | Σ listing + cache stats (recovery audits) |
+//! | `/v1/{tenant}/reload` | POST | validate a whole deps file, then swap Σ |
+//! | `/v1/{tenant}/snapshot` | GET | `NALSNAP1` bytes for follower bootstrap |
+//! | `/v1/{tenant}/wal?from=…` | GET | long-poll raw WAL bytes from an offset |
+//!
+//! A follower (started with `--follow`) answers the read routes from
+//! its replicated state and rejects every write with `421` plus a
+//! `leader:` header pointing at the authority.
 
 use std::num::NonZeroUsize;
 use std::sync::{Arc, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use nalist_guard::{Budget, ResourceExhausted};
 use nalist_membership::{QueryError, Reasoner, ReasonerError, WalOp};
-use nalist_obs::{render_snapshot_json, MetricsSnapshot, Recorder};
+use nalist_obs::{render_snapshot_json_with, Counter, MetricsSnapshot, Recorder};
 use nalist_types::json::{escape, parse as parse_json, Json};
 
 use crate::http::{percent_decode, Request, Response};
-use crate::tenant::Registry;
+use crate::replica::ReplStatus;
+use crate::tenant::{Registry, Tenant};
+
+/// Longest WAL slice one `wal` answer ships; a follower further behind
+/// simply polls again with its advanced offset.
+pub const MAX_WAL_SHIPMENT: u64 = 4 << 20;
+
+/// Long-poll ceiling for `wal?wait_ms=`: a waiting poll pins a worker
+/// thread, so the wait is bounded well under the socket read timeout.
+pub const MAX_WAL_WAIT_MS: u64 = 2_000;
 
 /// A structured API failure: one HTTP status, a stable machine-readable
 /// kind, and a human message.
@@ -115,6 +131,10 @@ pub struct ServiceState {
     pub deadline: Option<Duration>,
     /// Worker count for batch query planning.
     pub batch_threads: NonZeroUsize,
+    /// `Some` when this process is a replication follower: routes
+    /// consult it for the readiness gate, the write rejection and the
+    /// lag report. `None` on leaders and standalone servers.
+    pub replication: Option<Arc<ReplStatus>>,
 }
 
 impl ServiceState {
@@ -192,10 +212,40 @@ fn route(state: &ServiceState, req: &Request) -> Result<Response, ApiError> {
     match req.path() {
         "/healthz" => {
             require_method(req, "GET")?;
-            Ok(Response::json(
-                200,
-                format!("{{\"ok\": true, \"tenants\": {}}}\n", state.registry.len()),
-            ))
+            let names: Vec<String> = state.registry.names().iter().map(|n| escape(n)).collect();
+            let base = format!(
+                "\"tenants\": {}, \"names\": [{}]",
+                state.registry.len(),
+                names.join(", ")
+            );
+            match &state.replication {
+                None => Ok(Response::json(
+                    200,
+                    format!("{{\"ok\": true, {base}, \"role\": \"leader\"}}\n"),
+                )),
+                Some(repl) => {
+                    // Readiness gate: a follower refuses traffic (503,
+                    // so load balancers skip it) until it has caught up
+                    // with the leader at least once per tenant.
+                    let ready = repl.ready();
+                    let (lag_records, lag_bytes) = repl.lag();
+                    let mut resp = Response::json(
+                        if ready { 200 } else { 503 },
+                        format!(
+                            "{{\"ok\": {ready}, {base}, \"role\": \"follower\", \
+                             \"leader\": {}, \"ready\": {ready}, \"lag\": \
+                             {{\"records\": {lag_records}, \"bytes\": {lag_bytes}}}, \
+                             \"bootstraps\": {}}}\n",
+                            escape(repl.leader()),
+                            repl.bootstraps()
+                        ),
+                    );
+                    if !ready {
+                        resp.retry_after = Some(1);
+                    }
+                    Ok(resp)
+                }
+            }
         }
         "/metrics" => {
             require_method(req, "GET")?;
@@ -208,9 +258,13 @@ fn route(state: &ServiceState, req: &Request) -> Result<Response, ApiError> {
                     spans: Vec::new(),
                     elapsed_ns: 0,
                 });
+            let extras: Vec<(&str, String)> = match &state.replication {
+                None => Vec::new(),
+                Some(repl) => vec![("replication", repl.to_json())],
+            };
             Ok(Response::json(
                 200,
-                render_snapshot_json("serve", 0, true, &snap),
+                render_snapshot_json_with("serve", 0, true, &snap, &extras),
             ))
         }
         path => {
@@ -232,6 +286,24 @@ fn tenant_route(
     action: &str,
 ) -> Result<Response, ApiError> {
     let budget = state.request_budget();
+    if let Some(repl) = &state.replication {
+        if matches!(action, "create" | "edit" | "reload") {
+            // A follower never mutates Σ itself — every write arrives
+            // via the leader's WAL. `421 Misdirected Request` plus a
+            // `leader:` header tells the client where to go.
+            let err = ApiError {
+                status: 421,
+                kind: "follower_read_only",
+                message: format!(
+                    "this replica serves reads only; send writes to the leader at {}",
+                    repl.leader()
+                ),
+            };
+            return Ok(err
+                .to_response()
+                .with_header("leader", repl.leader().to_string()));
+        }
+    }
     if action == "create" {
         require_method(req, "POST")?;
         let body = parse_body(req)?;
@@ -311,10 +383,170 @@ fn tenant_route(
                 ),
             ))
         }
+        "reload" => {
+            require_method(req, "POST")?;
+            let body = parse_body(req)?;
+            let text = body_str(&body, "deps")?;
+            let mut r = t.reasoner.write().unwrap_or_else(PoisonError::into_inner);
+            let mut wal = t.wal.lock().unwrap_or_else(PoisonError::into_inner);
+            handle_reload(state, tenant, &mut r, wal.as_mut(), text, &budget)
+        }
+        "snapshot" => {
+            require_method(req, "GET")?;
+            let (payload, wal_id, from) = t.replication_snapshot()?;
+            let bytes = nalist_store::encode_snapshot(&payload)
+                .map_err(|e| ApiError::internal(format!("cannot encode snapshot: {e}")))?;
+            Ok(Response::octets(200, bytes)
+                .with_header("x-wal-id", wal_id.to_string())
+                .with_header("x-wal-from", from.to_string()))
+        }
+        "wal" => {
+            require_method(req, "GET")?;
+            handle_wal(state, &t, req)
+        }
         other => Err(ApiError::not_found(format!(
-            "no tenant action {other:?} (want create, query, edit, cert or sigma)"
+            "no tenant action {other:?} (want create, query, edit, reload, \
+             cert, sigma, snapshot or wal)"
         ))),
     }
+}
+
+fn query_u64(req: &Request, key: &str) -> Result<Option<u64>, ApiError> {
+    let Some(q) = req.query() else {
+        return Ok(None);
+    };
+    for kv in q.split('&') {
+        if let Some((k, v)) = kv.split_once('=') {
+            if k == key {
+                return v.parse::<u64>().map(Some).map_err(|_| {
+                    ApiError::bad_request(format!(
+                        "query parameter {key}= must be a non-negative integer, got {v:?}"
+                    ))
+                });
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// `GET /v1/{t}/wal?from=<offset>&wait_ms=<n>`: ships verified raw log
+/// bytes from `from`, cut at a record boundary. With `wait_ms`, an
+/// empty answer long-polls: the handler re-checks the log every 25 ms
+/// until a record lands or the wait expires — so a caught-up follower
+/// learns about new edits in tens of milliseconds without hot-looping.
+fn handle_wal(state: &ServiceState, t: &Tenant, req: &Request) -> Result<Response, ApiError> {
+    let from = query_u64(req, "from")?
+        .ok_or_else(|| ApiError::bad_request("missing query parameter from="))?;
+    let wait_ms = query_u64(req, "wait_ms")?.unwrap_or(0).min(MAX_WAL_WAIT_MS);
+    let deadline = Instant::now() + Duration::from_millis(wait_ms);
+    let ship = loop {
+        let ship = t.wal_slice(from, MAX_WAL_SHIPMENT)?;
+        if ship.records > 0 || Instant::now() >= deadline {
+            break ship;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    state.recorder().add(Counter::ReplRecordsShipped, ship.records);
+    Ok(Response::octets(200, ship.bytes)
+        .with_header("x-wal-id", ship.wal_id.to_string())
+        .with_header("x-wal-start", from.to_string())
+        .with_header("x-wal-end", ship.end.to_string())
+        .with_header("x-wal-len", ship.log_len.to_string()))
+}
+
+/// `POST /v1/{t}/reload` with `{"deps": "<whole deps file>"}`: validate
+/// the file *fully* — every line parsed, resolved and Σ-linted — and
+/// only then swap Σ under the already-held write lock, journaling each
+/// remove/add before applying it (the same WAL-first path as `/edit`).
+/// A file with any error changes nothing and answers `400` carrying
+/// the lint report's span diagnostics.
+fn handle_reload(
+    state: &ServiceState,
+    tenant: &str,
+    r: &mut Reasoner,
+    mut wal: Option<&mut nalist_store::WalWriter>,
+    deps_src: &str,
+    budget: &Budget,
+) -> Result<Response, ApiError> {
+    let schema_src = r.attr().to_string();
+    let report = nalist_lint::lint_spec_governed(&schema_src, deps_src, budget).map_err(|e| {
+        match e {
+            nalist_lint::SpecError::Resource(res) => ApiError::resource(res),
+            // The schema came from our own reasoner; failing to parse it
+            // back is a server bug, not a client error.
+            nalist_lint::SpecError::Parse(p) => {
+                ApiError::internal(format!("own schema does not lint: {p}"))
+            }
+        }
+    })?;
+    if report.errors() > 0 {
+        let lint = nalist_lint::render_json(&report, "reload", deps_src);
+        return Ok(Response::json(
+            400,
+            format!(
+                "{{\"error\": {{\"status\": 400, \"kind\": \"invalid_deps\", \
+                 \"message\": {}, \"lint\": {}}}}}\n",
+                escape(&format!(
+                    "{} error(s) in the posted deps file; nothing was applied",
+                    report.errors()
+                )),
+                lint.trim_end()
+            ),
+        ));
+    }
+    let limits = nalist_types::parser::ParseLimits::from_budget(budget);
+    let mut new_deps = Vec::new();
+    for (i, line) in deps_src.lines().enumerate() {
+        let text = line.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        let dep = nalist_deps::Dependency::parse_with(r.attr(), text, limits).map_err(|e| {
+            ApiError::internal(format!("line {}: linted clean but does not parse: {e}", i + 1))
+        })?;
+        dep.compile(r.algebra()).map_err(|m| {
+            ApiError::internal(format!(
+                "line {}: linted clean but does not compile: {m}",
+                i + 1
+            ))
+        })?;
+        new_deps.push((text.to_string(), dep));
+    }
+    let rec = Arc::clone(state.recorder());
+    let append = |op: &WalOp, wal: &mut Option<&mut nalist_store::WalWriter>| {
+        if let Some(w) = wal.as_deref_mut() {
+            w.append(&op.encode(), budget, rec.as_ref())
+                .map_err(|e| ApiError::internal(format!("WAL append failed: {e}")))?;
+        }
+        Ok::<(), ApiError>(())
+    };
+    let old: Vec<(String, nalist_deps::Dependency)> = r
+        .sigma()
+        .iter()
+        .map(|d| (d.display_in(r.attr()), d.clone()))
+        .collect();
+    let (removed, added) = (old.len(), new_deps.len());
+    for (text, dep) in old {
+        append(&WalOp::Remove(text), &mut wal)?;
+        r.remove(&dep).map_err(|e| ApiError::reasoner(&e))?;
+    }
+    for (text, dep) in new_deps {
+        append(&WalOp::Add(text), &mut wal)?;
+        // Cannot fail for a compiled-clean dependency short of budget
+        // exhaustion, which leaves the log ahead of memory — the same
+        // recoverable invariant as /edit.
+        r.add(dep).map_err(|e| ApiError::reasoner(&e))?;
+    }
+    Ok(Response::json(
+        200,
+        format!(
+            "{{\"tenant\": {}, \"removed\": {removed}, \"added\": {added}, \
+             \"sigma\": {}, \"warnings\": {}}}\n",
+            escape(tenant),
+            r.sigma().len(),
+            report.warnings()
+        ),
+    ))
 }
 
 fn handle_query(

@@ -237,6 +237,10 @@ pub struct Response {
     pub close: bool,
     /// `Retry-After` seconds, for `429`/`503` answers.
     pub retry_after: Option<u32>,
+    /// Extra headers, written verbatim after the fixed set (e.g. the
+    /// `Leader:` pointer on a follower's `421`, the `x-wal-*` offsets
+    /// on replication answers). Names must be valid header tokens.
+    pub extra_headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
@@ -249,6 +253,21 @@ impl Response {
             body: body.into_bytes(),
             close: false,
             retry_after: None,
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// A binary (`application/octet-stream`) response — snapshot and
+    /// WAL bytes shipped to replication followers.
+    #[must_use]
+    pub fn octets(status: u16, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            content_type: "application/octet-stream",
+            body,
+            close: false,
+            retry_after: None,
+            extra_headers: Vec::new(),
         }
     }
 
@@ -256,6 +275,13 @@ impl Response {
     #[must_use]
     pub fn closing(mut self) -> Response {
         self.close = true;
+        self
+    }
+
+    /// Adds an extra response header.
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: String) -> Response {
+        self.extra_headers.push((name, value));
         self
     }
 
@@ -271,6 +297,8 @@ impl Response {
             408 => "Request Timeout",
             409 => "Conflict",
             413 => "Content Too Large",
+            416 => "Range Not Satisfiable",
+            421 => "Misdirected Request",
             429 => "Too Many Requests",
             431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
@@ -290,6 +318,9 @@ impl Response {
         );
         if let Some(secs) = self.retry_after {
             head.push_str(&format!("retry-after: {secs}\r\n"));
+        }
+        for (name, value) in &self.extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
         }
         if self.close {
             head.push_str("connection: close\r\n");

@@ -30,6 +30,12 @@
 //! arrivals, zipf-skewed query pools, mixed edit/query traffic — the
 //! measurement half of the E-SERVE experiment.
 //!
+//! [`replica`] adds leader/follower replication on top: a follower
+//! bootstraps each tenant from a shipped snapshot, tails the leader's
+//! WAL through the same replay primitive crash recovery uses (state is
+//! bit-identical by construction), serves reads locally and rejects
+//! writes with `421` plus a pointer at the leader.
+//!
 //! [`Reasoner`]: nalist_membership::Reasoner
 //! [`Budget`]: nalist_guard::Budget
 
@@ -39,11 +45,13 @@
 pub mod api;
 pub mod http;
 pub mod loadgen;
+pub mod replica;
 pub mod server;
 pub mod tenant;
 
 pub use api::{ApiError, ServiceState};
 pub use http::{Request, Response};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use replica::{start_follower, Follower, FollowerConfig, ReplStatus};
 pub use server::{Server, ServerConfig};
 pub use tenant::{Registry, Tenant};

@@ -49,6 +49,11 @@ pub struct LoadgenConfig {
     pub seed: u64,
     /// Skip tenant creation (they already exist from a previous run).
     pub reuse_tenants: bool,
+    /// A follower address (`host:port`) to verify after the run: wait
+    /// for catch-up, require byte-identical query and Σ answers from
+    /// leader and follower, and run follower certificates through the
+    /// independent trusted checker.
+    pub verify: Option<String>,
 }
 
 impl Default for LoadgenConfig {
@@ -65,7 +70,73 @@ impl Default for LoadgenConfig {
             zipf_s: 1.1,
             seed: 42,
             reuse_tenants: false,
+            verify: None,
         }
+    }
+}
+
+/// What `--verify` measured against the follower.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// The follower that was verified.
+    pub follower: String,
+    /// Time from end of load until the follower reported ready with
+    /// zero lag, milliseconds.
+    pub catchup_ms: u64,
+    /// Σ listings compared (one per tenant, cache stats excluded).
+    pub sigma_compared: u64,
+    /// Σ listings that never became byte-identical.
+    pub sigma_mismatches: u64,
+    /// Queries answered by both leader and follower.
+    pub queries_compared: u64,
+    /// Query answers that were not byte-identical.
+    pub query_mismatches: u64,
+    /// Follower certificates run through the trusted checker.
+    pub certs_checked: u64,
+    /// Certificates the checker rejected.
+    pub cert_failures: u64,
+}
+
+impl VerifyReport {
+    /// Whether any comparison failed.
+    #[must_use]
+    pub fn failed(&self) -> bool {
+        self.sigma_mismatches > 0 || self.query_mismatches > 0 || self.cert_failures > 0
+    }
+
+    /// Human-readable summary lines.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "verify vs {}: caught up in {} ms; {} sigma ({} mismatched), \
+             {} queries ({} mismatched), {} certs checked ({} rejected)\n",
+            self.follower,
+            self.catchup_ms,
+            self.sigma_compared,
+            self.sigma_mismatches,
+            self.queries_compared,
+            self.query_mismatches,
+            self.certs_checked,
+            self.cert_failures
+        )
+    }
+
+    /// One JSON object for benchmark rows.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"follower\": {}, \"catchup_ms\": {}, \"sigma_compared\": {}, \
+             \"sigma_mismatches\": {}, \"queries_compared\": {}, \"query_mismatches\": {}, \
+             \"certs_checked\": {}, \"cert_failures\": {}}}",
+            json_escape(&self.follower),
+            self.catchup_ms,
+            self.sigma_compared,
+            self.sigma_mismatches,
+            self.queries_compared,
+            self.query_mismatches,
+            self.certs_checked,
+            self.cert_failures
+        )
     }
 }
 
@@ -101,6 +172,8 @@ pub struct LoadgenReport {
     pub achieved_rps: f64,
     /// The offered rate, echoed for the report.
     pub offered_rps: f64,
+    /// Follower verification results, when `--verify` asked for them.
+    pub verify: Option<VerifyReport>,
 }
 
 impl LoadgenReport {
@@ -120,16 +193,23 @@ impl LoadgenReport {
             "latency: p50 {} µs, p99 {} µs, mean {} µs\n",
             self.p50_us, self.p99_us, self.mean_us
         ));
+        if let Some(v) = &self.verify {
+            out.push_str(&v.render());
+        }
         out
     }
 
     /// One JSON object (a BENCH_serve.json row fragment).
     #[must_use]
     pub fn to_json(&self) -> String {
+        let verify = match &self.verify {
+            None => String::new(),
+            Some(v) => format!(", \"verify\": {}", v.to_json()),
+        };
         format!(
             "{{\"offered_rps\": {:.1}, \"achieved_rps\": {:.1}, \"sent\": {}, \"ok\": {}, \
              \"rejects_429\": {}, \"rejects_503\": {}, \"other_status\": {}, \"io_errors\": {}, \
-             \"p50_us\": {}, \"p99_us\": {}, \"mean_us\": {}, \"elapsed_ms\": {}}}",
+             \"p50_us\": {}, \"p99_us\": {}, \"mean_us\": {}, \"elapsed_ms\": {}{verify}}}",
             self.offered_rps,
             self.achieved_rps,
             self.sent,
@@ -361,6 +441,9 @@ fn create_tenants(cfg: &LoadgenConfig, pools: &[TenantPool]) -> Result<(), Strin
         match status {
             201 => {}
             409 if cfg.reuse_tenants => {}
+            // A follower rejects creates (421) but mirrors the leader's
+            // tenants — under reuse they are already there, replicated.
+            421 if cfg.reuse_tenants => {}
             _ => return Err(format!("create {}: HTTP {status}: {resp}", pool.name)),
         }
     }
@@ -416,6 +499,156 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
         report.p50_us = at(0.50);
         report.p99_us = at(0.99);
         report.mean_us = latencies.iter().sum::<u64>() / latencies.len() as u64;
+    }
+    if let Some(follower) = &cfg.verify {
+        report.verify = Some(verify_follower(cfg, &pools, follower)?);
+    }
+    Ok(report)
+}
+
+/// How long `--verify` waits for the follower to catch up after the
+/// load stops before calling the run a failure.
+const VERIFY_CATCHUP_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Queries compared per tenant, and certificates checked per tenant.
+const VERIFY_QUERIES: usize = 12;
+const VERIFY_CERTS: usize = 4;
+
+/// Percent-encodes a query-string value (inverse of
+/// [`crate::http::percent_decode`]).
+fn percent_encode(s: &str) -> String {
+    let mut out = String::new();
+    for b in s.bytes() {
+        if b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b'~') {
+            out.push(b as char);
+        } else {
+            out.push_str(&format!("%{b:02X}"));
+        }
+    }
+    out
+}
+
+/// The Σ listing with the session-local cache stats stripped: the part
+/// of a `/sigma` answer that must be byte-identical between leader and
+/// follower.
+fn sigma_prefix(body: &str) -> &str {
+    body.split(", \"cache\"").next().unwrap_or(body)
+}
+
+/// The post-run verification pass: catch-up wait, byte-identical Σ and
+/// query answers, follower certificates through the trusted checker.
+fn verify_follower(
+    cfg: &LoadgenConfig,
+    pools: &[TenantPool],
+    follower: &str,
+) -> Result<VerifyReport, String> {
+    let mut report = VerifyReport {
+        follower: follower.to_string(),
+        ..VerifyReport::default()
+    };
+    let t0 = Instant::now();
+    let mut fc = Client::new(follower);
+    let mut lc = Client::new(&cfg.addr);
+    // 1. Wait until the follower reports ready. Readiness alone can
+    // race the last WAL poll, so the authoritative catch-up signal is
+    // the Σ comparison below, retried until it matches.
+    loop {
+        if let Ok((200, _)) = fc.roundtrip("GET", "/healthz", None) {
+            break;
+        }
+        if t0.elapsed() > VERIFY_CATCHUP_TIMEOUT {
+            return Err(format!("follower {follower} never became ready"));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // 2. Per tenant: Σ must become byte-identical (modulo cache stats).
+    for pool in pools {
+        let target = format!("/v1/{}/sigma", pool.name);
+        report.sigma_compared += 1;
+        let mut matched = false;
+        while t0.elapsed() <= VERIFY_CATCHUP_TIMEOUT {
+            let (ls, lb) = lc
+                .roundtrip("GET", &target, None)
+                .map_err(|e| format!("leader sigma {}: {e}", pool.name))?;
+            let fs = fc.roundtrip("GET", &target, None);
+            if let (200, Ok((200, fb))) = (ls, fs) {
+                if sigma_prefix(&lb) == sigma_prefix(&fb) {
+                    matched = true;
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        if !matched {
+            report.sigma_mismatches += 1;
+        }
+    }
+    report.catchup_ms = t0.elapsed().as_millis() as u64;
+    // 3. The same queries to both sides must answer byte-identically.
+    for pool in pools {
+        let target = format!("/v1/{}/query", pool.name);
+        for dep in pool.deps.iter().take(VERIFY_QUERIES) {
+            let body = format!("{{\"query\": {}}}", json_escape(dep));
+            let (ls, lb) = lc
+                .roundtrip("POST", &target, Some(&body))
+                .map_err(|e| format!("leader query {}: {e}", pool.name))?;
+            let (fs, fb) = fc
+                .roundtrip("POST", &target, Some(&body))
+                .map_err(|e| format!("follower query {}: {e}", pool.name))?;
+            report.queries_compared += 1;
+            if ls != fs || lb != fb {
+                report.query_mismatches += 1;
+            }
+        }
+    }
+    // 4. Follower certificates must pass the independent checker,
+    // verified against the *leader's* authoritative schema + Σ.
+    let budget = nalist_guard::Budget::unlimited();
+    for pool in pools {
+        let (status, sigma_body) = lc
+            .roundtrip("GET", &format!("/v1/{}/sigma", pool.name), None)
+            .map_err(|e| format!("leader sigma {}: {e}", pool.name))?;
+        if status != 200 {
+            continue;
+        }
+        let doc = nalist_types::json::parse(&sigma_body)
+            .map_err(|e| format!("sigma {}: {e}", pool.name))?;
+        let schema = doc
+            .get("schema")
+            .and_then(nalist_types::json::Json::as_str)
+            .ok_or_else(|| format!("sigma {}: no schema", pool.name))?
+            .to_string();
+        let deps_src: String = doc
+            .get("sigma")
+            .and_then(nalist_types::json::Json::as_arr)
+            .map(|arr| {
+                arr.iter()
+                    .filter_map(|d| d.get("dep").and_then(nalist_types::json::Json::as_str))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            })
+            .unwrap_or_default();
+        for dep in pool.deps.iter().take(VERIFY_CERTS) {
+            let target = format!("/v1/{}/cert?dep={}", pool.name, percent_encode(dep));
+            let (status, cert_body) = fc
+                .roundtrip("GET", &target, None)
+                .map_err(|e| format!("follower cert {}: {e}", pool.name))?;
+            if status != 200 {
+                report.certs_checked += 1;
+                report.cert_failures += 1;
+                continue;
+            }
+            report.certs_checked += 1;
+            let ok = nalist_types::json::parse(&cert_body)
+                .ok()
+                .and_then(|doc| doc.get("certificate").map(nalist_types::json::Json::render))
+                .and_then(|src| nalist_check::Certificate::from_json(&src).ok())
+                .and_then(|cert| nalist_check::verify(&schema, &deps_src, &cert, &budget).ok())
+                .is_some();
+            if !ok {
+                report.cert_failures += 1;
+            }
+        }
     }
     Ok(report)
 }

@@ -33,6 +33,7 @@ use nalist_obs::{Counter, Hist, Recorder};
 
 use crate::api::{self, ApiError, ServiceState};
 use crate::http::{read_request, RecvError, Response};
+use crate::replica::ReplStatus;
 use crate::tenant::Registry;
 
 /// Server configuration; [`ServerConfig::default`] is a sane local
@@ -125,12 +126,24 @@ pub struct Server {
 /// [`Recorder::try_snapshot`]); pass a
 /// [`nalist_obs::MetricsRecorder`] unless you want the endpoint empty.
 pub fn start(cfg: &ServerConfig, rec: Arc<dyn Recorder>) -> Result<Server, ApiError> {
+    start_with_replication(cfg, rec, None)
+}
+
+/// [`start`] with a replication status attached: the follower entry
+/// point ([`crate::replica::start_follower`]) passes `Some`, turning
+/// the routes into their read-only replica variants.
+pub fn start_with_replication(
+    cfg: &ServerConfig,
+    rec: Arc<dyn Recorder>,
+    replication: Option<Arc<ReplStatus>>,
+) -> Result<Server, ApiError> {
     let registry = Registry::open(cfg.wal_dir.clone(), Arc::clone(&rec))?;
     let state = Arc::new(ServiceState {
         registry,
         fuel: cfg.fuel,
         deadline: cfg.deadline_ms.map(Duration::from_millis),
         batch_threads: nalist_membership::default_batch_threads(),
+        replication,
     });
     let listener = TcpListener::bind(&cfg.addr)
         .map_err(|e| ApiError::internal(format!("cannot bind {}: {e}", cfg.addr)))?;

@@ -9,12 +9,13 @@
 //! nothing is shared between two [`Tenant`]s but the process, so one
 //! tenant's edits cannot evict another's cache entries by construction.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 use nalist_guard::Budget;
-use nalist_membership::{recover, write_reasoner_snapshot, Reasoner, WalOp};
+use nalist_membership::{recover, snapshot_payload, write_reasoner_snapshot, Reasoner, WalOp};
 use nalist_obs::{site, Recorder};
 use nalist_store::WalWriter;
 use nalist_types::parser::{parse_attr_with, ParseLimits};
@@ -45,6 +46,46 @@ pub struct Tenant {
     /// `--wal-dir`. Held *inside* the reasoner write lock during
     /// edits, so journal order always matches apply order.
     pub wal: Mutex<Option<WalWriter>>,
+    /// Identity of the current WAL incarnation, regenerated every time
+    /// a fresh log is started (tenant creation, compaction on
+    /// restart). A follower that sees the id change knows its byte
+    /// offsets are meaningless and must re-snapshot — the offset
+    /// handshake's compaction detector. `0` for in-memory tenants.
+    wal_id: u64,
+}
+
+/// Monotone component of [`fresh_wal_id`]; the wall-clock component
+/// separates ids across process restarts.
+static NEXT_WAL_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_wal_id() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64);
+    let seq = NEXT_WAL_ID.fetch_add(1, Ordering::Relaxed);
+    // Mix so ids stay distinct even with a coarse clock; never 0.
+    (nanos ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (u64::from(std::process::id()) << 32))
+        .max(1)
+}
+
+/// What `GET /v1/{t}/wal?from=` ships: verified raw log bytes cut at a
+/// record boundary, plus the offsets a follower needs to keep tailing.
+#[derive(Debug)]
+pub struct WalShipment {
+    /// Raw log bytes starting at the requested offset, ending at a
+    /// record boundary (re-verifiable with
+    /// [`nalist_store::parse_wal_segment`]).
+    pub bytes: Vec<u8>,
+    /// Offset one past the last record in `bytes` — the follower's
+    /// next `from`.
+    pub end: u64,
+    /// Current log length: `log_len - end` is the byte lag a capped
+    /// shipment leaves behind.
+    pub log_len: u64,
+    /// Complete records in `bytes`.
+    pub records: u64,
+    /// The WAL incarnation the offsets belong to.
+    pub wal_id: u64,
 }
 
 impl Tenant {
@@ -53,14 +94,115 @@ impl Tenant {
     pub fn name(&self) -> &str {
         &self.name
     }
+
+    /// The current WAL incarnation id (`0` for in-memory tenants).
+    #[must_use]
+    pub fn wal_id(&self) -> u64 {
+        self.wal_id
+    }
+
+    /// A consistent `(snapshot payload, wal_id, wal offset)` triple
+    /// for follower bootstrap: the payload reflects every journaled
+    /// op, and tailing the WAL from the returned offset replays
+    /// exactly what comes after. Errors when the tenant is not
+    /// durable — there is no log to tail.
+    pub fn replication_snapshot(&self) -> Result<(Vec<u8>, u64, u64), ApiError> {
+        // Same lock order as the edit path (reasoner before wal), so
+        // while we hold the read lock no edit is between journal and
+        // apply: journaled == applied.
+        let r = self.reasoner.read().unwrap_or_else(PoisonError::into_inner);
+        let wal = self.wal.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(w) = wal.as_ref() else {
+            return Err(ApiError {
+                status: 409,
+                kind: "not_durable",
+                message: format!(
+                    "tenant {:?} has no WAL (start the leader with --wal-dir)",
+                    self.name
+                ),
+            });
+        };
+        Ok((snapshot_payload(&r), self.wal_id, w.end()))
+    }
+
+    /// Reads up to `max_bytes` of verified log starting at absolute
+    /// offset `from`, cut at a record boundary. `from` past the log
+    /// end answers `416` — the compaction handshake: a follower whose
+    /// offset outlives the log must re-snapshot.
+    pub fn wal_slice(&self, from: u64, max_bytes: u64) -> Result<WalShipment, ApiError> {
+        let (path, end) = {
+            let wal = self.wal.lock().unwrap_or_else(PoisonError::into_inner);
+            let Some(w) = wal.as_ref() else {
+                return Err(ApiError {
+                    status: 409,
+                    kind: "not_durable",
+                    message: format!(
+                        "tenant {:?} has no WAL (start the leader with --wal-dir)",
+                        self.name
+                    ),
+                });
+            };
+            (w.path().to_path_buf(), w.end())
+        };
+        if from < nalist_store::WAL_MAGIC.len() as u64 || from > end {
+            return Err(ApiError {
+                status: 416,
+                kind: "wal_offset_beyond_log",
+                message: format!(
+                    "offset {from} is outside the log (magic..{end}); re-snapshot and tail again"
+                ),
+            });
+        }
+        // The log only grows within a WAL incarnation, so reading
+        // `[from, to)` without the lock is safe: those bytes are
+        // immutable once `end` covered them.
+        let to = end.min(from.saturating_add(max_bytes));
+        let bytes = nalist_store::read_wal_range(&path, from, to)
+            .map_err(|e| ApiError::internal(format!("cannot read WAL range: {e}")))?;
+        let seg = nalist_store::parse_wal_segment(&bytes, from, true)
+            .map_err(|e| ApiError::internal(format!("cannot parse own WAL: {e}")))?;
+        let cut = (seg.end - from) as usize;
+        let mut bytes = bytes;
+        bytes.truncate(cut);
+        Ok(WalShipment {
+            bytes,
+            end: seg.end,
+            log_len: end,
+            records: seg.records.len() as u64,
+            wal_id: self.wal_id,
+        })
+    }
 }
 
 /// The tenant table: name → tenant, plus the durability directory.
 #[derive(Debug)]
 pub struct Registry {
     tenants: RwLock<BTreeMap<String, Arc<Tenant>>>,
+    /// Names claimed by in-flight creates. A create reserves its name
+    /// here *before* the expensive reasoner build, so the second of
+    /// two racing creates answers `409` immediately instead of both
+    /// passing the duplicate probe, building two reasoners, and
+    /// racing `persist_fresh` for the snapshot + WAL files.
+    creating: Mutex<BTreeSet<String>>,
     wal_dir: Option<PathBuf>,
     rec: Arc<dyn Recorder>,
+}
+
+/// Holds a name in [`Registry::creating`]; dropping releases it (also
+/// on the error paths out of a failed build).
+struct NameReservation<'a> {
+    registry: &'a Registry,
+    name: String,
+}
+
+impl Drop for NameReservation<'_> {
+    fn drop(&mut self) {
+        self.registry
+            .creating
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&self.name);
+    }
 }
 
 fn io_err(path: &Path, what: &str, e: &dyn std::fmt::Display) -> ApiError {
@@ -76,6 +218,7 @@ impl Registry {
     pub fn open(wal_dir: Option<PathBuf>, rec: Arc<dyn Recorder>) -> Result<Registry, ApiError> {
         let registry = Registry {
             tenants: RwLock::new(BTreeMap::new()),
+            creating: Mutex::new(BTreeSet::new()),
             wal_dir,
             rec,
         };
@@ -151,10 +294,12 @@ impl Registry {
                 Some(w)
             }
         };
+        let wal_id = if wal.is_some() { fresh_wal_id() } else { 0 };
         Ok(Arc::new(Tenant {
             name: name.to_string(),
             reasoner: RwLock::new(r),
             wal: Mutex::new(wal),
+            wal_id,
         }))
     }
 
@@ -173,17 +318,13 @@ impl Registry {
                 "bad tenant name {name:?} (want 1-{MAX_TENANT_NAME} chars of [A-Za-z0-9_-])"
             )));
         }
-        // Cheap duplicate probe before the expensive reasoner build (a
-        // conflict must answer 409, not burn the request budget and
-        // answer 429); the authoritative check still runs under the
-        // write lock below.
-        if self.get(name).is_some() {
-            return Err(ApiError {
-                status: 409,
-                kind: "conflict",
-                message: format!("tenant {name:?} already exists"),
-            });
-        }
+        // Claim the name before the expensive reasoner build: a
+        // conflict — with an existing tenant *or* with a concurrent
+        // create of the same name — must answer 409 immediately, not
+        // build a second reasoner and race `persist_fresh` for the
+        // snapshot + WAL files. The reservation is dropped on every
+        // path out, so a failed build frees the name.
+        let _claim = self.reserve(name)?;
         let limits = ParseLimits::from_budget(budget);
         let n = parse_attr_with(schema, limits)
             .map_err(|e| ApiError::bad_request(format!("bad schema: {e}")))?;
@@ -195,19 +336,55 @@ impl Registry {
             r.add(dep).map_err(|e| ApiError::reasoner(&e))?;
         }
         // The registry write lock is held across persistence: creates
-        // are rare, and this makes name-claim + snapshot atomic.
+        // are rare, and this makes insert + snapshot atomic. The name
+        // itself is already ours — the reservation blocks every other
+        // create of it until we return.
         let mut tenants = self.tenants.write().unwrap_or_else(PoisonError::into_inner);
-        if tenants.contains_key(name) {
+        let token = self.rec.enter(site::SERVE_TENANT, r.sigma().len() as u64);
+        let tenant = self.persist_fresh(name, r, budget)?;
+        self.rec.exit(token, 1);
+        tenants.insert(name.to_string(), Arc::clone(&tenant));
+        Ok(tenant)
+    }
+
+    /// Reserves `name` for an in-flight create, failing with `409`
+    /// when it is already a tenant or already being created.
+    fn reserve(&self, name: &str) -> Result<NameReservation<'_>, ApiError> {
+        let mut creating = self.creating.lock().unwrap_or_else(PoisonError::into_inner);
+        if creating.contains(name) || self.get(name).is_some() {
             return Err(ApiError {
                 status: 409,
                 kind: "conflict",
                 message: format!("tenant {name:?} already exists"),
             });
         }
-        let token = self.rec.enter(site::SERVE_TENANT, r.sigma().len() as u64);
-        let tenant = self.persist_fresh(name, r, budget)?;
-        self.rec.exit(token, 1);
-        tenants.insert(name.to_string(), Arc::clone(&tenant));
+        creating.insert(name.to_string());
+        Ok(NameReservation {
+            registry: self,
+            name: name.to_string(),
+        })
+    }
+
+    /// Installs an externally built reasoner as an in-memory tenant,
+    /// replacing any previous incarnation — the follower's bootstrap
+    /// path (replicas re-snapshot through here, so replacement is the
+    /// point, not an accident).
+    pub fn install(&self, name: &str, r: Reasoner) -> Result<Arc<Tenant>, ApiError> {
+        if !valid_tenant_name(name) {
+            return Err(ApiError::bad_request(format!(
+                "bad tenant name {name:?} (want 1-{MAX_TENANT_NAME} chars of [A-Za-z0-9_-])"
+            )));
+        }
+        let tenant = Arc::new(Tenant {
+            name: name.to_string(),
+            reasoner: RwLock::new(r),
+            wal: Mutex::new(None),
+            wal_id: 0,
+        });
+        self.tenants
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(name.to_string(), Arc::clone(&tenant));
         Ok(tenant)
     }
 
@@ -267,6 +444,60 @@ mod tests {
         assert!(!valid_tenant_name("a/b"));
         assert!(!valid_tenant_name("a.b"));
         assert!(!valid_tenant_name(&"x".repeat(65)));
+    }
+
+    #[test]
+    fn racing_creates_build_once_and_answer_409_once() {
+        use nalist_obs::{Counter, MetricsRecorder};
+        use std::sync::Barrier;
+        let schema = "Pubcrawl(Person, Visit[Drink(Beer, Pub)])";
+        // Baseline: atoms one build of this schema allocates.
+        let baseline_rec = Arc::new(MetricsRecorder::new());
+        {
+            let reg = Registry::open(None, baseline_rec.clone() as Arc<dyn Recorder>).unwrap();
+            reg.create("solo", schema, &[], &Budget::unlimited()).unwrap();
+        }
+        let one_build = baseline_rec.counter(Counter::AtomsAllocated);
+        assert!(one_build > 0);
+
+        let rec = Arc::new(MetricsRecorder::new());
+        let reg = Arc::new(Registry::open(None, rec.clone() as Arc<dyn Recorder>).unwrap());
+        let barrier = Arc::new(Barrier::new(2));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let (reg, barrier) = (Arc::clone(&reg), Arc::clone(&barrier));
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                reg.create("raced", schema, &[], &Budget::unlimited())
+                    .map(|_| ())
+                    .map_err(|e| e.status)
+            }));
+        }
+        let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(outcomes.iter().filter(|o| o.is_ok()).count(), 1);
+        assert_eq!(
+            outcomes.iter().filter(|o| **o == Err(409)).count(),
+            1,
+            "loser must see 409, got {outcomes:?}"
+        );
+        assert_eq!(reg.len(), 1);
+        // The loser answered before building: exactly one reasoner's
+        // worth of atoms was allocated. Pre-fix, both creates passed
+        // the cheap duplicate probe and both built (2× the atoms).
+        assert_eq!(rec.counter(Counter::AtomsAllocated), one_build);
+    }
+
+    #[test]
+    fn failed_create_releases_the_name() {
+        let rec: Arc<dyn Recorder> = Arc::new(NoopRecorder);
+        let reg = Registry::open(None, rec).unwrap();
+        let budget = Budget::unlimited();
+        let bad = reg
+            .create("pub", "Pubcrawl(Person)", &["not a dependency".to_string()], &budget)
+            .unwrap_err();
+        assert_eq!(bad.status, 400);
+        // the reservation was dropped on the error path; the name is free
+        reg.create("pub", "Pubcrawl(Person)", &[], &budget).unwrap();
     }
 
     #[test]

@@ -46,8 +46,13 @@ pub mod snapshot;
 pub mod wal;
 
 pub use binio::{Reader, Writer};
-pub use snapshot::{read_snapshot, write_snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
-pub use wal::{read_wal, WalReplay, WalWriter, WAL_MAGIC};
+pub use snapshot::{
+    decode_snapshot, encode_snapshot, read_snapshot, write_snapshot, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+};
+pub use wal::{
+    parse_wal_segment, read_wal, read_wal_range, WalReplay, WalSegment, WalWriter, WAL_MAGIC,
+};
 
 /// The named [`FailPoint`](nalist_guard::FailPoint) sites this crate
 /// threads through every durability-critical operation.

@@ -64,6 +64,16 @@ pub fn write_snapshot_governed(
     rec: &dyn Recorder,
 ) -> Result<u64, StoreError> {
     budget.failpoint(site::SNAPSHOT)?;
+    let file = encode_snapshot(payload)?;
+    crate::atomic_write_governed(path, &file, budget)?;
+    rec.add(Counter::SnapshotWrites, 1);
+    Ok(file.len() as u64)
+}
+
+/// Serialises `payload` into the self-checking snapshot container (the
+/// exact bytes [`write_snapshot`] puts on disk) without touching the
+/// filesystem. Replication streams these bytes to followers.
+pub fn encode_snapshot(payload: &[u8]) -> Result<Vec<u8>, StoreError> {
     let len = u32::try_from(payload.len()).map_err(|_| StoreError::Format {
         message: format!(
             "snapshot payload of {} bytes exceeds the u32 format limit",
@@ -79,9 +89,7 @@ pub fn write_snapshot_governed(
     checked.extend_from_slice(payload);
     file.extend_from_slice(&crc32(&checked).to_le_bytes());
     file.extend_from_slice(payload);
-    crate::atomic_write_governed(path, &file, budget)?;
-    rec.add(Counter::SnapshotWrites, 1);
-    Ok(file.len() as u64)
+    Ok(file)
 }
 
 /// Reads and verifies the snapshot at `path`, returning its payload.
@@ -92,6 +100,14 @@ pub fn write_snapshot_governed(
 /// does not know is [`StoreError::Format`].
 pub fn read_snapshot(path: &Path) -> Result<Vec<u8>, StoreError> {
     let bytes = std::fs::read(path).map_err(|e| StoreError::io(path, &e))?;
+    decode_snapshot(&bytes)
+}
+
+/// Verifies an in-memory snapshot container ([`encode_snapshot`] /
+/// the bytes of a snapshot file) and returns its payload. Same
+/// integrity contract as [`read_snapshot`]: any flipped byte after the
+/// magic is [`StoreError::Corrupt`].
+pub fn decode_snapshot(bytes: &[u8]) -> Result<Vec<u8>, StoreError> {
     if bytes.len() < HEADER_LEN {
         return Err(StoreError::Corrupt {
             offset: bytes.len() as u64,
@@ -156,6 +172,23 @@ mod tests {
         let payload = b"arbitrary payload \x00\x01\x02";
         write_snapshot(&p, payload).unwrap();
         assert_eq!(read_snapshot(&p).unwrap(), payload);
+        std::fs::remove_dir_all(p.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn in_memory_encode_decode_matches_the_file_format() {
+        let p = tmp("mem");
+        let payload = b"shipped to a follower";
+        write_snapshot(&p, payload).unwrap();
+        let file_bytes = std::fs::read(&p).unwrap();
+        assert_eq!(encode_snapshot(payload).unwrap(), file_bytes);
+        assert_eq!(decode_snapshot(&file_bytes).unwrap(), payload);
+        let mut dirty = file_bytes;
+        dirty[HEADER_LEN] ^= 0x01;
+        assert!(matches!(
+            decode_snapshot(&dirty),
+            Err(StoreError::Corrupt { .. })
+        ));
         std::fs::remove_dir_all(p.parent().unwrap()).unwrap();
     }
 
